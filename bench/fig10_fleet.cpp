@@ -1,0 +1,66 @@
+// Fig. 10 (extension) — Fleet scaling: larger networks served by charger
+// fleets, with zero or one compromised member.
+//
+// Expected shape: honest fleets keep arbitrarily large deployments healthy
+// (capacity scales with fleet size); a single compromised member still
+// exhausts the key nodes of its cell without detection — the attack
+// surface grows with every vehicle an operator cannot audit.
+#include <iostream>
+
+#include "analysis/scenario.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace {
+constexpr int kSeeds = 6;
+}
+
+int main() {
+  using namespace wrsn;
+
+  analysis::Table table("Fig. 10: charger fleets, honest vs one compromised "
+                        "member (mean over " + std::to_string(kSeeds) +
+                        " seeds)");
+  table.headers({"nodes", "fleet", "compromised", "alive@end", "exhausted %",
+                 "undetected %", "detected runs"});
+
+  const struct {
+    std::size_t nodes;
+    std::size_t fleet;
+  } settings[] = {{100, 1}, {100, 2}, {200, 2}, {200, 4}, {400, 4}};
+
+  for (const auto& setting : settings) {
+    for (const bool attack : {false, true}) {
+      std::vector<double> alive, exhausted, undetected;
+      int detected = 0;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        cfg.topology.node_count = setting.nodes;
+        // Demand scales with N; the fleet provides the capacity (unlike
+        // fig5, per-node rates are NOT scaled down here).
+        const double scale = 100.0 / double(setting.nodes);
+        cfg.topology.comm_range = 65.0 * std::sqrt(scale);
+        const analysis::ScenarioResult result = analysis::run_fleet_scenario(
+            cfg, setting.fleet, attack ? 0 : SIZE_MAX);
+        alive.push_back(double(result.alive_at_end));
+        exhausted.push_back(100.0 * result.report.exhaustion_ratio);
+        undetected.push_back(100.0 *
+                             result.report.undetected_exhaustion_ratio);
+        if (result.report.detected) ++detected;
+      }
+      const auto al = analysis::summarize(alive);
+      const auto ex = analysis::summarize(exhausted);
+      const auto un = analysis::summarize(undetected);
+      table.row({std::to_string(setting.nodes),
+                 std::to_string(setting.fleet), attack ? "member #0" : "no",
+                 analysis::fmt(al.mean, 1) + "/" +
+                     std::to_string(setting.nodes),
+                 attack ? analysis::fmt_ci(ex.mean, ex.ci95, 1) : "-",
+                 attack ? analysis::fmt_ci(un.mean, un.ci95, 1) : "-",
+                 std::to_string(detected) + "/" + std::to_string(kSeeds)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig. 11 (countermeasure study) — Budgeted coulomb-counter deployment:
+// how many nodes must the operator meter, and where, to catch CSA?
+//
+// Expected shape: placing the meters on the key-node ranking (the same
+// analysis the attacker runs) catches the attack with a budget of ~10
+// meters (10 % of nodes); random placement needs several times more,
+// because the attacker only ever touches its structural targets with
+// spoofed sessions.
+#include <iostream>
+
+#include "analysis/scenario.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "detect/audit_planner.hpp"
+#include "net/topology.hpp"
+
+namespace {
+constexpr int kSeeds = 10;
+}
+
+int main() {
+  using namespace wrsn;
+
+  const struct {
+    detect::AuditPlacement placement;
+    const char* name;
+  } placements[] = {
+      {detect::AuditPlacement::KeyRanked, "key-ranked"},
+      {detect::AuditPlacement::TopTraffic, "top-traffic"},
+      {detect::AuditPlacement::Random, "random"},
+  };
+
+  analysis::Table table(
+      "Fig. 11: CSA detection rate vs coulomb-counter budget and placement "
+      "(" + std::to_string(kSeeds) + " seeds, metered energy-delta audit)");
+  table.headers({"budget", "placement", "CSA detected",
+                 "undetected exhausted %", "benign false positives"});
+
+  for (const std::size_t budget : {5u, 10u, 20u, 40u, 100u}) {
+    for (const auto& entry : placements) {
+      int caught = 0, fp = 0;
+      std::vector<double> undetected;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(seed);
+
+        // The defender plans its placement on the pristine topology.
+        Rng rng(cfg.seed);
+        Rng topo_rng = rng.fork("topology");
+        const net::Network network =
+            net::generate_topology(cfg.topology, topo_rng);
+        const net::RoutingTree tree = net::build_routing_tree(network);
+        const net::TrafficLoads loads = net::compute_loads(network, tree);
+        Rng place_rng = rng.fork("audit-placement");
+        const std::vector<net::NodeId> audited = detect::select_audit_nodes(
+            network, loads, budget, entry.placement, place_rng);
+        const detect::EnergyDeltaDetector detector(audited);
+
+        detect::DetectorContext ctx;
+        ctx.network = &network;
+        ctx.nominal_dc = 1.0;  // unused by this detector
+        ctx.benign_gain_mean = cfg.world.benign_gain_mean;
+        ctx.benign_gain_cv = cfg.world.benign_gain_cv;
+        ctx.noise_seed = cfg.seed ^ 0x9e3779b97f4a7c15ULL;
+        ctx.horizon = cfg.horizon;
+
+        for (const bool attack : {false, true}) {
+          const analysis::ScenarioResult result = analysis::run_scenario(
+              cfg, attack ? analysis::ChargerMode::Attack
+                          : analysis::ChargerMode::Benign);
+          const auto detection = detector.analyze(result.trace, ctx);
+          if (!attack) {
+            if (detection.has_value()) ++fp;
+            continue;
+          }
+          if (detection.has_value()) ++caught;
+          std::size_t before = 0;
+          for (const sim::DeathRecord& d : result.trace.deaths) {
+            for (const net::NodeId key : result.keys) {
+              if (d.node == key &&
+                  (!detection.has_value() || d.time <= detection->time)) {
+                ++before;
+              }
+            }
+          }
+          undetected.push_back(
+              result.keys.empty()
+                  ? 0.0
+                  : 100.0 * double(before) / double(result.keys.size()));
+        }
+      }
+      const auto un = analysis::summarize(undetected);
+      table.row({std::to_string(budget), entry.name,
+                 std::to_string(caught) + "/" + std::to_string(kSeeds),
+                 analysis::fmt_ci(un.mean, un.ci95, 1),
+                 std::to_string(fp) + "/" + std::to_string(kSeeds)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDefender-attacker symmetry: the defender can compute the"
+               " same key-node ranking the attacker targets, so a handful of"
+               " well-placed meters dominates random deployment.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 2 — The nonlinear superposition effect (the paper's motivating
+// measurement): received RF and harvested DC versus the phase offset of a
+// second coherent source, and harvested power versus distance for a single
+// source vs. a phase-cancelled dual source.
+//
+// Expected shape: RF follows the cosine interference law, collapsing to ~0
+// at pi; harvested DC hits exactly zero over a wide band around pi because
+// the rectifier's sensitivity threshold swallows the residual — the window
+// the Charging Spoofing Attack lives in.
+#include <iostream>
+
+#include "analysis/table.hpp"
+#include "wpt/charging_model.hpp"
+#include "wpt/spoofing.hpp"
+#include "wpt/wave.hpp"
+
+int main() {
+  using namespace wrsn;
+  using geom::Vec2;
+
+  wpt::ChargingModelParams params;
+  params.source_power = 10.0;
+  params.gain_product = 0.35;
+  const wpt::ChargingModel model(params);
+
+  // --- (a) phase sweep at the docking distance --------------------------
+  const Vec2 target{0.0, 0.0};
+  const Vec2 charger{-0.3, 0.0};
+  const Meters sep = 0.15;
+
+  analysis::Table phase_table(
+      "Fig. 2a: received power vs phase offset of the second source "
+      "(dual coherent antennas at dock distance, split power)");
+  phase_table.headers({"phase/pi", "RF coherent [W]", "RF incoherent [W]",
+                       "DC harvested [W]", "DC if linear [W]"});
+
+  for (int step = 0; step <= 32; ++step) {
+    const Radians phi = constants::kTwoPi * step / 32.0;
+    wpt::WaveSource s1 = model.as_wave_source(charger + Vec2{0.0, sep / 2});
+    wpt::WaveSource s2 = model.as_wave_source(charger - Vec2{0.0, sep / 2});
+    s1.alpha /= 2.0;
+    s2.alpha /= 2.0;
+    // Align both waves at the target first, then offset the second by phi.
+    const Meters d1 = geom::distance(s1.position, target);
+    const Meters d2 = geom::distance(s2.position, target);
+    s1.phase_offset = wpt::propagation_phase(d1, s1.wavelength);
+    s2.phase_offset = wpt::propagation_phase(d2, s2.wavelength) + phi;
+
+    const wpt::WaveSource arr[] = {s1, s2};
+    const Watts rf = wpt::superposed_rf_power(arr, target);
+    const Watts rf_inc = wpt::incoherent_rf_power(arr, target);
+    const Watts dc = model.rectifier().dc_output(rf);
+    // "If linear": a naive model with no sensitivity threshold.
+    const Watts dc_linear = model.rectifier().params().max_efficiency * rf;
+
+    phase_table.row({analysis::fmt(phi / constants::kPi, 3),
+                     analysis::fmt(rf, 4), analysis::fmt(rf_inc, 4),
+                     analysis::fmt(dc, 4), analysis::fmt(dc_linear, 4)});
+  }
+  phase_table.print(std::cout);
+
+  // --- (b) distance sweep: benign vs spoofed ----------------------------
+  const wpt::SpoofingEmitter emitter(model, wpt::SpoofingParams{});
+  analysis::Table dist_table(
+      "Fig. 2b: harvested DC vs distance, benign single source vs "
+      "phase-cancelled dual source");
+  dist_table.headers({"distance [m]", "benign RF [W]", "benign DC [W]",
+                      "spoof RF [W]", "spoof DC [W]", "suppression [dB]"});
+  for (double d = 0.2; d <= 6.01; d += 0.4) {
+    const wpt::SpoofOutcome out =
+        emitter.configure({-d, 0.0}, {0.0, 0.0}, nullptr);
+    dist_table.row({analysis::fmt(d, 1),
+                    analysis::fmt(out.rf_benign_equiv, 4),
+                    analysis::fmt(out.dc_benign_equiv, 4),
+                    analysis::fmt(out.rf_at_target, 8),
+                    analysis::fmt(out.dc_at_target, 8),
+                    analysis::fmt(out.suppression_db, 1)});
+  }
+  dist_table.print(std::cout);
+
+  std::cout << "\nTakeaway: coherent superposition is nonlinear — the same "
+               "radiated power yields anywhere from 2x (in phase) to 0x "
+               "(anti-phase) the single-source harvest, and the rectifier "
+               "threshold turns near-cancellation into exactly zero.\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Fig. 5 — THE HEADLINE: key-node exhaustion ratio of CSA vs the baseline
+// attack strategies, swept over network size, under the deployed detector
+// suite.  The paper's claim: CSA exhausts at least 80 % of key nodes
+// without being detected.
+//
+// Per-node duty cycles scale inversely with density (a standard coverage-
+// redundancy assumption), so total network demand — and hence the single
+// charger's load — stays constant across sizes; what grows is the routing
+// structure and the scheduling problem.
+#include <iostream>
+
+#include "analysis/scenario.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/planners.hpp"
+
+namespace {
+
+constexpr int kSeeds = 10;
+
+wrsn::analysis::ScenarioConfig sized_config(std::size_t n,
+                                            std::uint64_t seed) {
+  using namespace wrsn;
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  const double scale = 100.0 / double(n);
+  cfg.topology.node_count = n;
+  cfg.topology.mean_data_rate_bps = 12'000.0 * scale;
+  cfg.topology.comm_range = 65.0 * std::sqrt(scale);
+  cfg.world.drain.sensing_power = 10e-3 * scale;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wrsn;
+
+  const csa::CsaPlanner planner_csa;
+  const csa::GreedyNearestPlanner planner_greedy;
+  const csa::RandomPlanner planner_random;
+  const csa::UtilityFirstPlanner planner_utility;
+  const struct {
+    const csa::Planner* planner;
+  } strategies[] = {
+      {&planner_csa}, {&planner_greedy}, {&planner_random}, {&planner_utility}};
+
+  analysis::Table table(
+      "Fig. 5: key-node exhaustion (mean +- 95% CI over " +
+      std::to_string(kSeeds) + " seeds)");
+  table.headers({"nodes", "planner", "exhausted %", "undetected exhausted %",
+                 "detected runs", "escalations"});
+
+  for (const std::size_t n : {50u, 100u, 150u, 200u}) {
+    for (const auto& strategy : strategies) {
+      std::vector<double> exhausted, undetected, escalations;
+      int detected_runs = 0;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        const analysis::ScenarioResult result = analysis::run_scenario(
+            sized_config(n, static_cast<std::uint64_t>(seed)),
+            analysis::ChargerMode::Attack, strategy.planner);
+        exhausted.push_back(100.0 * result.report.exhaustion_ratio);
+        undetected.push_back(100.0 *
+                             result.report.undetected_exhaustion_ratio);
+        escalations.push_back(double(result.report.escalations));
+        if (result.report.detected) ++detected_runs;
+      }
+      const auto ex = analysis::summarize(exhausted);
+      const auto un = analysis::summarize(undetected);
+      const auto es = analysis::summarize(escalations);
+      table.row({std::to_string(n), std::string(strategy.planner->name()),
+                 analysis::fmt_ci(ex.mean, ex.ci95, 1),
+                 analysis::fmt_ci(un.mean, un.ci95, 1),
+                 std::to_string(detected_runs) + "/" + std::to_string(kSeeds),
+                 analysis::fmt(es.mean, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  // Key-node definition ablation at N = 100 (DESIGN.md decision 4).
+  analysis::Table ablation(
+      "Fig. 5b: key-node selection rule ablation (CSA, N=100)");
+  ablation.headers({"rule", "exhausted %", "undetected %",
+                    "partitioned runs", "mean partition hour"});
+  const struct {
+    net::KeyNodeRule rule;
+    const char* name;
+  } rules[] = {{net::KeyNodeRule::Articulation, "articulation"},
+               {net::KeyNodeRule::TopTraffic, "top-traffic"},
+               {net::KeyNodeRule::Hybrid, "hybrid"}};
+  for (const auto& entry : rules) {
+    std::vector<double> exhausted, undetected, part_hours;
+    int partitioned = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      analysis::ScenarioConfig cfg =
+          sized_config(100, static_cast<std::uint64_t>(seed));
+      cfg.attack.key_selection.rule = entry.rule;
+      const analysis::ScenarioResult result =
+          analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+      exhausted.push_back(100.0 * result.report.exhaustion_ratio);
+      undetected.push_back(100.0 * result.report.undetected_exhaustion_ratio);
+      if (result.report.partition_time.has_value()) {
+        ++partitioned;
+        part_hours.push_back(*result.report.partition_time / 3600.0);
+      }
+    }
+    const auto ex = analysis::summarize(exhausted);
+    const auto un = analysis::summarize(undetected);
+    const auto ph = analysis::summarize(part_hours);
+    ablation.row({entry.name, analysis::fmt_ci(ex.mean, ex.ci95, 1),
+                  analysis::fmt_ci(un.mean, un.ci95, 1),
+                  std::to_string(partitioned) + "/" + std::to_string(kSeeds),
+                  part_hours.empty() ? "-" : analysis::fmt(ph.mean, 1)});
+  }
+  ablation.print(std::cout);
+  return 0;
+}

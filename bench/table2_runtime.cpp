@@ -1,0 +1,87 @@
+// Table II — Algorithm scalability: CSA planning time versus instance size,
+// and the exact solver's exponential wall, measured with google-benchmark.
+//
+// Expected shape: CSA stays sub-second up to hundreds of stops (the
+// incremental insertion check keeps it near-cubic in practice); the exact
+// DP blows up past ~16 stops, which is why the approximation exists.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "core/planners.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+csa::TideInstance random_instance(std::size_t keys, std::size_t stops,
+                                  std::uint64_t seed) {
+  Rng gen(seed);
+  csa::TideInstance inst;
+  inst.start_position = {0.0, 0.0};
+  inst.start_time = 0.0;
+  inst.speed = 3.0;
+  const auto add = [&](bool key) {
+    csa::Stop stop;
+    stop.node = static_cast<net::NodeId>(inst.stops.size());
+    stop.position = {gen.uniform(-200.0, 200.0), gen.uniform(-200.0, 200.0)};
+    stop.window_open = gen.uniform(0.0, 20'000.0);
+    stop.window_close = stop.window_open + gen.uniform(3'600.0, 14'400.0);
+    stop.service_time = gen.uniform(600.0, 1'800.0);
+    stop.is_key = key;
+    stop.utility = key ? 0.0 : gen.uniform(100.0, 8'000.0);
+    inst.stops.push_back(stop);
+  };
+  for (std::size_t i = 0; i < keys; ++i) add(true);
+  for (std::size_t i = 0; i < stops; ++i) add(false);
+  return inst;
+}
+
+void BM_CsaPlanner(benchmark::State& state) {
+  const auto stops = static_cast<std::size_t>(state.range(0));
+  const csa::TideInstance inst = random_instance(10, stops, 42);
+  const csa::CsaPlanner planner;
+  Rng rng(1);
+  double utility = 0.0;
+  std::size_t scheduled = 0;
+  for (auto _ : state) {
+    const csa::Plan plan = planner.plan(inst, rng);
+    benchmark::DoNotOptimize(plan.utility);
+    utility = plan.utility;
+    scheduled = plan.visits.size();
+  }
+  state.counters["utility"] = utility;
+  state.counters["visits"] = double(scheduled);
+}
+BENCHMARK(BM_CsaPlanner)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactPlanner(benchmark::State& state) {
+  const auto stops = static_cast<std::size_t>(state.range(0));
+  const csa::TideInstance inst = random_instance(2, stops, 42);
+  const csa::ExactPlanner planner;
+  Rng rng(1);
+  for (auto _ : state) {
+    const csa::Plan plan = planner.plan(inst, rng);
+    benchmark::DoNotOptimize(plan.utility);
+  }
+}
+BENCHMARK(BM_ExactPlanner)->Arg(6)->Arg(8)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyNearest(benchmark::State& state) {
+  const auto stops = static_cast<std::size_t>(state.range(0));
+  const csa::TideInstance inst = random_instance(10, stops, 42);
+  const csa::GreedyNearestPlanner planner;
+  Rng rng(1);
+  for (auto _ : state) {
+    const csa::Plan plan = planner.plan(inst, rng);
+    benchmark::DoNotOptimize(plan.utility);
+  }
+}
+BENCHMARK(BM_GreedyNearest)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Detection study: which defenses catch which attacker?
+//
+//   $ ./detection_study [seed]
+//
+// Runs the CSA phase-cancellation attack and the two naive variants under
+// the deployed detector suite and under the hardened suite (coulomb-counter
+// defenses on every node), plus a benign run to show false positives.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/scenario.hpp"
+#include "analysis/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  std::uint64_t seed = 7;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+
+  analysis::Table table("Detector suite vs attacker variants (seed " +
+                        std::to_string(seed) + ")");
+  table.headers({"charger", "suite", "detected by", "at hour", "keys dead",
+                 "undetected dead"});
+
+  const struct {
+    const char* name;
+    bool benign;
+    csa::SpoofMode mode;
+  } chargers[] = {
+      {"benign", true, csa::SpoofMode::PhaseCancel},
+      {"CSA (phase-cancel)", false, csa::SpoofMode::PhaseCancel},
+      {"silent-skip", false, csa::SpoofMode::SilentSkip},
+      {"no-service", false, csa::SpoofMode::NoService},
+  };
+
+  for (const bool hardened : {false, true}) {
+    for (const auto& entry : chargers) {
+      analysis::ScenarioConfig config = analysis::default_scenario();
+      config.seed = seed;
+      config.hardened_detectors = hardened;
+      config.attack.spoof_mode = entry.mode;
+
+      const analysis::ScenarioResult result = analysis::run_scenario(
+          config,
+          entry.benign ? analysis::ChargerMode::Benign
+                       : analysis::ChargerMode::Attack);
+      const csa::AttackReport& r = result.report;
+
+      table.row({entry.name, hardened ? "hardened" : "deployed",
+                 r.detected ? r.detector_name : "-",
+                 r.detected ? analysis::fmt(r.detection_time / 3600.0, 1) : "-",
+                 std::to_string(r.keys_dead) + "/" +
+                     std::to_string(r.keys_total),
+                 std::to_string(r.keys_dead_before_detection)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCSA evades the deployed suite; only per-node coulomb"
+               " counters (hardened suite) see the harvest shortfall.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// wrsn_cli — declarative experiment runner.
+//
+//   $ ./wrsn_cli [--config file.ini] [--mode benign|attack] [--fleet N]
+//                [--compromised K] [--export prefix] [--seed S]
+//
+// Loads the calibrated defaults, applies the optional config file and flag
+// overrides, runs one mission, prints the report, and (with --export) dumps
+// the full trace as CSV for external analysis.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/config_io.hpp"
+#include "analysis/scenario.hpp"
+#include "analysis/table.hpp"
+#include "analysis/trace_io.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: wrsn_cli [options]\n"
+      "  --config <file.ini>   load scenario overrides (see config_io.hpp)\n"
+      "  --mode benign|attack  charging service behaviour (default attack)\n"
+      "  --fleet <N>           run N chargers (Voronoi territories)\n"
+      "  --compromised <K>     fleet member K runs the CSA attack\n"
+      "  --seed <S>            RNG seed override\n"
+      "  --export <prefix>     write <prefix>_{sessions,requests,deaths,"
+      "escalations}.csv\n"
+      "  --help                this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  std::string config_path;
+  std::string mode = "attack";
+  std::string export_prefix;
+  std::size_t fleet = 1;
+  std::size_t compromised = SIZE_MAX;
+  bool compromised_set = false;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = next();
+    } else if (arg == "--mode") {
+      mode = next();
+    } else if (arg == "--fleet") {
+      fleet = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--compromised") {
+      compromised = std::strtoull(next().c_str(), nullptr, 10);
+      compromised_set = true;
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+      seed_set = true;
+    } else if (arg == "--export") {
+      export_prefix = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    analysis::ScenarioConfig cfg =
+        config_path.empty() ? analysis::default_scenario()
+                            : analysis::load_config_file(config_path);
+    if (seed_set) cfg.seed = seed;
+
+    analysis::ScenarioResult result;
+    if (fleet > 1 || compromised_set) {
+      if (mode == "benign") compromised = SIZE_MAX;
+      result = analysis::run_fleet_scenario(cfg, fleet, compromised);
+    } else if (mode == "benign") {
+      result = analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+    } else if (mode == "attack") {
+      result = analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+    } else {
+      std::cerr << "unknown mode '" << mode << "'\n";
+      return 2;
+    }
+
+    const csa::AttackReport& r = result.report;
+    analysis::Table table("Mission report (seed " + std::to_string(cfg.seed) +
+                          ", " + mode + ", fleet " + std::to_string(fleet) +
+                          ")");
+    table.headers({"metric", "value"});
+    table.row({"nodes alive at end", std::to_string(result.alive_at_end) +
+                                         "/" +
+                                         std::to_string(result.node_count)});
+    table.row({"sink-connected at end",
+               std::to_string(result.sink_connected_at_end)});
+    table.row({"key targets", std::to_string(r.keys_total)});
+    table.row({"keys exhausted", std::to_string(r.keys_dead)});
+    table.row({"keys exhausted undetected",
+               std::to_string(r.keys_dead_before_detection)});
+    table.row({"detected", r.detected ? r.detector_name + " @ " +
+                                            analysis::fmt(
+                                                r.detection_time / 3600.0, 1) +
+                                            " h"
+                                      : "no"});
+    table.row({"sessions genuine/spoofed",
+               std::to_string(r.sessions_genuine) + "/" +
+                   std::to_string(r.sessions_spoofed)});
+    table.row({"cover utility [kJ]",
+               analysis::fmt(r.utility_delivered / 1000.0, 1)});
+    table.row({"escalations", std::to_string(r.escalations)});
+    table.row({"partitioned",
+               r.partition_time.has_value()
+                   ? analysis::fmt(*r.partition_time / 3600.0, 1) + " h"
+                   : "never"});
+    table.print(std::cout);
+
+    if (!export_prefix.empty()) {
+      analysis::export_trace(export_prefix, result.trace);
+      std::cout << "\ntrace exported to " << export_prefix << "_*.csv\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

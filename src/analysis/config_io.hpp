@@ -1,0 +1,41 @@
+// Scenario configuration files: a minimal INI-style loader so experiments
+// can be described declaratively and run from the CLI without recompiling.
+//
+// Format: `key = value` lines, `#` comments, optional `[section]` headers
+// (sections are cosmetic; keys are globally unique, dotted):
+//
+//   # my_experiment.ini
+//   topology.node_count = 200
+//   topology.comm_range = 46
+//   world.patience      = 7200
+//   attack.pace_limit   = 2
+//   horizon             = 432000
+//   seed                = 7
+//
+// Unknown keys throw (catching typos beats silently ignoring them).
+#pragma once
+
+#include <istream>
+#include <map>
+#include <string>
+
+#include "analysis/scenario.hpp"
+
+namespace wrsn::analysis {
+
+/// Parses INI text into a flat key->value map.  Throws ConfigError on
+/// malformed lines.
+std::map<std::string, std::string> parse_ini(std::istream& in);
+
+/// Applies `entries` on top of `base` (unset keys keep base values).
+/// Throws ConfigError on unknown keys or unparsable values.
+ScenarioConfig apply_config(const ScenarioConfig& base,
+                            const std::map<std::string, std::string>& entries);
+
+/// Convenience: parse + apply over default_scenario().
+ScenarioConfig load_config(std::istream& in);
+
+/// Loads a config file from disk; throws ConfigError if unreadable.
+ScenarioConfig load_config_file(const std::string& path);
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,233 @@
+#include "analysis/scenario.hpp"
+
+#include "common/check.hpp"
+#include "mc/fleet.hpp"
+
+namespace wrsn::analysis {
+
+ScenarioConfig default_scenario() {
+  ScenarioConfig cfg;
+
+  // Deployment: 100 nodes on 400 m x 400 m with 65 m radios is connected
+  // with ~8 expected neighbours; the sink sits at the field center.
+  cfg.topology.region = {{0.0, 0.0}, {400.0, 400.0}};
+  cfg.topology.node_count = 100;
+  cfg.topology.comm_range = 65.0;
+  cfg.topology.mean_data_rate_bps = 12'000.0;
+  cfg.topology.battery_capacity = 10'800.0;
+  cfg.topology.min_separation = 2.0;
+
+  // World protocol: request at 30 % believed charge, 3 h patience
+  // (nodes still hold 12+ h of margin at request time, and honest queueing
+  // bursts of ~6 requests fit without escalating), steady-state initial
+  // charge spread.
+  cfg.world.request_threshold = 0.30;
+  cfg.world.patience = 10'800.0;
+  cfg.world.min_request_gap = 300.0;
+  cfg.world.charge_target_fraction = 0.95;
+  cfg.world.initial_level_min = 0.50;
+  cfg.world.initial_level_max = 1.00;
+
+  // Charging chain: 8 W source with the literature's (d + 0.2316)^-2 decay
+  // yields ~5 W docked DC after the nonlinear rectifier, so a full service
+  // takes ~23 minutes — demand is ~45 % of one charger's capacity.
+  cfg.world.charging.source_power = 10.0;
+  cfg.world.charging.gain_product = 0.35;
+  cfg.world.charging.dock_distance = 0.3;
+  cfg.world.charging.max_range = 8.0;
+  cfg.world.charging.rectifier.sensitivity = 1e-3;
+  cfg.world.charging.rectifier.max_efficiency = 0.65;
+  cfg.world.charging.rectifier.knee = 30e-3;
+  cfg.world.charging.rectifier.dc_cap = 6.0;
+
+  // Node drain: 10 mW sensing floor plus first-order radio traffic; leaves
+  // run ~20 mW, routing hotspots 3-5x that.
+  cfg.world.drain.sensing_power = 10e-3;
+
+  // Background component failures: ~1-2 nodes per 5-day mission across the
+  // fleet — the noise floor any death-rate monitor must be calibrated to.
+  cfg.world.hardware_mtbf = 3.0e7;
+
+  // Vehicle: 3 m/s, 5 MJ onboard, 40 J/m locomotion.
+  mc::ChargerParams charger;
+  charger.depot = {0.0, 0.0};
+  charger.speed = 3.0;
+  charger.battery_capacity = 5e6;
+  charger.travel_cost_per_meter = 40.0;
+  charger.pa_efficiency = 0.85;
+  charger.depot_recharge_power = 500.0;
+
+  cfg.benign.charger = charger;
+  cfg.benign.policy = mc::SchedulePolicy::Njnp;
+  cfg.benign.battery_reserve_fraction = 0.10;
+
+  cfg.attack.charger = charger;
+  cfg.attack.key_selection.rule = net::KeyNodeRule::Hybrid;
+  cfg.attack.key_selection.max_count = 10;
+  cfg.attack.key_selection.min_disconnect = 1;
+  cfg.attack.battery_reserve_fraction = 0.10;
+
+  cfg.horizon = 5 * 86'400.0;
+  cfg.attack.campaign_deadline = cfg.horizon;
+  cfg.seed = 1;
+  return cfg;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
+                            const csa::Planner* planner) {
+  Rng rng(config.seed);
+  Rng topo_rng = rng.fork("topology");
+  net::Network network = net::generate_topology(config.topology, topo_rng);
+
+  sim::Simulator simulator;
+  sim::World world(simulator, std::move(network), config.world,
+                   rng.fork("world"));
+
+  ScenarioResult result;
+  result.node_count = world.network().size();
+
+  std::unique_ptr<mc::ChargerAgent> benign;
+  std::unique_ptr<csa::AttackAgent> attacker;
+  const csa::CsaPlanner default_planner;
+
+  if (mode == ChargerMode::Benign) {
+    // Keys are still identified (same rule as the attacker would use) so
+    // benign runs report comparable key-node survival numbers.
+    result.keys = net::select_key_nodes(world.network(), world.loads(),
+                                        config.attack.key_selection);
+    benign = std::make_unique<mc::ChargerAgent>(world, config.benign);
+    benign->start();
+  } else {
+    attacker = std::make_unique<csa::AttackAgent>(
+        world, config.attack, planner != nullptr ? *planner : default_planner,
+        rng.fork("attack"));
+    attacker->start();
+    result.keys = attacker->key_targets();
+  }
+
+  simulator.run_until(config.horizon);
+
+  // The defender calibrates its death-rate bound to the fleet's known
+  // background failure rate.
+  const double expected_deaths_per_window =
+      config.world.hardware_mtbf > 0.0
+          ? double(result.node_count) * 86'400.0 / config.world.hardware_mtbf
+          : 0.0;
+  const detect::SuiteCalibration calibration =
+      detect::SuiteCalibration::for_deployment(result.node_count,
+                                               expected_deaths_per_window);
+  const detect::DetectorSuite suite =
+      config.hardened_detectors ? detect::make_hardened_suite(calibration)
+                                : detect::make_deployed_suite(calibration);
+  detect::DetectorContext ctx;
+  ctx.network = &world.network();
+  ctx.charging_model = &world.charging_model();
+  ctx.nominal_dc = world.nominal_dc_power();
+  ctx.benign_gain_mean = config.world.benign_gain_mean;
+  ctx.benign_gain_cv = config.world.benign_gain_cv;
+  ctx.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  ctx.horizon = config.horizon;
+
+  result.detections = suite.run(world.trace(), ctx);
+  result.report = csa::build_report(world.network(), world.trace(),
+                                    result.keys, result.detections);
+  result.alive_at_end = world.alive_count();
+  result.sink_connected_at_end = world.sink_connected_count();
+  if (mode == ChargerMode::Benign) {
+    result.ledger = benign->charger().ledger();
+  } else {
+    result.ledger = attacker->charger().ledger();
+    result.plans_computed = attacker->plans_computed();
+  }
+  result.trace = std::move(world.trace());
+  return result;
+}
+
+ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
+                                  std::size_t fleet_size,
+                                  std::size_t compromised) {
+  WRSN_REQUIRE(fleet_size > 0, "fleet must have at least one charger");
+  Rng rng(config.seed);
+  Rng topo_rng = rng.fork("topology");
+  net::Network network = net::generate_topology(config.topology, topo_rng);
+
+  const std::vector<geom::Vec2> depots =
+      mc::default_depots(config.topology.region, fleet_size);
+  const std::vector<std::vector<net::NodeId>> cells =
+      mc::partition_by_depot(network, depots);
+
+  sim::Simulator simulator;
+  sim::World world(simulator, std::move(network), config.world,
+                   rng.fork("world"));
+
+  ScenarioResult result;
+  result.node_count = world.network().size();
+
+  std::vector<std::unique_ptr<mc::ChargerAgent>> benign_agents;
+  std::unique_ptr<csa::AttackAgent> attacker;
+  const csa::CsaPlanner planner;
+
+  for (std::size_t k = 0; k < fleet_size; ++k) {
+    if (k == compromised) {
+      csa::AttackParams params = config.attack;
+      params.charger.depot = depots[k];
+      params.territory = cells[k];
+      attacker = std::make_unique<csa::AttackAgent>(
+          world, params, planner, rng.fork("attack-" + std::to_string(k)));
+      attacker->start();
+    } else {
+      mc::AgentParams params = config.benign;
+      params.charger.depot = depots[k];
+      params.territory = cells[k];
+      benign_agents.push_back(
+          std::make_unique<mc::ChargerAgent>(world, params));
+      benign_agents.back()->start();
+    }
+  }
+
+  if (attacker != nullptr) {
+    result.keys = attacker->key_targets();
+  } else {
+    result.keys = net::select_key_nodes(world.network(), world.loads(),
+                                        config.attack.key_selection);
+  }
+
+  simulator.run_until(config.horizon);
+
+  // The defender calibrates its death-rate bound to the fleet's known
+  // background failure rate.
+  const double expected_deaths_per_window =
+      config.world.hardware_mtbf > 0.0
+          ? double(result.node_count) * 86'400.0 / config.world.hardware_mtbf
+          : 0.0;
+  const detect::SuiteCalibration calibration =
+      detect::SuiteCalibration::for_deployment(result.node_count,
+                                               expected_deaths_per_window);
+  const detect::DetectorSuite suite =
+      config.hardened_detectors ? detect::make_hardened_suite(calibration)
+                                : detect::make_deployed_suite(calibration);
+  detect::DetectorContext ctx;
+  ctx.network = &world.network();
+  ctx.charging_model = &world.charging_model();
+  ctx.nominal_dc = world.nominal_dc_power();
+  ctx.benign_gain_mean = config.world.benign_gain_mean;
+  ctx.benign_gain_cv = config.world.benign_gain_cv;
+  ctx.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  ctx.horizon = config.horizon;
+
+  result.detections = suite.run(world.trace(), ctx);
+  result.report = csa::build_report(world.network(), world.trace(),
+                                    result.keys, result.detections);
+  result.alive_at_end = world.alive_count();
+  result.sink_connected_at_end = world.sink_connected_count();
+  if (attacker != nullptr) {
+    result.ledger = attacker->charger().ledger();
+    result.plans_computed = attacker->plans_computed();
+  } else if (!benign_agents.empty()) {
+    result.ledger = benign_agents.front()->charger().ledger();
+  }
+  result.trace = std::move(world.trace());
+  return result;
+}
+
+}  // namespace wrsn::analysis

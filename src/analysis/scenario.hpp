@@ -1,0 +1,67 @@
+// One-call experiment runner: builds a world, binds a benign or attacking
+// charging service, simulates to the horizon, runs the detector suite, and
+// returns the full assessment.  All benches and examples are thin wrappers
+// over this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/orchestrator.hpp"
+#include "core/report.hpp"
+#include "detect/detectors.hpp"
+#include "mc/agent.hpp"
+#include "net/topology.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn::analysis {
+
+/// Which charging service operates the vehicle.
+enum class ChargerMode { Benign, Attack };
+
+struct ScenarioConfig {
+  net::TopologyConfig topology;
+  sim::WorldParams world;
+  csa::AttackParams attack;   ///< used in Attack mode
+  mc::AgentParams benign;     ///< used in Benign mode
+  Seconds horizon = 4 * 86'400.0;
+  std::uint64_t seed = 1;
+  /// Deploy the hardened detector suite (coulomb-counter defenses) instead
+  /// of the standard one.
+  bool hardened_detectors = false;
+};
+
+/// Everything a bench needs from one simulated mission.
+struct ScenarioResult {
+  csa::AttackReport report;
+  std::vector<detect::SuiteResult> detections;
+  std::vector<net::NodeId> keys;
+  sim::Trace trace;
+  std::size_t node_count = 0;
+  std::size_t alive_at_end = 0;
+  std::size_t sink_connected_at_end = 0;
+  mc::EnergyLedger ledger;
+  std::uint64_t plans_computed = 0;
+};
+
+/// Calibrated default configuration (see DESIGN.md for the derivation):
+/// 100 nodes on 400 m x 400 m, 65 m radios, 10.8 kJ batteries, ~5 W docked
+/// harvest, 3 m/s charger — request load ~45 % of charger capacity.
+ScenarioConfig default_scenario();
+
+/// Runs one mission.  In Attack mode, `planner` selects the attacker's
+/// route strategy (defaults to CsaPlanner when null).
+ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
+                            const csa::Planner* planner = nullptr);
+
+/// Runs a multi-charger mission: `fleet_size` vehicles at the default depot
+/// sites, each serving its Voronoi cell.  If `compromised < fleet_size`,
+/// that member runs the CSA attack inside its own cell; otherwise the whole
+/// fleet is honest.  The result's ledger/keys describe the compromised
+/// vehicle when present (first vehicle otherwise).
+ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
+                                  std::size_t fleet_size,
+                                  std::size_t compromised = SIZE_MAX);
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,50 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace wrsn::analysis {
+
+Summary summarize(std::span<const double> values) {
+  Summary summary;
+  summary.count = values.size();
+  if (values.empty()) return summary;
+
+  double sum = 0.0;
+  summary.min = values.front();
+  summary.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    summary.min = std::min(summary.min, v);
+    summary.max = std::max(summary.max, v);
+  }
+  summary.mean = sum / double(values.size());
+
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (const double v : values) {
+      const double d = v - summary.mean;
+      ss += d * d;
+    }
+    summary.stddev = std::sqrt(ss / double(values.size() - 1));
+    summary.ci95 = 1.96 * summary.stddev / std::sqrt(double(values.size()));
+  }
+  return summary;
+}
+
+double quantile(std::span<const double> values, double q) {
+  WRSN_REQUIRE(!values.empty(), "quantile of empty sample");
+  WRSN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * double(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace wrsn::analysis

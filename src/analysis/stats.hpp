@@ -1,0 +1,25 @@
+// Small statistics helpers for multi-seed experiment aggregation.
+#pragma once
+
+#include <span>
+
+namespace wrsn::analysis {
+
+/// Aggregate of a sample: count, mean, unbiased stddev, and a 95 % normal
+/// confidence half-width.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;   ///< 1.96 * stddev / sqrt(count)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary of `values` (empty input yields a zero summary).
+Summary summarize(std::span<const double> values);
+
+/// Sample quantile (linear interpolation); q in [0, 1].
+double quantile(std::span<const double> values, double q);
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,76 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace wrsn::analysis {
+
+Table& Table::headers(std::vector<std::string> names) {
+  headers_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  WRSN_REQUIRE(headers_.empty() || cells.size() == headers_.size(),
+               "row width does not match headers");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  os << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) {
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    print_row(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string fmt(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string fmt_ci(double mean, double ci, int digits) {
+  return fmt(mean, digits) + " +- " + fmt(ci, digits);
+}
+
+}  // namespace wrsn::analysis

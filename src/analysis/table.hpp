@@ -1,0 +1,37 @@
+// Column-aligned table and CSV emission for bench output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wrsn::analysis {
+
+/// A simple text table: set headers, push rows of cells, print aligned.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& headers(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  /// Prints title + aligned columns.
+  void print(std::ostream& os) const;
+  /// Prints the same data as CSV (no title line).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals.
+std::string fmt(double value, int digits = 3);
+
+/// Formats "mean +- ci" for a summarized metric.
+std::string fmt_ci(double mean, double ci, int digits = 3);
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,75 @@
+#include "analysis/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace wrsn::analysis {
+
+void write_sessions_csv(std::ostream& os, const sim::Trace& trace) {
+  os << "node,start_s,end_s,kind,expected_J,delivered_J,rf_observed_W,"
+        "rf_neighbor_probe_W,nearest_probe_m,radiated_J\n";
+  for (const sim::SessionRecord& s : trace.sessions) {
+    os << s.node << ',' << s.start << ',' << s.end << ','
+       << (s.kind == sim::SessionKind::Spoofed ? "spoofed" : "genuine") << ','
+       << s.expected_gain << ',' << s.delivered << ',' << s.rf_observed << ','
+       << s.rf_neighbor_probe << ',' << s.nearest_probe_distance << ','
+       << s.radiated << '\n';
+  }
+  os.flush();
+}
+
+void write_requests_csv(std::ostream& os, const sim::Trace& trace) {
+  os << "node,time_s,level_J,emergency\n";
+  for (const sim::RequestRecord& r : trace.requests) {
+    os << r.node << ',' << r.time << ',' << r.level_at_request << ','
+       << (r.emergency ? 1 : 0) << '\n';
+  }
+  os.flush();
+}
+
+void write_deaths_csv(std::ostream& os, const sim::Trace& trace) {
+  os << "node,time_s,request_outstanding\n";
+  for (const sim::DeathRecord& d : trace.deaths) {
+    os << d.node << ',' << d.time << ',' << (d.request_outstanding ? 1 : 0)
+       << '\n';
+  }
+  os.flush();
+}
+
+void write_escalations_csv(std::ostream& os, const sim::Trace& trace) {
+  os << "node,time_s\n";
+  for (const sim::EscalationRecord& e : trace.escalations) {
+    os << e.node << ',' << e.time << '\n';
+  }
+  os.flush();
+}
+
+void export_trace(const std::string& prefix, const sim::Trace& trace) {
+  const auto open = [&](const std::string& suffix) {
+    std::ofstream file(prefix + suffix);
+    if (!file.is_open()) {
+      throw SimulationError("export_trace: cannot open " + prefix + suffix);
+    }
+    return file;
+  };
+  {
+    std::ofstream file = open("_sessions.csv");
+    write_sessions_csv(file, trace);
+  }
+  {
+    std::ofstream file = open("_requests.csv");
+    write_requests_csv(file, trace);
+  }
+  {
+    std::ofstream file = open("_deaths.csv");
+    write_deaths_csv(file, trace);
+  }
+  {
+    std::ofstream file = open("_escalations.csv");
+    write_escalations_csv(file, trace);
+  }
+}
+
+}  // namespace wrsn::analysis

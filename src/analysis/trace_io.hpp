@@ -1,0 +1,29 @@
+// Trace serialization: CSV export of the simulation event log, for external
+// plotting/analysis pipelines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace wrsn::analysis {
+
+/// Writes `trace.sessions` as CSV (header + one row per session).
+void write_sessions_csv(std::ostream& os, const sim::Trace& trace);
+
+/// Writes `trace.requests` as CSV.
+void write_requests_csv(std::ostream& os, const sim::Trace& trace);
+
+/// Writes `trace.deaths` as CSV.
+void write_deaths_csv(std::ostream& os, const sim::Trace& trace);
+
+/// Writes `trace.escalations` as CSV.
+void write_escalations_csv(std::ostream& os, const sim::Trace& trace);
+
+/// Writes all four tables to `<prefix>_sessions.csv`, `<prefix>_requests.csv`,
+/// `<prefix>_deaths.csv`, `<prefix>_escalations.csv`.
+/// Throws SimulationError if a file cannot be opened.
+void export_trace(const std::string& prefix, const sim::Trace& trace);
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,66 @@
+// Invariant and precondition checking for the WRSN library.
+//
+// WRSN_REQUIRE: precondition on public API input; throws wrsn::PreconditionError
+//   so callers (including tests) can observe misuse without aborting.
+// WRSN_ASSERT:  internal invariant; aborts in all build types because a failed
+//   invariant means the library itself is wrong and no recovery is meaningful.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace wrsn {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a configuration struct fails validation.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when the simulation reaches an unrecoverable inconsistent state
+/// caused by caller-provided scenario data (not by a library bug).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line) {
+  std::fprintf(stderr, "%s:%d: internal invariant `%s` violated\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace wrsn
+
+#define WRSN_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::wrsn::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)
+
+#define WRSN_ASSERT(expr)                                         \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::wrsn::detail::assert_failed(#expr, __FILE__, __LINE__);    \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger is a
+// plain global with a level filter; benches set the level to Warn to keep
+// output machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wrsn {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current global level.
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Streams a single log record at `level`; usage: wrsn::log(LogLevel::Info) << ...;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log(LogLevel level) { return LogLine(level); }
+
+}  // namespace wrsn

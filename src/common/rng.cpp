@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace wrsn {
+namespace {
+
+// 64-bit FNV-1a over a byte range; used to mix fork labels into child seeds.
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t basis) {
+  std::uint64_t hash = basis;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// SplitMix64 finalizer; whitens correlated seeds before feeding mt19937_64.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng(splitmix64(fnv1a(label, seed_ ^ 0xcbf29ce484222325ULL)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  WRSN_REQUIRE(lo <= hi, "uniform bounds inverted");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  WRSN_REQUIRE(lo <= hi, "uniform_int bounds inverted");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  WRSN_REQUIRE(sigma >= 0.0, "negative sigma");
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  WRSN_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+}  // namespace wrsn

@@ -1,0 +1,44 @@
+// Physical unit aliases and constants used across the library.
+//
+// The library uses SI units everywhere (seconds, meters, joules, watts,
+// radians).  Aliases exist so signatures document which unit is meant; they
+// are plain doubles and carry no checking.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace wrsn {
+
+using Seconds = double;
+using Meters = double;
+using MetersPerSecond = double;
+using Joules = double;
+using Watts = double;
+using Radians = double;
+using Hertz = double;
+
+namespace constants {
+
+/// Speed of light in vacuum [m/s]; used to derive wavelength from frequency.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Default WPT carrier frequency [Hz] (915 MHz ISM band, the band used by
+/// Powercast-class chargers the WRSN literature builds testbeds with).
+inline constexpr Hertz kDefaultCarrierHz = 915e6;
+
+/// Wavelength of the default carrier [m] (~0.3276 m at 915 MHz).
+inline constexpr Meters kDefaultWavelength = kSpeedOfLight / kDefaultCarrierHz;
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+}  // namespace constants
+
+/// Converts dBm to watts.
+inline Watts dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) / 1000.0; }
+
+/// Converts watts to dBm.  Requires `watts > 0`.
+inline double watts_to_dbm(Watts watts) { return 10.0 * std::log10(watts * 1000.0); }
+
+}  // namespace wrsn

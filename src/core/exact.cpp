@@ -1,0 +1,139 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::csa {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Plan ExactPlanner::plan(const TideInstance& instance, Rng& rng) const {
+  (void)rng;
+  instance.validate();
+  const std::size_t n = instance.stops.size();
+  WRSN_REQUIRE(n <= max_stops_, "instance too large for the exact DP solver");
+  if (n == 0) {
+    Plan plan;
+    plan.completion_time = instance.start_time;
+    return plan;
+  }
+
+  const std::size_t subsets = std::size_t{1} << n;
+  // completion[S * n + l]: earliest completion visiting S, ending at stop l.
+  std::vector<double> completion(subsets * n, kInf);
+  std::vector<std::uint8_t> parent(subsets * n, 0xFF);  // previous last stop
+
+  std::uint32_t key_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (instance.stops[i].is_key) key_mask |= (1u << i);
+  }
+
+  // Base cases: start -> i.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Stop& s = instance.stops[i];
+    const Seconds arrival =
+        instance.start_time +
+        instance.travel_time(instance.start_position, s.position);
+    const Seconds start = std::max(arrival, s.window_open);
+    if (start > s.window_close + kWindowEpsilon) continue;
+    completion[(std::size_t{1} << i) * n + i] = start + s.service_time;
+  }
+
+  // Transitions in increasing subset order.
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    for (std::size_t last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last))) continue;
+      const double done = completion[mask * n + last];
+      if (done == kInf) continue;
+      for (std::size_t next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const Stop& s = instance.stops[next];
+        const Seconds arrival =
+            done + instance.travel_time(instance.stops[last].position,
+                                        s.position);
+        const Seconds start = std::max(arrival, s.window_open);
+        if (start > s.window_close + kWindowEpsilon) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << next);
+        const double value = start + s.service_time;
+        if (value < completion[next_mask * n + next]) {
+          completion[next_mask * n + next] = value;
+          parent[next_mask * n + next] = static_cast<std::uint8_t>(last);
+        }
+      }
+    }
+  }
+
+  // Utility per subset is order-free; pick the best feasible subset,
+  // preferring full key coverage, then utility, then earlier completion.
+  double best_utility = -1.0;
+  std::size_t best_keys = 0;
+  double best_completion = kInf;
+  std::size_t best_mask = 0;
+  std::size_t best_last = 0;
+  bool found = false;
+
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    double min_done = kInf;
+    std::size_t min_last = 0;
+    for (std::size_t last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last))) continue;
+      if (completion[mask * n + last] < min_done) {
+        min_done = completion[mask * n + last];
+        min_last = last;
+      }
+    }
+    if (mask != 0 && min_done == kInf) continue;  // infeasible subset
+
+    double utility = 0.0;
+    std::size_t keys = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask & (std::size_t{1} << i))) continue;
+      if (instance.stops[i].is_key) {
+        ++keys;
+      } else {
+        utility += instance.stops[i].utility;
+      }
+    }
+    const bool better = [&] {
+      if (!found) return true;
+      if (keys != best_keys) return keys > best_keys;
+      if (utility != best_utility) return utility > best_utility;
+      return min_done < best_completion;
+    }();
+    if (better) {
+      found = true;
+      best_utility = utility;
+      best_keys = keys;
+      best_completion = mask == 0 ? instance.start_time : min_done;
+      best_mask = mask;
+      best_last = min_last;
+    }
+    (void)key_mask;
+  }
+  WRSN_ASSERT(found);
+
+  // Reconstruct the visiting order.
+  std::vector<std::size_t> order;
+  std::size_t mask = best_mask;
+  std::size_t last = best_last;
+  while (mask != 0) {
+    order.push_back(last);
+    const std::uint8_t prev = parent[mask * n + last];
+    mask &= ~(std::size_t{1} << last);
+    if (mask == 0) break;
+    WRSN_ASSERT(prev != 0xFF);
+    last = prev;
+  }
+  std::reverse(order.begin(), order.end());
+
+  const auto plan = evaluate_order(instance, order);
+  WRSN_ASSERT(plan.has_value());
+  return *plan;
+}
+
+}  // namespace wrsn::csa

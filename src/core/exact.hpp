@@ -1,0 +1,29 @@
+// Exact TIDE solver (Held-Karp dynamic program over stop subsets with time
+// windows).
+//
+// For every subset S of stops and last stop l, the DP keeps the earliest
+// route completion time of a feasible sequence visiting exactly S and ending
+// at l; earliest completion dominates because waiting is allowed, so one
+// scalar per (S, l) suffices.  The answer is the maximum-utility subset that
+// is feasible and contains every key stop (ties broken by earlier
+// completion).  Exponential in |stops| — intended for the fig8
+// approximation-ratio bench on small instances.
+#pragma once
+
+#include "core/planners.hpp"
+
+namespace wrsn::csa {
+
+/// Exact solver; refuses instances with more than `max_stops` stops
+/// (default 16: ~16 MB of DP state) via PreconditionError.
+class ExactPlanner final : public Planner {
+ public:
+  explicit ExactPlanner(std::size_t max_stops = 16) : max_stops_(max_stops) {}
+  std::string_view name() const override { return "Exact-DP"; }
+  Plan plan(const TideInstance& instance, Rng& rng) const override;
+
+ private:
+  std::size_t max_stops_;
+};
+
+}  // namespace wrsn::csa

@@ -1,0 +1,175 @@
+// The CSA attack orchestrator: a compromised charging service.
+//
+// Outwardly it behaves exactly like the benign ChargerAgent — it answers
+// charging requests, drives the same vehicle, radiates the same power, and
+// keeps the same depot ledger.  Inwardly it runs receding-horizon TIDE
+// planning: at every decision point it snapshots the pending requests plus
+// the *predicted* upcoming requests of its key-node targets (the charging
+// service can predict request times from drain rates and request history),
+// plans a route with the injected Planner, and executes the first leg.  Key
+// targets are "served" with the dual-antenna phase-cancellation payload:
+// full radiated power, zero harvested energy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/planners.hpp"
+#include "mc/charger.hpp"
+#include "sim/world.hpp"
+#include "wpt/spoofing.hpp"
+
+namespace wrsn::csa {
+
+/// How the attacker "serves" its key targets.
+enum class SpoofMode {
+  PhaseCancel,   ///< CSA: dual-antenna destructive interference (stealthy)
+  PartialCancel, ///< CSA extension: leak a calibrated fraction of the
+                 ///< expected energy, defeating single-session audits
+  SilentSkip,    ///< naive: dock but radiate nothing (caught by RSSI checks)
+  NoService,     ///< naive: ignore key requests entirely (caught by audits)
+};
+
+struct AttackParams {
+  mc::ChargerParams charger;
+  net::KeyNodeConfig key_selection;
+  wpt::SpoofingParams spoofing;
+  SpoofMode spoof_mode = SpoofMode::PhaseCancel;
+
+  /// PartialCancel only: fraction of the node's EXPECTED session gain that
+  /// is really delivered.  Must sit above the single-session audit
+  /// threshold (~0.30) to evade it; the leak slows the kill accordingly.
+  double partial_leak_ratio = 0.45;
+
+  /// Safety margin shaved off every escalation deadline when building
+  /// windows, so plan execution jitter cannot trip an escalation.
+  Seconds window_margin = 120.0;
+
+  /// Predicted key-node requests within this horizon enter the plan, letting
+  /// the attacker pre-position for tight windows.
+  Seconds lookahead = 14'400.0;
+
+  /// End of the attack campaign [s].  Target selection is killability-aware:
+  /// a candidate key node is only selected if its predicted request time
+  /// plus the post-spoof exhaustion time fits inside the campaign.
+  Seconds campaign_deadline = 4 * 86'400.0;
+
+  /// Safety factor applied to the campaign deadline during selection.
+  double campaign_slack = 0.95;
+
+  /// Kill pacing (stealth vs the death-rate monitor): a spoof is deferred —
+  /// the key node is served genuinely this round — whenever its predicted
+  /// death would join >= `pace_limit` other kills inside a `pace_window`
+  /// interval.  pace_limit = 0 disables pacing.
+  /// One below the deployed death-rate threshold (5/24 h): margin for a
+  /// surprise background failure landing inside the window.
+  std::size_t pace_limit = 3;
+  /// Slightly wider than the defender's 24 h monitoring window: margin for
+  /// kill-time prediction error (drains rise as the network degrades,
+  /// pulling deaths earlier than predicted at spoof time).
+  Seconds pace_window = 100'000.0;
+
+  /// Offset between a node's rectenna and its communication antenna [m];
+  /// the spoof nulls the field at the rectenna, while the comm antenna
+  /// (where RSSI is measured) still sees a strong carrier.
+  Meters comm_antenna_offset = 0.08;
+
+  /// Return to the depot to recharge below this battery fraction.
+  double battery_reserve_fraction = 0.10;
+
+  /// Nodes this vehicle services; empty = the whole network.  A compromised
+  /// member of a charger fleet can only spoof targets inside its own cell.
+  std::vector<net::NodeId> territory;
+
+  void validate() const;
+};
+
+/// The attack agent; bind one to a world instead of a benign ChargerAgent.
+class AttackAgent {
+ public:
+  AttackAgent(sim::World& world, const AttackParams& params,
+              const Planner& planner, Rng rng);
+
+  AttackAgent(const AttackAgent&) = delete;
+  AttackAgent& operator=(const AttackAgent&) = delete;
+
+  /// Selects key targets from the current routing state, subscribes to world
+  /// events, and begins operating.  Call exactly once before running.
+  void start();
+
+  const std::vector<net::NodeId>& key_targets() const { return key_targets_; }
+  const mc::MobileCharger& charger() const { return mc_; }
+  std::uint64_t genuine_sessions() const { return genuine_sessions_; }
+  std::uint64_t spoofed_sessions() const { return spoofed_sessions_; }
+  std::uint64_t plans_computed() const { return plans_computed_; }
+
+ private:
+  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging };
+
+  bool is_key(net::NodeId id) const {
+    return key_set_.find(id) != key_set_.end();
+  }
+  bool in_territory(net::NodeId id) const {
+    return territory_.empty() || territory_.count(id) > 0;
+  }
+
+  /// True when pacing forbids scheduling another kill around `death_at`.
+  bool kill_paced_out(Seconds death_at) const;
+  /// Decides whether a key node gets spoofed right now or served genuinely
+  /// for cover (kill pacing).
+  bool should_spoof_now(net::NodeId id) const;
+
+  void on_request(net::NodeId id);
+  void on_death(net::NodeId id);
+
+  /// Builds the TIDE snapshot: pending requests + predicted key windows.
+  TideInstance build_instance() const;
+  /// Replans and engages the next leg (idle vehicles only).
+  void replan();
+  void travel_to_node(net::NodeId id);
+  void go_to_depot();
+  void on_arrival(std::uint64_t version);
+  void on_wake(std::uint64_t version);
+  void start_session(net::NodeId id);
+  void end_session(std::uint64_t version);
+
+  sim::World& world_;
+  AttackParams params_;
+  const Planner& planner_;
+  Rng rng_;
+  mc::MobileCharger mc_;
+  std::optional<wpt::SpoofingEmitter> emitter_;
+
+  std::vector<net::NodeId> key_targets_;
+  std::unordered_set<net::NodeId> key_set_;
+  std::unordered_set<net::NodeId> territory_;
+  /// Predicted death times of keys already spoofed plus observed deaths of
+  /// other nodes (kill pacing state).
+  std::vector<Seconds> kill_schedule_;
+  /// Keys already spoof-killed (their deaths are pre-counted predictively).
+  std::unordered_set<net::NodeId> spoof_killed_;
+
+  State state_ = State::Idle;
+  bool started_ = false;
+  net::NodeId target_ = net::kInvalidNode;
+  std::uint64_t event_version_ = 0;
+
+  // Active-session bookkeeping.
+  bool session_spoofed_ = false;
+  Watts session_radiated_power_ = 0.0;
+  Seconds session_start_ = 0.0;
+  Seconds session_genuine_duration_ = 0.0;
+  Watts session_dc_ = 0.0;
+  Watts session_rf_observed_ = 0.0;
+  Watts session_probe_rf_ = 0.0;
+  Meters session_probe_distance_ = 0.0;
+
+  std::uint64_t genuine_sessions_ = 0;
+  std::uint64_t spoofed_sessions_ = 0;
+  std::uint64_t plans_computed_ = 0;
+};
+
+}  // namespace wrsn::csa

@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "net/topology.hpp"
+
+namespace wrsn::csa {
+
+AttackReport build_report(const net::Network& network, const sim::Trace& trace,
+                          std::span<const net::NodeId> keys,
+                          std::span<const detect::SuiteResult> suite_results) {
+  AttackReport report;
+  report.keys_total = keys.size();
+  const std::unordered_set<net::NodeId> key_set(keys.begin(), keys.end());
+
+  const std::optional<detect::Detection> earliest =
+      detect::DetectorSuite::earliest(
+          {suite_results.begin(), suite_results.end()});
+  if (earliest.has_value()) {
+    report.detected = true;
+    report.detection_time = earliest->time;
+    for (const detect::SuiteResult& result : suite_results) {
+      if (result.detection.has_value() &&
+          result.detection->time == earliest->time) {
+        report.detector_name = result.detector;
+        break;
+      }
+    }
+  }
+
+  report.deaths_total = trace.deaths.size();
+  report.escalations = trace.escalations.size();
+
+  // Key deaths and the partition instant (replay deaths chronologically).
+  std::vector<bool> alive(network.size(), true);
+  for (const sim::DeathRecord& death : trace.deaths) {
+    alive[death.node] = false;
+    if (key_set.count(death.node) > 0) {
+      ++report.keys_dead;
+      if (!report.detected || death.time <= report.detection_time) {
+        ++report.keys_dead_before_detection;
+      }
+    }
+    if (!report.partition_time.has_value() &&
+        !net::is_connected(network, alive)) {
+      report.partition_time = death.time;
+    }
+  }
+  if (report.keys_total > 0) {
+    report.exhaustion_ratio =
+        double(report.keys_dead) / double(report.keys_total);
+    report.undetected_exhaustion_ratio =
+        double(report.keys_dead_before_detection) / double(report.keys_total);
+  }
+
+  for (const sim::SessionRecord& session : trace.sessions) {
+    if (session.kind == sim::SessionKind::Spoofed) {
+      ++report.sessions_spoofed;
+      report.spoof_delivered += session.delivered;
+    } else {
+      ++report.sessions_genuine;
+      if (key_set.count(session.node) == 0) {
+        report.utility_delivered += session.delivered;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace wrsn::csa

@@ -1,0 +1,50 @@
+// Post-run attack assessment: turns a trace + key-target set + detector
+// verdicts into the metrics the paper reports (key-node exhaustion ratio,
+// undetected exhaustion, utility, partition time).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "detect/detector.hpp"
+#include "net/network.hpp"
+#include "sim/trace.hpp"
+
+namespace wrsn::csa {
+
+struct AttackReport {
+  std::size_t keys_total = 0;
+  std::size_t keys_dead = 0;
+  /// Key nodes already exhausted when the earliest detector fired (all of
+  /// keys_dead when nothing fired).
+  std::size_t keys_dead_before_detection = 0;
+  double exhaustion_ratio = 0.0;
+  double undetected_exhaustion_ratio = 0.0;
+
+  bool detected = false;
+  Seconds detection_time = 0.0;
+  std::string detector_name;
+
+  /// Genuine energy delivered to non-key nodes [J] — the "charging utility"
+  /// the attacker maintains for cover.
+  Joules utility_delivered = 0.0;
+  /// Ground-truth energy delivered during spoofed sessions [J] (~0).
+  Joules spoof_delivered = 0.0;
+
+  std::size_t deaths_total = 0;
+  std::size_t escalations = 0;
+  std::size_t sessions_genuine = 0;
+  std::size_t sessions_spoofed = 0;
+
+  /// First time the alive network became disconnected from the sink;
+  /// nullopt if it never partitioned within the trace.
+  std::optional<Seconds> partition_time;
+};
+
+/// Builds the report.  `suite_results` may be empty (no detectors deployed).
+AttackReport build_report(const net::Network& network, const sim::Trace& trace,
+                          std::span<const net::NodeId> keys,
+                          std::span<const detect::SuiteResult> suite_results);
+
+}  // namespace wrsn::csa

@@ -1,0 +1,123 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace wrsn::csa::theory {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// P[X >= k] for X ~ Poisson(lambda), summed from the complement.
+double poisson_tail(double lambda, std::size_t k) {
+  if (k == 0) return 1.0;
+  double term = std::exp(-lambda);
+  double below = term;  // P[X = 0]
+  for (std::size_t i = 1; i < k; ++i) {
+    term *= lambda / double(i);
+    below += term;
+  }
+  return std::max(0.0, 1.0 - below);
+}
+
+}  // namespace
+
+Seconds kill_time(Joules level, Watts drain) {
+  WRSN_REQUIRE(level >= 0.0, "negative level");
+  if (drain <= 0.0) return kInf;
+  return level / drain;
+}
+
+Seconds request_cycle(Joules capacity, double target_fraction,
+                      double threshold_fraction, Watts drain) {
+  WRSN_REQUIRE(capacity > 0.0, "capacity must be positive");
+  WRSN_REQUIRE(target_fraction > threshold_fraction,
+               "target must exceed threshold");
+  if (drain <= 0.0) return kInf;
+  return (target_fraction - threshold_fraction) * capacity / drain;
+}
+
+Seconds window_close(Seconds request_time, Seconds patience, Seconds margin) {
+  WRSN_REQUIRE(patience > 0.0, "patience must be positive");
+  WRSN_REQUIRE(margin >= 0.0, "negative margin");
+  return std::max(request_time, request_time + patience - margin);
+}
+
+bool killable_within(Seconds predicted_request, Seconds patience,
+                     Joules level_at_spoof, Watts drain, Seconds deadline) {
+  if (!std::isfinite(predicted_request)) return false;
+  const Seconds kt = kill_time(level_at_spoof, drain);
+  if (!std::isfinite(kt)) return false;
+  return predicted_request + patience + kt <= deadline;
+}
+
+std::size_t max_paced_kills(Seconds campaign, std::size_t pace_limit,
+                            Seconds pace_window) {
+  WRSN_REQUIRE(campaign >= 0.0, "negative campaign");
+  if (pace_limit == 0) return std::numeric_limits<std::size_t>::max();
+  WRSN_REQUIRE(pace_window > 0.0, "pace_window must be positive");
+  // `pace_limit` kills may land instantaneously at t = 0; each further
+  // batch of `pace_limit` requires the window to slide past the previous
+  // batch entirely.
+  const auto batches =
+      static_cast<std::size_t>(std::floor(campaign / pace_window)) + 1;
+  return batches * pace_limit;
+}
+
+double detection_risk_bound(double failure_rate, Seconds mission,
+                            Seconds window, std::size_t threshold,
+                            std::size_t pace_limit) {
+  WRSN_REQUIRE(failure_rate >= 0.0, "negative failure rate");
+  WRSN_REQUIRE(window > 0.0 && mission >= 0.0, "bad horizon");
+  if (threshold <= pace_limit) return 1.0;  // the attacker alone trips it
+  const std::size_t needed = threshold - pace_limit;
+  const double lambda = failure_rate * window;
+  // Union bound over overlapping windows: ~2 * mission / window shifted
+  // half-window starts dominate all window positions.
+  const double windows = std::max(1.0, 2.0 * mission / window);
+  return std::min(1.0, windows * poisson_tail(lambda, needed));
+}
+
+double greedy_utility_floor() { return 0.5 * (1.0 - 1.0 / std::exp(1.0)); }
+
+Seconds key_coverage_makespan_bound(const TideInstance& instance) {
+  Seconds best_single = instance.start_time;
+  Seconds total_service = 0.0;
+  for (const Stop& stop : instance.stops) {
+    if (!stop.is_key) continue;
+    const Seconds direct_arrival =
+        instance.start_time +
+        instance.travel_time(instance.start_position, stop.position);
+    const Seconds earliest_end =
+        std::max(direct_arrival, stop.window_open) + stop.service_time;
+    best_single = std::max(best_single, earliest_end);
+    total_service += stop.service_time;
+  }
+  return std::max(best_single, instance.start_time + total_service);
+}
+
+bool edf_necessary_condition(const TideInstance& instance) {
+  std::vector<const Stop*> keys;
+  for (const Stop& stop : instance.stops) {
+    if (stop.is_key) keys.push_back(&stop);
+  }
+  std::sort(keys.begin(), keys.end(), [](const Stop* a, const Stop* b) {
+    return a->window_close < b->window_close;
+  });
+  // Ignoring travel (a relaxation), serving in EDF order each key's
+  // service must START by its deadline given all earlier keys' service
+  // time and release constraints.
+  Seconds clock = instance.start_time;
+  for (const Stop* key : keys) {
+    clock = std::max(clock, key->window_open);
+    if (clock > key->window_close) return false;
+    clock += key->service_time;
+  }
+  return true;
+}
+
+}  // namespace wrsn::csa::theory

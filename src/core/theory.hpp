@@ -1,0 +1,68 @@
+// Closed-form analyses of the Charging Spoofing Attack — the quantities the
+// attacker plans with and the bounds the evaluation verifies empirically.
+//
+// Everything here is pure arithmetic over the model parameters; the theory
+// tests check that the simulator agrees with each formula, and fig5/fig6
+// check the bounds against measured outcomes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/units.hpp"
+#include "core/tide.hpp"
+
+namespace wrsn::csa::theory {
+
+/// Time for a node at `level` joules draining at `drain` watts to exhaust,
+/// assuming no further (real) charge arrives.  +inf when drain <= 0.
+Seconds kill_time(Joules level, Watts drain);
+
+/// The believed-level cycle: time between a service filling the node's
+/// belief to `target_fraction` and its next request at `threshold_fraction`.
+Seconds request_cycle(Joules capacity, double target_fraction,
+                      double threshold_fraction, Watts drain);
+
+/// Latest time the attacker may begin the spoofed session for a request
+/// issued at `request_time` under base-station patience `patience` and the
+/// planner's safety `margin`.
+Seconds window_close(Seconds request_time, Seconds patience, Seconds margin);
+
+/// Whether a node is exhaustible inside a campaign: predicted request plus
+/// patience plus kill time must fit before `deadline`.
+bool killable_within(Seconds predicted_request, Seconds patience,
+                     Joules level_at_spoof, Watts drain, Seconds deadline);
+
+/// Maximum number of kills a campaign of length `campaign` can schedule
+/// while never exceeding `pace_limit` deaths per `pace_window` trailing
+/// window (the stealth throughput of the attack).
+std::size_t max_paced_kills(Seconds campaign, std::size_t pace_limit,
+                            Seconds pace_window);
+
+/// Upper bound on the probability that background hardware failures alone
+/// push a window over the death-rate threshold somewhere in the mission:
+/// a union bound over ~mission/window disjoint windows of the Poisson tail
+/// P[X >= threshold - pace_limit] with X ~ Poisson(rate * window).
+/// `failure_rate` is fleet-wide failures per second.
+double detection_risk_bound(double failure_rate, Seconds mission,
+                            Seconds window, std::size_t threshold,
+                            std::size_t pace_limit);
+
+/// The documented approximation floor of the cost-benefit greedy fill:
+/// 1/2 * (1 - 1/e).  The fig8 bench measures the (much better) empirical
+/// ratio; this is the analytical guarantee the planner's phase 2 inherits
+/// from monotone-submodular maximization under a routing budget.
+double greedy_utility_floor();
+
+/// Lower bound on the completion time of any plan covering all key stops
+/// of `instance`: max over keys of (earliest physically possible service
+/// end), combined with the total service time of all keys.  Used by tests
+/// as a sanity floor for every planner.
+Seconds key_coverage_makespan_bound(const TideInstance& instance);
+
+/// EDF feasibility necessary condition: processing keys in deadline order,
+/// the cumulative minimum service time by each deadline must fit.  If this
+/// returns false, NO plan covers all keys (travel only makes it worse).
+bool edf_necessary_condition(const TideInstance& instance);
+
+}  // namespace wrsn::csa::theory

@@ -1,0 +1,45 @@
+#include "detect/audit_planner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace wrsn::detect {
+
+std::vector<net::NodeId> select_audit_nodes(const net::Network& network,
+                                            const net::TrafficLoads& loads,
+                                            std::size_t budget,
+                                            AuditPlacement placement,
+                                            Rng& rng) {
+  budget = std::min(budget, network.size());
+  if (budget == 0) return {};
+
+  switch (placement) {
+    case AuditPlacement::KeyRanked: {
+      // Exactly the attacker's target ranking: cut vertices first (by
+      // disconnect impact), then traffic.
+      net::KeyNodeConfig cfg;
+      cfg.rule = net::KeyNodeRule::Hybrid;
+      cfg.max_count = budget;
+      cfg.min_disconnect = 1;
+      return net::select_key_nodes(network, loads, cfg);
+    }
+    case AuditPlacement::TopTraffic: {
+      net::KeyNodeConfig cfg;
+      cfg.rule = net::KeyNodeRule::TopTraffic;
+      cfg.max_count = budget;
+      return net::select_key_nodes(network, loads, cfg);
+    }
+    case AuditPlacement::Random: {
+      std::vector<net::NodeId> all(network.size());
+      for (net::NodeId id = 0; id < network.size(); ++id) all[id] = id;
+      rng.shuffle(all);
+      all.resize(budget);
+      return all;
+    }
+  }
+  WRSN_ASSERT(false);
+  return {};
+}
+
+}  // namespace wrsn::detect

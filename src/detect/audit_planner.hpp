@@ -1,0 +1,34 @@
+// Defense planning: placing a limited budget of coulomb-counter audits.
+//
+// Metering every node defeats the Charging Spoofing Attack (fig6), but the
+// hardware costs real money.  The defender's edge is symmetry: the attacker
+// targets structurally important nodes, and the defender can run the exact
+// same key-node analysis to decide which nodes to meter.  This module
+// selects audit placements under a budget and plugs them into the metered
+// detectors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/keynodes.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::detect {
+
+/// Placement strategies compared by the fig11 bench.
+enum class AuditPlacement {
+  KeyRanked,   ///< meter the key-node ranking head (mirror the attacker)
+  TopTraffic,  ///< meter the highest-traffic nodes
+  Random,      ///< meter uniformly random nodes
+};
+
+/// Picks up to `budget` nodes to equip with coulomb counters.
+std::vector<net::NodeId> select_audit_nodes(const net::Network& network,
+                                            const net::TrafficLoads& loads,
+                                            std::size_t budget,
+                                            AuditPlacement placement,
+                                            Rng& rng);
+
+}  // namespace wrsn::detect

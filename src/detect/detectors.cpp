@@ -1,0 +1,263 @@
+#include "detect/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace wrsn::detect {
+namespace {
+
+/// Deterministic per-(seed, node) uniform draw; used to pick which nodes
+/// carry audit hardware so results are reproducible across detectors.
+double node_uniform(std::uint64_t seed, net::NodeId node,
+                    std::string_view purpose) {
+  Rng rng(seed);
+  return rng.fork(purpose).fork(std::to_string(node)).uniform();
+}
+
+/// Deterministic per-(seed, session-index) gauge noise draw.
+double session_noise(const DetectorContext& ctx, std::size_t session_index,
+                     Joules capacity) {
+  Rng rng(ctx.noise_seed);
+  return rng.fork("soc-noise")
+      .fork(std::to_string(session_index))
+      .normal(0.0, ctx.soc_noise_fraction * capacity);
+}
+
+bool node_audited(bool use_set, const std::set<net::NodeId>& audited,
+                  double fraction, std::uint64_t seed, net::NodeId node) {
+  if (use_set) return audited.count(node) > 0;
+  return node_uniform(seed, node, "coulomb-equip") < fraction;
+}
+
+}  // namespace
+
+void DetectorSuite::add(std::unique_ptr<Detector> detector) {
+  WRSN_REQUIRE(detector != nullptr, "null detector");
+  detectors_.push_back(std::move(detector));
+}
+
+std::vector<SuiteResult> DetectorSuite::run(const sim::Trace& trace,
+                                            const DetectorContext& ctx) const {
+  std::vector<SuiteResult> results;
+  results.reserve(detectors_.size());
+  for (const auto& detector : detectors_) {
+    results.push_back(
+        {std::string(detector->name()), detector->analyze(trace, ctx)});
+  }
+  return results;
+}
+
+std::optional<Detection> DetectorSuite::earliest(
+    const std::vector<SuiteResult>& results) {
+  std::optional<Detection> best;
+  for (const SuiteResult& result : results) {
+    if (!result.detection.has_value()) continue;
+    if (!best.has_value() || result.detection->time < best->time) {
+      best = result.detection;
+    }
+  }
+  return best;
+}
+
+std::optional<Detection> RssiPresenceDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.charging_model != nullptr, "context missing charging model");
+  const Watts nominal_rf = ctx.charging_model->rf_at_distance(
+      ctx.charging_model->params().dock_distance);
+  for (const sim::SessionRecord& s : trace.sessions) {
+    if (s.rf_observed < rssi_fraction_ * nominal_rf) {
+      return Detection{s.end, s.node,
+                       "no carrier observed during claimed charging session"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> NeighborVotingDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.charging_model != nullptr, "context missing charging model");
+  std::size_t votes = 0;
+  for (const sim::SessionRecord& s : trace.sessions) {
+    if (!(s.nearest_probe_distance <= probe_range_)) continue;  // inf-safe
+    const Watts expected =
+        ctx.charging_model->rf_at_distance(s.nearest_probe_distance);
+    if (expected <= 0.0) continue;
+    if (s.rf_neighbor_probe < expected_fraction_ * expected) {
+      ++votes;
+      if (votes >= votes_to_fire_) {
+        return Detection{s.end, s.node,
+                         "neighbours report missing charger field"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> ServiceAuditDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  (void)ctx;
+  std::optional<Detection> best;
+  const auto consider = [&best](Seconds time, net::NodeId node,
+                                std::string reason) {
+    if (!best.has_value() || time < best->time) {
+      best = Detection{time, node, std::move(reason)};
+    }
+  };
+
+  if (trace.escalations.size() >= escalation_limit_) {
+    const sim::EscalationRecord& e = trace.escalations[escalation_limit_ - 1];
+    consider(e.time, e.node, "escalation count exceeds calibrated budget");
+  }
+  // A single died-while-waiting event is ambiguous (a hardware failure can
+  // strike a queued node); repeated ones implicate the charging service.
+  std::size_t died_waiting = 0;
+  for (const sim::DeathRecord& d : trace.deaths) {
+    if (d.request_outstanding && ++died_waiting >= died_waiting_limit_) {
+      consider(d.time, d.node, "nodes keep dying with requests outstanding");
+      break;  // deaths are time-ordered
+    }
+  }
+  std::map<net::NodeId, std::size_t> emergency_counts;
+  for (const sim::RequestRecord& r : trace.requests) {
+    if (!r.emergency) continue;
+    if (++emergency_counts[r.node] >= emergency_limit_) {
+      consider(r.time, r.node, "repeated emergency requests from one node");
+      break;  // requests are time-ordered; first node to hit limit is earliest
+    }
+  }
+  return best;
+}
+
+std::optional<Detection> DeathRateDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  (void)ctx;
+  std::deque<Seconds> window_deaths;
+  for (const sim::DeathRecord& d : trace.deaths) {
+    window_deaths.push_back(d.time);
+    while (!window_deaths.empty() && window_deaths.front() < d.time - window_) {
+      window_deaths.pop_front();
+    }
+    if (window_deaths.size() >= death_threshold_) {
+      return Detection{d.time, d.node, "death rate exceeds calibrated bound"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> EnergyDeltaDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
+  for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
+    const sim::SessionRecord& s = trace.sessions[i];
+    if (s.expected_gain < min_expected_) continue;
+    if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
+                      s.node)) {
+      continue;
+    }
+    const Joules capacity = ctx.network->node(s.node).battery_capacity;
+    const Joules measured =
+        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+    if (measured / s.expected_gain < ratio_threshold_) {
+      return Detection{s.end, s.node,
+                       "metered harvest far below session expectation"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> CusumShortfallDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
+  // Expectations are fleet-calibrated: benign measured/expected averages 1
+  // with standard deviation ~= the benign gain CV.
+  const double sigma = std::max(1e-9, ctx.benign_gain_cv);
+  std::map<net::NodeId, double> stat;
+  for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
+    const sim::SessionRecord& s = trace.sessions[i];
+    if (s.expected_gain <= 0.0) continue;
+    if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
+                      s.node)) {
+      continue;
+    }
+    const Joules capacity = ctx.network->node(s.node).battery_capacity;
+    const Joules measured =
+        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+    const double ratio = measured / s.expected_gain;
+    double& value = stat[s.node];
+    value = std::max(0.0, value + (1.0 - ratio) / sigma - k_);
+    if (value > h_) {
+      return Detection{s.end, s.node,
+                       "sequential harvest shortfall exceeds CUSUM bound"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> FleetCusumDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
+  const double sigma = std::max(1e-9, ctx.benign_gain_cv);
+  double stat = 0.0;
+  for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
+    const sim::SessionRecord& s = trace.sessions[i];
+    if (s.expected_gain <= 0.0) continue;
+    if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
+                      s.node)) {
+      continue;
+    }
+    const Joules capacity = ctx.network->node(s.node).battery_capacity;
+    const Joules measured =
+        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+    const double ratio = measured / s.expected_gain;
+    stat = std::max(0.0, stat + (1.0 - ratio) / sigma - k_);
+    if (stat > h_) {
+      return Detection{s.end, net::kInvalidNode,
+                       "fleet-wide harvest shortfall exceeds CUSUM bound"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t calibrated_death_threshold(double expected_deaths_per_window) {
+  WRSN_REQUIRE(expected_deaths_per_window >= 0.0, "negative rate");
+  const double bound = expected_deaths_per_window +
+                       3.0 * std::sqrt(expected_deaths_per_window) + 1.0;
+  return std::max<std::size_t>(5, static_cast<std::size_t>(std::ceil(bound)));
+}
+
+SuiteCalibration SuiteCalibration::for_deployment(
+    std::size_t node_count, double expected_deaths_per_window) {
+  SuiteCalibration cal;
+  cal.death_threshold = calibrated_death_threshold(expected_deaths_per_window);
+  // Escalation counts and died-while-waiting incidents both scale with the
+  // number of sessions a mission generates, i.e. with node count.
+  cal.escalation_limit = std::max<std::size_t>(8, node_count / 12);
+  cal.died_waiting_limit = std::max<std::size_t>(2, 1 + node_count / 150);
+  return cal;
+}
+
+DetectorSuite make_deployed_suite(const SuiteCalibration& cal) {
+  DetectorSuite suite;
+  suite.add(std::make_unique<RssiPresenceDetector>());
+  suite.add(std::make_unique<NeighborVotingDetector>());
+  suite.add(std::make_unique<ServiceAuditDetector>(cal.escalation_limit, 3,
+                                                   cal.died_waiting_limit));
+  suite.add(std::make_unique<DeathRateDetector>(cal.death_threshold));
+  return suite;
+}
+
+DetectorSuite make_hardened_suite(const SuiteCalibration& cal) {
+  DetectorSuite suite = make_deployed_suite(cal);
+  suite.add(std::make_unique<EnergyDeltaDetector>());
+  suite.add(std::make_unique<CusumShortfallDetector>());
+  suite.add(std::make_unique<FleetCusumDetector>());
+  return suite;
+}
+
+}  // namespace wrsn::detect

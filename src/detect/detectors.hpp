@@ -1,0 +1,222 @@
+// The deployable-defense catalogue.
+//
+// Node-side physical checks:
+//   RssiPresenceDetector   — "is a carrier present while I'm being charged?"
+//   NeighborVotingDetector — "do my neighbours also see the charger's field?"
+// Base-station service audits:
+//   ServiceAuditDetector   — escalations, deaths-while-begging, repeated
+//                            emergency requests
+//   DeathRateDetector      — too many deaths inside a sliding window
+// Metered-node defenses (require coulomb-counter hardware):
+//   EnergyDeltaDetector    — single-session delivered-vs-expected test
+//   CusumShortfallDetector — sequential per-node shortfall accumulation
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "detect/detector.hpp"
+
+namespace wrsn::detect {
+
+/// Node-side RSSI check during sessions: fires when the observed carrier
+/// power falls below `rssi_fraction` of the nominal docked RF.  CSA leaves a
+/// strong carrier at the communication antenna, so this is evaded by design;
+/// it catches chargers that merely pretend (no radiation).
+class RssiPresenceDetector final : public Detector {
+ public:
+  explicit RssiPresenceDetector(double rssi_fraction = 0.05)
+      : rssi_fraction_(rssi_fraction) {}
+  std::string_view name() const override { return "rssi-presence"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  double rssi_fraction_;
+};
+
+/// Neighbourhood cross-check: a neighbour within `probe_range` of a charging
+/// session probes the RF field and votes "anomalous" when it measures less
+/// than `expected_fraction` of the field the benign model predicts at its
+/// distance; `votes_to_fire` anomalies trigger detection.  Vacuous in sparse
+/// deployments (no neighbour inside RF range) — quantified by the fig6 bench.
+class NeighborVotingDetector final : public Detector {
+ public:
+  NeighborVotingDetector(Meters probe_range = 8.0,
+                         double expected_fraction = 0.25,
+                         std::size_t votes_to_fire = 2)
+      : probe_range_(probe_range),
+        expected_fraction_(expected_fraction),
+        votes_to_fire_(votes_to_fire) {}
+  std::string_view name() const override { return "neighbor-voting"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  Meters probe_range_;
+  double expected_fraction_;
+  std::size_t votes_to_fire_;
+};
+
+/// Base-station service audit: fires when escalations (requests unserved
+/// past patience) exceed a budget calibrated on honest-but-queued service
+/// (benign runs produce a handful from queueing tails), on any node that
+/// dies with a request outstanding (honest service never lets that happen),
+/// or on `emergency_limit` emergency requests from one node.
+class ServiceAuditDetector final : public Detector {
+ public:
+  explicit ServiceAuditDetector(std::size_t escalation_limit = 8,
+                                std::size_t emergency_limit = 3,
+                                std::size_t died_waiting_limit = 2)
+      : escalation_limit_(escalation_limit),
+        emergency_limit_(emergency_limit),
+        died_waiting_limit_(died_waiting_limit) {}
+  std::string_view name() const override { return "service-audit"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  std::size_t escalation_limit_;
+  std::size_t emergency_limit_;
+  std::size_t died_waiting_limit_;
+};
+
+/// Death-rate anomaly: fires when `death_threshold` nodes die within any
+/// `window` seconds.  The threshold must be calibrated against the benign
+/// death rate (an honest but overloaded charger also loses nodes).
+class DeathRateDetector final : public Detector {
+ public:
+  DeathRateDetector(std::size_t death_threshold = 5,
+                    Seconds window = 86'400.0)
+      : death_threshold_(death_threshold), window_(window) {}
+  std::string_view name() const override { return "death-rate"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  std::size_t death_threshold_;
+  Seconds window_;
+};
+
+/// Coulomb-counter single-session audit (hardware defense): nodes measuring
+/// harvested energy compare it with the fleet-calibrated expectation
+/// (measured/expected averages 1.0 on honest sessions); fires when
+/// measured/expected < `ratio_threshold` on a session with expected gain of
+/// at least `min_expected`.  `audit_fraction` of nodes carry the hardware
+/// (selected deterministically).  The default threshold sits ~3.5 sigma
+/// below the benign ratio distribution, for a per-session false-positive
+/// rate of ~2e-4.
+class EnergyDeltaDetector final : public Detector {
+ public:
+  EnergyDeltaDetector(double audit_fraction = 1.0,
+                      double ratio_threshold = 0.30,
+                      Joules min_expected = 500.0)
+      : audit_fraction_(audit_fraction),
+        ratio_threshold_(ratio_threshold),
+        min_expected_(min_expected) {}
+  /// Budgeted deployment: only the listed nodes carry meters
+  /// (see detect/audit_planner.hpp for placement strategies).
+  EnergyDeltaDetector(std::vector<net::NodeId> audited,
+                      double ratio_threshold = 0.30,
+                      Joules min_expected = 500.0)
+      : audit_fraction_(0.0),
+        audited_(audited.begin(), audited.end()),
+        use_set_(true),
+        ratio_threshold_(ratio_threshold),
+        min_expected_(min_expected) {}
+  std::string_view name() const override { return "energy-delta"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  double audit_fraction_;
+  std::set<net::NodeId> audited_;
+  bool use_set_ = false;
+  double ratio_threshold_;
+  Joules min_expected_;
+};
+
+/// Sequential CUSUM on per-node session shortfalls (hardware defense):
+/// accumulates standardized negative deviations of measured/expected from
+/// the benign mean and fires when the statistic exceeds `h`.
+class CusumShortfallDetector final : public Detector {
+ public:
+  CusumShortfallDetector(double audit_fraction = 1.0, double k = 0.5,
+                         double h = 4.0)
+      : audit_fraction_(audit_fraction), k_(k), h_(h) {}
+  /// Budgeted deployment over an explicit metered-node set.
+  CusumShortfallDetector(std::vector<net::NodeId> audited, double k = 0.5,
+                         double h = 4.0)
+      : audit_fraction_(0.0),
+        audited_(audited.begin(), audited.end()),
+        use_set_(true),
+        k_(k),
+        h_(h) {}
+  std::string_view name() const override { return "cusum-shortfall"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  double audit_fraction_;
+  std::set<net::NodeId> audited_;
+  bool use_set_ = false;
+  double k_;
+  double h_;
+};
+
+/// Fleet-level sequential audit (hardware defense): one CUSUM over ALL
+/// metered sessions in time order, regardless of node.  This is the only
+/// sequential test that catches an attacker who short-changes each victim
+/// exactly once (per-node statistics never accumulate), at the cost of a
+/// larger benign sample to stay calibrated against.
+class FleetCusumDetector final : public Detector {
+ public:
+  FleetCusumDetector(double audit_fraction = 1.0, double k = 0.5,
+                     double h = 8.0)
+      : audit_fraction_(audit_fraction), k_(k), h_(h) {}
+  /// Budgeted deployment over an explicit metered-node set.
+  FleetCusumDetector(std::vector<net::NodeId> audited, double k = 0.5,
+                     double h = 8.0)
+      : audit_fraction_(0.0),
+        audited_(audited.begin(), audited.end()),
+        use_set_(true),
+        k_(k),
+        h_(h) {}
+  std::string_view name() const override { return "fleet-cusum"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  double audit_fraction_;
+  std::set<net::NodeId> audited_;
+  bool use_set_ = false;
+  double k_;
+  double h_;
+};
+
+/// Death-rate threshold a defender calibrates against the fleet's known
+/// background failure rate: mean + 3 sigma of the Poisson count per window,
+/// plus one, floored at 5 (the small-fleet default).
+std::size_t calibrated_death_threshold(double expected_deaths_per_window);
+
+/// Audit thresholds a defender tunes to the deployment's benign profile
+/// (all of them scale with fleet size; the defaults fit ~100 nodes).
+struct SuiteCalibration {
+  std::size_t death_threshold = 5;
+  std::size_t escalation_limit = 8;
+  std::size_t died_waiting_limit = 2;
+
+  /// Scales the audit budgets for a deployment of `node_count` nodes with
+  /// the given expected background deaths per monitoring window.
+  static SuiteCalibration for_deployment(std::size_t node_count,
+                                         double expected_deaths_per_window);
+};
+
+/// The standard deployed suite (everything except the metered-node hardware
+/// defenses, which the evaluation enables separately).
+DetectorSuite make_deployed_suite(const SuiteCalibration& cal = {});
+
+/// The full suite including coulomb-counter defenses on every node.
+DetectorSuite make_hardened_suite(const SuiteCalibration& cal = {});
+
+}  // namespace wrsn::detect

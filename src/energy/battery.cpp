@@ -1,0 +1,44 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::energy {
+
+Battery::Battery(Joules capacity) : Battery(capacity, capacity) {}
+
+Battery::Battery(Joules capacity, Joules level)
+    : capacity_(capacity), level_(level) {
+  WRSN_REQUIRE(capacity > 0.0, "battery capacity must be positive");
+  WRSN_REQUIRE(level >= 0.0 && level <= capacity,
+               "initial level outside [0, capacity]");
+}
+
+Joules Battery::charge(Joules amount) {
+  WRSN_REQUIRE(amount >= 0.0, "cannot charge a negative amount");
+  const Joules stored = std::min(amount, headroom());
+  level_ += stored;
+  return stored;
+}
+
+Joules Battery::discharge(Joules amount) {
+  WRSN_REQUIRE(amount >= 0.0, "cannot discharge a negative amount");
+  const Joules drawn = std::min(amount, level_);
+  level_ -= drawn;
+  return drawn;
+}
+
+Seconds Battery::time_to_empty(Watts drain) const {
+  if (drain <= 0.0) return std::numeric_limits<double>::infinity();
+  return level_ / drain;
+}
+
+Seconds Battery::time_to_threshold(Joules threshold, Watts drain) const {
+  if (level_ <= threshold) return 0.0;
+  if (drain <= 0.0) return std::numeric_limits<double>::infinity();
+  return (level_ - threshold) / drain;
+}
+
+}  // namespace wrsn::energy

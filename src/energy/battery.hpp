@@ -1,0 +1,44 @@
+// Sensor node battery model with clamped charge/discharge semantics.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace wrsn::energy {
+
+/// A rechargeable battery.  Levels are clamped to [0, capacity]; the battery
+/// never goes negative and never overcharges.
+class Battery {
+ public:
+  /// Constructs a battery with `capacity` joules, initially at `level`
+  /// (defaults to full).  Requires capacity > 0 and 0 <= level <= capacity.
+  explicit Battery(Joules capacity);
+  Battery(Joules capacity, Joules level);
+
+  /// Adds `amount` joules (>= 0); returns the energy actually stored
+  /// (may be less than `amount` if the battery tops out).
+  Joules charge(Joules amount);
+
+  /// Removes `amount` joules (>= 0); returns the energy actually drawn
+  /// (may be less than `amount` if the battery empties).
+  Joules discharge(Joules amount);
+
+  Joules level() const { return level_; }
+  Joules capacity() const { return capacity_; }
+  Joules headroom() const { return capacity_ - level_; }
+  double fraction() const { return level_ / capacity_; }
+  bool depleted() const { return level_ <= 0.0; }
+
+  /// Time to drain from the current level at constant `drain` watts;
+  /// +infinity if drain <= 0.
+  Seconds time_to_empty(Watts drain) const;
+
+  /// Time until the level crosses below `threshold` at constant `drain`
+  /// watts; 0 if already below, +infinity if drain <= 0.
+  Seconds time_to_threshold(Joules threshold, Watts drain) const;
+
+ private:
+  Joules capacity_;
+  Joules level_;
+};
+
+}  // namespace wrsn::energy

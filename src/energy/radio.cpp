@@ -1,0 +1,33 @@
+#include "energy/radio.hpp"
+
+#include "common/check.hpp"
+
+namespace wrsn::energy {
+
+void RadioParams::validate() const {
+  if (e_elec <= 0.0) throw ConfigError("e_elec must be > 0");
+  if (e_amp <= 0.0) throw ConfigError("e_amp must be > 0");
+}
+
+RadioModel::RadioModel(const RadioParams& params) : params_(params) {
+  params_.validate();
+}
+
+Joules RadioModel::tx_energy(double bits, Meters distance) const {
+  WRSN_REQUIRE(bits >= 0.0, "negative bit count");
+  WRSN_REQUIRE(distance >= 0.0, "negative distance");
+  return params_.e_elec * bits + params_.e_amp * bits * distance * distance;
+}
+
+Joules RadioModel::rx_energy(double bits) const {
+  WRSN_REQUIRE(bits >= 0.0, "negative bit count");
+  return params_.e_elec * bits;
+}
+
+Watts RadioModel::tx_power(double bps, Meters distance) const {
+  return tx_energy(bps, distance);
+}
+
+Watts RadioModel::rx_power(double bps) const { return rx_energy(bps); }
+
+}  // namespace wrsn::energy

@@ -1,0 +1,47 @@
+// First-order radio energy model (Heinzelman et al.), the standard model the
+// WRSN literature computes node drain rates with.
+//
+//   E_tx(k bits, d) = e_elec * k + e_amp * k * d^2
+//   E_rx(k bits)    = e_elec * k
+#pragma once
+
+#include "common/units.hpp"
+
+namespace wrsn::energy {
+
+/// Parameters of the first-order radio model.
+struct RadioParams {
+  /// Electronics energy per bit [J/bit] (50 nJ/bit).
+  double e_elec = 50e-9;
+
+  /// Amplifier energy per bit per m^2 [J/bit/m^2] (100 pJ/bit/m^2).
+  double e_amp = 100e-12;
+
+  void validate() const;
+};
+
+/// Stateless first-order radio energy model.
+class RadioModel {
+ public:
+  RadioModel() : RadioModel(RadioParams{}) {}
+  explicit RadioModel(const RadioParams& params);
+
+  /// Energy to transmit `bits` over `distance` meters.
+  Joules tx_energy(double bits, Meters distance) const;
+
+  /// Energy to receive `bits`.
+  Joules rx_energy(double bits) const;
+
+  /// Steady-state transmit power at `bps` bits/s over `distance` meters.
+  Watts tx_power(double bps, Meters distance) const;
+
+  /// Steady-state receive power at `bps` bits/s.
+  Watts rx_power(double bps) const;
+
+  const RadioParams& params() const { return params_; }
+
+ private:
+  RadioParams params_;
+};
+
+}  // namespace wrsn::energy

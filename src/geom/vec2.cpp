@@ -1,0 +1,16 @@
+#include "geom/vec2.hpp"
+
+#include <algorithm>
+
+namespace wrsn::geom {
+
+Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return a + (b - a) * t;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+}  // namespace wrsn::geom

@@ -1,0 +1,64 @@
+// 2-D vector math for node positions and charger motion.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+#include "common/units.hpp"
+
+namespace wrsn::geom {
+
+/// Planar point/vector in meters.
+struct Vec2 {
+  Meters x = 0.0;
+  Meters y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(Meters x_in, Meters y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(Vec2 rhs) const { return {x + rhs.x, y + rhs.y}; }
+  constexpr Vec2 operator-(Vec2 rhs) const { return {x - rhs.x, y - rhs.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 rhs) {
+    x += rhs.x;
+    y += rhs.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 rhs) const { return x * rhs.x + y * rhs.y; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+
+  /// Unit vector in this direction; returns (0,0) for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline Meters distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Linear interpolation from `a` to `b`; t is clamped to [0, 1].
+Vec2 lerp(Vec2 a, Vec2 b, double t);
+
+/// Axis-aligned rectangle, used as the deployment region.
+struct Rect {
+  Vec2 lo;  ///< minimum-coordinate corner
+  Vec2 hi;  ///< maximum-coordinate corner
+
+  constexpr Meters width() const { return hi.x - lo.x; }
+  constexpr Meters height() const { return hi.y - lo.y; }
+  constexpr Vec2 center() const { return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace wrsn::geom

@@ -1,0 +1,334 @@
+#include "mc/agent.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "mc/tsp.hpp"
+
+namespace wrsn::mc {
+
+void AgentParams::validate() const {
+  charger.validate();
+  if (battery_reserve_fraction < 0.0 || battery_reserve_fraction >= 1.0) {
+    throw ConfigError("battery_reserve_fraction must be in [0, 1)");
+  }
+  if (tour_batch == 0) throw ConfigError("tour_batch must be >= 1");
+  if (tour_max_wait < 0.0) throw ConfigError("tour_max_wait < 0");
+}
+
+ChargerAgent::ChargerAgent(sim::World& world, const AgentParams& params)
+    : world_(world),
+      params_(params),
+      territory_(params.territory.begin(), params.territory.end()),
+      mc_(params.charger) {
+  params_.validate();
+}
+
+void ChargerAgent::start() {
+  WRSN_REQUIRE(!started_, "agent already started");
+  started_ = true;
+  world_.add_request_listener([this](net::NodeId id) { on_request(id); });
+  world_.add_death_listener([this](net::NodeId id) { on_death(id); });
+  if (state_ == State::Idle) plan_next();
+}
+
+void ChargerAgent::on_request(net::NodeId id) {
+  if (!in_territory(id)) return;
+  switch (state_) {
+    case State::Idle:
+      plan_next();
+      break;
+    case State::Traveling: {
+      if (params_.policy != SchedulePolicy::Njnp || !params_.preempt_travel) {
+        break;
+      }
+      const Seconds now = world_.simulator().now();
+      const geom::Vec2 pos = mc_.position(now);
+      const Meters d_new =
+          geom::distance(pos, world_.network().node(id).position);
+      const Meters d_cur =
+          geom::distance(pos, world_.network().node(target_).position);
+      if (d_new + 1e-9 < d_cur) {
+        mc_.halt(now);
+        ++event_version_;  // invalidate the in-flight arrival event
+        travel_to_node(id);
+      }
+      break;
+    }
+    case State::Charging:
+    case State::ToDepot:
+    case State::DepotCharging:
+      break;  // request stays pending; picked up at the next plan_next()
+  }
+}
+
+void ChargerAgent::on_death(net::NodeId id) {
+  if (id != target_) return;
+  const Seconds now = world_.simulator().now();
+  if (state_ == State::Traveling) {
+    mc_.halt(now);
+    ++event_version_;
+    target_ = net::kInvalidNode;
+    state_ = State::Idle;
+    plan_next();
+  } else if (state_ == State::Charging) {
+    ++event_version_;  // invalidate the scheduled session end
+    end_session(event_version_, /*truncated=*/true);
+  }
+}
+
+void ChargerAgent::plan_next() {
+  WRSN_ASSERT(state_ == State::Idle);
+
+  if (mc_.battery_fraction() < params_.battery_reserve_fraction) {
+    go_to_depot();
+    return;
+  }
+  const std::optional<net::NodeId> target = pick_target();
+  if (!target.has_value()) return;  // stay idle; next request wakes us
+  travel_to_node(*target);
+}
+
+std::optional<net::NodeId> ChargerAgent::pick_target() {
+  if (params_.policy == SchedulePolicy::Tour) return pick_tour_target();
+
+  const auto pending = world_.pending_requests();
+  if (pending.empty()) return std::nullopt;
+
+  const Seconds now = world_.simulator().now();
+  const geom::Vec2 pos = mc_.position(now);
+
+  const sim::PendingRequest* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const sim::PendingRequest& req : pending) {
+    if (!world_.alive(req.node) || !in_territory(req.node)) continue;
+    double score = 0.0;
+    switch (params_.policy) {
+      case SchedulePolicy::Njnp:
+        score = geom::distance(pos, world_.network().node(req.node).position);
+        break;
+      case SchedulePolicy::Edf:
+        score = req.escalation_deadline;
+        break;
+      case SchedulePolicy::Fcfs:
+        score = req.requested_at;
+        break;
+      case SchedulePolicy::Tour:
+        break;  // handled above
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &req;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->node;
+}
+
+std::optional<net::NodeId> ChargerAgent::pick_tour_target() {
+  const Seconds now = world_.simulator().now();
+
+  // Drive the remainder of the committed tour first.
+  while (!tour_queue_.empty()) {
+    const net::NodeId next = tour_queue_.front();
+    tour_queue_.erase(tour_queue_.begin());
+    if (world_.alive(next) && world_.has_pending_request(next)) return next;
+  }
+
+  // Collect the batch candidates.
+  std::vector<net::NodeId> batch;
+  Seconds oldest = now;
+  for (const sim::PendingRequest& req : world_.pending_requests()) {
+    if (!world_.alive(req.node) || !in_territory(req.node)) continue;
+    batch.push_back(req.node);
+    oldest = std::min(oldest, req.requested_at);
+  }
+  if (batch.empty()) return std::nullopt;
+
+  const bool batch_full = batch.size() >= params_.tour_batch;
+  const bool overdue = now - oldest >= params_.tour_max_wait;
+  if (!batch_full && !overdue) {
+    // Too early to roll out; wake when the oldest request comes of age.
+    // Clamp strictly into the future: floating-point rounding of
+    // oldest + max_wait can land exactly on `now` while the >= overdue
+    // comparison above just missed, which would spin the event loop.
+    const Seconds wake_at =
+        std::max(oldest + params_.tour_max_wait, now + 1.0);
+    const std::uint64_t version = ++tour_wake_version_;
+    world_.simulator().schedule_at(wake_at, [this, version] {
+      if (version != tour_wake_version_) return;
+      if (state_ == State::Idle) plan_next();
+    });
+    return std::nullopt;
+  }
+
+  // Plan a 2-opt tour over the batch from the current position.
+  std::vector<geom::Vec2> points;
+  points.reserve(batch.size());
+  for (const net::NodeId id : batch) {
+    points.push_back(world_.network().node(id).position);
+  }
+  const std::vector<std::size_t> order =
+      plan_tour(points, mc_.position(now));
+  tour_queue_.clear();
+  for (const std::size_t idx : order) tour_queue_.push_back(batch[idx]);
+
+  const net::NodeId first = tour_queue_.front();
+  tour_queue_.erase(tour_queue_.begin());
+  return first;
+}
+
+void ChargerAgent::travel_to_node(net::NodeId id) {
+  const Seconds now = world_.simulator().now();
+  const geom::Vec2 node_pos = world_.network().node(id).position;
+  // Dock at dock_distance short of the node, approaching along the line
+  // from the current position.
+  const geom::Vec2 pos = mc_.position(now);
+  const Meters dock = world_.charging_model().params().dock_distance;
+  const geom::Vec2 approach = (node_pos - pos).normalized();
+  const geom::Vec2 dock_pos =
+      geom::distance(pos, node_pos) > dock ? node_pos - approach * dock : pos;
+
+  target_ = id;
+  state_ = State::Traveling;
+  const Seconds arrival = mc_.begin_travel(now, dock_pos);
+  const std::uint64_t version = ++event_version_;
+  world_.simulator().schedule_at(
+      arrival, [this, version] { on_arrival(version); });
+}
+
+void ChargerAgent::go_to_depot() {
+  const Seconds now = world_.simulator().now();
+  state_ = State::ToDepot;
+  target_ = net::kInvalidNode;
+  const Seconds arrival = mc_.begin_travel(now, mc_.params().depot);
+  const std::uint64_t version = ++event_version_;
+  world_.simulator().schedule_at(
+      arrival, [this, version] { on_arrival(version); });
+}
+
+void ChargerAgent::on_arrival(std::uint64_t version) {
+  if (version != event_version_) return;
+  const Seconds now = world_.simulator().now();
+  mc_.arrive(now);
+
+  if (state_ == State::ToDepot) {
+    state_ = State::DepotCharging;
+    const Seconds done = now + mc_.depot_recharge_time();
+    const std::uint64_t v = ++event_version_;
+    world_.simulator().schedule_at(done, [this, v] {
+      if (v != event_version_) return;
+      mc_.recharge_full();
+      state_ = State::Idle;
+      plan_next();
+    });
+    return;
+  }
+
+  WRSN_ASSERT(state_ == State::Traveling);
+  const net::NodeId node = target_;
+  if (!world_.alive(node)) {
+    target_ = net::kInvalidNode;
+    state_ = State::Idle;
+    plan_next();
+    return;
+  }
+  start_session(node);
+}
+
+void ChargerAgent::start_session(net::NodeId id) {
+  const Seconds now = world_.simulator().now();
+  const Joules capacity = world_.network().node(id).battery_capacity;
+  // The node reports its (believed) level with the request; the charger
+  // meters its own output and stays docked until the deficit is delivered.
+  const Joules deficit = world_.params().charge_target_fraction * capacity -
+                         world_.believed_level(id);
+  if (deficit <= 0.0) {
+    // Node is above target (e.g. stale request); acknowledge and move on.
+    world_.note_service_started(id);
+    world_.note_service_ended(id, 0.0, 0.0);
+    target_ = net::kInvalidNode;
+    state_ = State::Idle;
+    plan_next();
+    return;
+  }
+
+  const Watts nominal = world_.nominal_dc_power();
+  WRSN_ASSERT(nominal > 0.0);
+  // Realized harvest rate this session; the charger observes it on its own
+  // meter and extends/shortens the stay to hit the energy target exactly.
+  const double gain = world_.draw_genuine_gain_factor();
+  const Seconds duration = deficit / (nominal * gain);
+
+  state_ = State::Charging;
+  session_start_ = now;
+  session_planned_end_ = now + duration;
+  session_dc_ = nominal * gain;
+  session_expected_ = deficit;
+
+  world_.note_service_started(id);
+  world_.set_charge_input(id, session_dc_);
+
+  const std::uint64_t version = ++event_version_;
+  world_.simulator().schedule_at(session_planned_end_, [this, version] {
+    end_session(version, /*truncated=*/false);
+  });
+}
+
+std::pair<Watts, Meters> ChargerAgent::neighbor_probe_rf(
+    net::NodeId node) const {
+  // RF a probing neighbour measures: single benign source at the node's dock
+  // position, observed from the nearest alive neighbour.
+  const net::Network& network = world_.network();
+  Meters nearest = std::numeric_limits<Meters>::infinity();
+  for (const net::NodeId nb : network.neighbors(node)) {
+    if (!world_.alive(nb)) continue;
+    nearest = std::min(nearest, network.distance(node, nb));
+  }
+  if (!std::isfinite(nearest)) return {0.0, nearest};
+  return {world_.charging_model().rf_at_distance(nearest), nearest};
+}
+
+void ChargerAgent::end_session(std::uint64_t version, bool truncated) {
+  if (version != event_version_) return;
+  WRSN_ASSERT(state_ == State::Charging);
+  const Seconds now = world_.simulator().now();
+  const net::NodeId node = target_;
+  const Seconds duration = now - session_start_;
+  const Joules expected = world_.expected_session_gain(duration);
+  const Joules delivered = session_dc_ * duration;
+
+  world_.set_charge_input(node, 0.0);
+  world_.note_service_ended(node, expected, delivered);
+
+  const Watts source = world_.charging_model().params().source_power;
+  mc_.radiate(source, duration, /*spoofed=*/false);
+
+  sim::SessionRecord record;
+  record.node = node;
+  record.start = session_start_;
+  record.end = now;
+  record.kind = sim::SessionKind::Genuine;
+  record.expected_gain = expected;
+  record.delivered = delivered;
+  record.rf_observed = world_.charging_model().rf_at_distance(
+      world_.charging_model().params().dock_distance);
+  const auto [probe_rf, probe_dist] = neighbor_probe_rf(node);
+  record.rf_neighbor_probe = probe_rf;
+  record.nearest_probe_distance = probe_dist;
+  record.radiated = source * duration;
+  world_.trace().sessions.push_back(record);
+
+  ++sessions_completed_;
+  log(LogLevel::Debug) << "genuine session on node " << node << " ["
+                       << session_start_ << ", " << now << ") delivered "
+                       << record.delivered << " J"
+                       << (truncated ? " (truncated)" : "");
+
+  target_ = net::kInvalidNode;
+  state_ = State::Idle;
+  plan_next();
+}
+
+}  // namespace wrsn::mc

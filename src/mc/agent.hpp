@@ -1,0 +1,105 @@
+// Benign charging-service agent: drives the MC to serve charging requests
+// honestly under a pluggable scheduling policy.
+//
+// This is both the baseline the attack is compared against (network lifetime
+// with an honest charger) and the behavioural envelope the attacker must
+// imitate to stay stealthy: the CSA agent reuses the same vehicle, the same
+// session protocol, and the same radiated power.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/charger.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn::mc {
+
+/// Request-service ordering policy.
+enum class SchedulePolicy {
+  Njnp,  ///< nearest-job-next (with optional travel preemption)
+  Edf,   ///< earliest escalation deadline first
+  Fcfs,  ///< first-come first-served
+  Tour,  ///< periodic TSP tour: batch requests, serve along a 2-opt tour
+};
+
+struct AgentParams {
+  ChargerParams charger;
+  SchedulePolicy policy = SchedulePolicy::Njnp;
+  /// NJNP travel preemption: retarget mid-travel when a closer request lands.
+  bool preempt_travel = true;
+  /// Return to the depot to recharge below this battery fraction.
+  double battery_reserve_fraction = 0.15;
+  /// Nodes this vehicle is responsible for; empty = the whole network.
+  /// Multi-charger fleets partition the field (see mc/fleet.hpp).
+  std::vector<net::NodeId> territory;
+
+  /// Tour policy: start a tour once this many requests are pending...
+  std::size_t tour_batch = 4;
+  /// ...or when the oldest pending request reaches this age [s].
+  Seconds tour_max_wait = 1'800.0;
+
+  void validate() const;
+};
+
+/// Honest charging service bound to a world.
+class ChargerAgent {
+ public:
+  ChargerAgent(sim::World& world, const AgentParams& params);
+
+  ChargerAgent(const ChargerAgent&) = delete;
+  ChargerAgent& operator=(const ChargerAgent&) = delete;
+
+  /// Subscribes to world events and begins serving.  Call exactly once,
+  /// before the simulation runs.
+  void start();
+
+  const MobileCharger& charger() const { return mc_; }
+  std::uint64_t sessions_completed() const { return sessions_completed_; }
+
+ private:
+  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging };
+
+  bool in_territory(net::NodeId id) const {
+    return territory_.empty() || territory_.count(id) > 0;
+  }
+
+  void on_request(net::NodeId id);
+  void on_death(net::NodeId id);
+  /// Chooses and engages the next action from an idle vehicle.
+  void plan_next();
+  std::optional<net::NodeId> pick_target();
+  std::optional<net::NodeId> pick_tour_target();
+  void travel_to_node(net::NodeId id);
+  void go_to_depot();
+  void on_arrival(std::uint64_t version);
+  void start_session(net::NodeId id);
+  void end_session(std::uint64_t version, bool truncated);
+  std::pair<Watts, Meters> neighbor_probe_rf(net::NodeId node) const;
+
+  sim::World& world_;
+  AgentParams params_;
+  std::unordered_set<net::NodeId> territory_;
+  MobileCharger mc_;
+  State state_ = State::Idle;
+  bool started_ = false;
+
+  net::NodeId target_ = net::kInvalidNode;
+  std::uint64_t event_version_ = 0;  ///< invalidates stale arrival/end events
+
+  /// Tour policy state: the planned service order still to be driven.
+  std::vector<net::NodeId> tour_queue_;
+  std::uint64_t tour_wake_version_ = 0;
+
+  // Active-session bookkeeping.
+  Seconds session_start_ = 0.0;
+  Seconds session_planned_end_ = 0.0;
+  Watts session_dc_ = 0.0;
+  Joules session_expected_ = 0.0;
+
+  std::uint64_t sessions_completed_ = 0;
+};
+
+}  // namespace wrsn::mc

@@ -1,0 +1,98 @@
+#include "mc/charger.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace wrsn::mc {
+
+void ChargerParams::validate() const {
+  if (speed <= 0.0) throw ConfigError("MC speed must be > 0");
+  if (battery_capacity <= 0.0) throw ConfigError("MC battery must be > 0");
+  if (travel_cost_per_meter < 0.0) throw ConfigError("negative travel cost");
+  if (pa_efficiency <= 0.0 || pa_efficiency > 1.0) {
+    throw ConfigError("pa_efficiency must be in (0, 1]");
+  }
+  if (depot_recharge_power <= 0.0) {
+    throw ConfigError("depot_recharge_power must be > 0");
+  }
+}
+
+MobileCharger::MobileCharger(const ChargerParams& params)
+    : params_(params), battery_(params.battery_capacity), pinned_pos_(params.depot) {
+  params_.validate();
+}
+
+geom::Vec2 MobileCharger::position(Seconds now) const {
+  if (!traveling_) return pinned_pos_;
+  if (now >= seg_arrival_time_) return dest_;
+  const Seconds span = seg_arrival_time_ - seg_start_time_;
+  const double t = span > 0.0 ? (now - seg_start_time_) / span : 1.0;
+  return geom::lerp(seg_start_, dest_, t);
+}
+
+Seconds MobileCharger::begin_travel(Seconds now, geom::Vec2 to) {
+  const geom::Vec2 from = position(now);
+  const Meters dist = geom::distance(from, to);
+  spend(dist * params_.travel_cost_per_meter);
+  ledger_.travel += dist * params_.travel_cost_per_meter;
+
+  traveling_ = true;
+  seg_start_ = from;
+  dest_ = to;
+  seg_start_time_ = now;
+  seg_arrival_time_ = now + dist / params_.speed;
+  return seg_arrival_time_;
+}
+
+void MobileCharger::arrive(Seconds now) {
+  WRSN_REQUIRE(traveling_, "arrive() without active travel");
+  WRSN_REQUIRE(now + 1e-9 >= seg_arrival_time_, "arrive() before arrival time");
+  traveling_ = false;
+  pinned_pos_ = dest_;
+}
+
+void MobileCharger::halt(Seconds now) {
+  if (!traveling_) return;
+  pinned_pos_ = position(now);
+  traveling_ = false;
+  // Unused travel energy from the aborted tail is not refunded: locomotion
+  // energy was modeled as spent on motion already performed plus braking;
+  // keeping the ledger monotone keeps depot audits simple.  The overcharge
+  // is bounded by one segment and identical across schedulers.
+}
+
+void MobileCharger::radiate(Watts source_power, Seconds duration,
+                            bool spoofed) {
+  WRSN_REQUIRE(source_power >= 0.0, "negative source power");
+  WRSN_REQUIRE(duration >= 0.0, "negative duration");
+  const Joules radiated = source_power * duration;
+  const Joules drawn = radiated / params_.pa_efficiency;
+  spend(drawn);
+  ledger_.drawn_for_radiation += drawn;
+  if (spoofed) {
+    ledger_.radiated_spoofed += radiated;
+  } else {
+    ledger_.radiated_genuine += radiated;
+  }
+}
+
+Watts MobileCharger::radiation_draw(Watts source_power) const {
+  return source_power / params_.pa_efficiency;
+}
+
+Seconds MobileCharger::depot_recharge_time() const {
+  return (params_.battery_capacity - battery_) / params_.depot_recharge_power;
+}
+
+void MobileCharger::recharge_full() { battery_ = params_.battery_capacity; }
+
+Seconds MobileCharger::travel_time(geom::Vec2 from, geom::Vec2 to) const {
+  return geom::distance(from, to) / params_.speed;
+}
+
+void MobileCharger::spend(Joules amount) {
+  battery_ = std::max(0.0, battery_ - amount);
+}
+
+}  // namespace wrsn::mc

@@ -1,0 +1,98 @@
+// Mobile charger (MC) vehicle model: motion, battery, and energy accounting.
+//
+// The MC is the vehicle both the benign service and the attacker drive; it
+// tracks position (with interpolation mid-travel so preemptive schedulers can
+// retarget), its own battery, and an energy ledger split into travel and
+// radiated energy — the ledger is what the depot audits, and the attack is
+// designed to leave it indistinguishable from benign operation (Table III).
+#pragma once
+
+#include "common/units.hpp"
+#include "geom/vec2.hpp"
+
+namespace wrsn::mc {
+
+/// Vehicle and power-chain parameters.
+struct ChargerParams {
+  geom::Vec2 depot;                    ///< home/recharge position
+  MetersPerSecond speed = 5.0;         ///< travel speed
+  Joules battery_capacity = 2e6;       ///< onboard energy store [J]
+  double travel_cost_per_meter = 40.0; ///< locomotion energy [J/m]
+  double pa_efficiency = 0.85;         ///< radiated / drawn power ratio
+  Watts depot_recharge_power = 500.0;  ///< recharge rate while docked
+
+  void validate() const;
+};
+
+/// Cumulative energy ledger (depot-auditable).
+struct EnergyLedger {
+  Joules travel = 0.0;            ///< spent moving
+  Joules radiated_genuine = 0.0;  ///< RF energy radiated in genuine sessions
+  Joules radiated_spoofed = 0.0;  ///< RF energy radiated in spoofed sessions
+  Joules drawn_for_radiation = 0.0;  ///< battery draw incl. PA losses
+
+  Joules radiated_total() const { return radiated_genuine + radiated_spoofed; }
+  Joules total() const { return travel + drawn_for_radiation; }
+};
+
+/// The mobile charger vehicle.
+class MobileCharger {
+ public:
+  explicit MobileCharger(const ChargerParams& params);
+
+  const ChargerParams& params() const { return params_; }
+
+  /// Position at time `now` (interpolated while traveling).
+  geom::Vec2 position(Seconds now) const;
+
+  bool traveling() const { return traveling_; }
+  geom::Vec2 destination() const { return dest_; }
+
+  /// Starts traveling from the current position toward `to`; returns the
+  /// arrival time.  Travel energy is charged to the battery immediately.
+  Seconds begin_travel(Seconds now, geom::Vec2 to);
+
+  /// Commits the arrival: pins the position at the destination.
+  /// Requires `now` >= the arrival time returned by begin_travel.
+  void arrive(Seconds now);
+
+  /// Interrupts travel at time `now`, pinning the position mid-segment
+  /// (used by preemptive schedulers to retarget).
+  void halt(Seconds now);
+
+  /// Accounts for `duration` seconds of RF radiation at the model's source
+  /// power; `spoofed` routes the ledger entry to the spoofed bucket.
+  void radiate(Watts source_power, Seconds duration, bool spoofed);
+
+  /// Instantaneous battery draw while radiating `source_power`.
+  Watts radiation_draw(Watts source_power) const;
+
+  /// Time to fully recharge at the depot from the current level.
+  Seconds depot_recharge_time() const;
+
+  /// Refills the onboard battery (after a depot stay).
+  void recharge_full();
+
+  Joules battery_level() const { return battery_; }
+  double battery_fraction() const { return battery_ / params_.battery_capacity; }
+  const EnergyLedger& ledger() const { return ledger_; }
+
+  /// Travel time between two points at this vehicle's speed.
+  Seconds travel_time(geom::Vec2 from, geom::Vec2 to) const;
+
+ private:
+  void spend(Joules amount);
+
+  ChargerParams params_;
+  Joules battery_;
+  EnergyLedger ledger_;
+
+  bool traveling_ = false;
+  geom::Vec2 pinned_pos_;   ///< position when not traveling
+  geom::Vec2 seg_start_;    ///< travel segment origin
+  geom::Vec2 dest_;         ///< travel segment destination
+  Seconds seg_start_time_ = 0.0;
+  Seconds seg_arrival_time_ = 0.0;
+};
+
+}  // namespace wrsn::mc

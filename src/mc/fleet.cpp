@@ -1,0 +1,47 @@
+#include "mc/fleet.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::mc {
+
+std::vector<geom::Vec2> default_depots(const geom::Rect& region,
+                                       std::size_t count, Meters margin) {
+  WRSN_REQUIRE(count > 0, "at least one depot");
+  const geom::Rect inner{{region.lo.x + margin, region.lo.y + margin},
+                         {region.hi.x - margin, region.hi.y - margin}};
+  const geom::Vec2 sites[] = {
+      inner.lo,
+      inner.hi,
+      {inner.lo.x, inner.hi.y},
+      {inner.hi.x, inner.lo.y},
+      {inner.center().x, inner.lo.y},
+      {inner.center().x, inner.hi.y},
+      {inner.lo.x, inner.center().y},
+      {inner.hi.x, inner.center().y},
+  };
+  WRSN_REQUIRE(count <= std::size(sites), "at most 8 default depots");
+  return {sites, sites + count};
+}
+
+std::vector<std::vector<net::NodeId>> partition_by_depot(
+    const net::Network& network, std::span<const geom::Vec2> depots) {
+  WRSN_REQUIRE(!depots.empty(), "at least one depot");
+  std::vector<std::vector<net::NodeId>> cells(depots.size());
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < depots.size(); ++k) {
+      const double d = geom::distance(network.node(id).position, depots[k]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = k;
+      }
+    }
+    cells[best].push_back(id);
+  }
+  return cells;
+}
+
+}  // namespace wrsn::mc

@@ -1,0 +1,27 @@
+// Multi-charger fleet support: territory partitioning.
+//
+// The standard multi-MC deployment assigns each vehicle the nodes nearest
+// its depot (a Voronoi partition of the field); each agent then only
+// answers requests inside its cell.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::mc {
+
+/// Evenly spaced depot sites for `count` chargers: the corners (then edge
+/// midpoints) of the deployment region, inset by `margin`.
+std::vector<geom::Vec2> default_depots(const geom::Rect& region,
+                                       std::size_t count,
+                                       Meters margin = 10.0);
+
+/// Voronoi partition: result[k] lists the nodes nearest depots[k]
+/// (ties to the lower index).  Every node appears in exactly one cell.
+std::vector<std::vector<net::NodeId>> partition_by_depot(
+    const net::Network& network, std::span<const geom::Vec2> depots);
+
+}  // namespace wrsn::mc

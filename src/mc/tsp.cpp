@@ -1,0 +1,96 @@
+#include "mc/tsp.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::mc {
+
+double tour_length(std::span<const geom::Vec2> points,
+                   std::span<const std::size_t> order, geom::Vec2 start) {
+  double length = 0.0;
+  geom::Vec2 prev = start;
+  for (const std::size_t idx : order) {
+    WRSN_REQUIRE(idx < points.size(), "tour index out of range");
+    length += geom::distance(prev, points[idx]);
+    prev = points[idx];
+  }
+  return length;
+}
+
+std::vector<std::size_t> nearest_neighbor_tour(
+    std::span<const geom::Vec2> points, geom::Vec2 start) {
+  const std::size_t n = points.size();
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+
+  geom::Vec2 current = start;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const double d = geom::distance(current, points[i]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    WRSN_ASSERT(best < n);
+    used[best] = true;
+    order.push_back(best);
+    current = points[best];
+  }
+  return order;
+}
+
+std::size_t two_opt(std::span<const geom::Vec2> points,
+                    std::vector<std::size_t>& order, geom::Vec2 start,
+                    std::size_t max_passes) {
+  const std::size_t n = order.size();
+  if (n < 3) return 0;
+
+  const auto point_at = [&](std::size_t pos) -> geom::Vec2 {
+    return pos == 0 ? start : points[order[pos - 1]];
+  };
+
+  std::size_t improvements = 0;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    // Reversing order[i..j] replaces edges (i-1 -> i) and (j -> j+1) with
+    // (i-1 -> j) and (i -> j+1); the open tour has no edge after the last
+    // stop, so j = n-1 only removes one edge.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const geom::Vec2 a = point_at(i);          // node before segment
+        const geom::Vec2 b = points[order[i]];     // segment head
+        const geom::Vec2 c = points[order[j]];     // segment tail
+        const double removed =
+            geom::distance(a, b) +
+            (j + 1 < n ? geom::distance(c, points[order[j + 1]]) : 0.0);
+        const double added =
+            geom::distance(a, c) +
+            (j + 1 < n ? geom::distance(b, points[order[j + 1]]) : 0.0);
+        if (added + 1e-12 < removed) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          ++improvements;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return improvements;
+}
+
+std::vector<std::size_t> plan_tour(std::span<const geom::Vec2> points,
+                                   geom::Vec2 start) {
+  std::vector<std::size_t> order = nearest_neighbor_tour(points, start);
+  two_opt(points, order, start);
+  return order;
+}
+
+}  // namespace wrsn::mc

@@ -1,0 +1,34 @@
+// Tour construction toolkit: nearest-neighbour seeding and 2-opt improvement.
+//
+// Used by the benign periodic-tour scheduler and reused by the CSA planner
+// when ordering slack-filling stops between key-node deadlines.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace wrsn::mc {
+
+/// Length of the open tour start -> points[order[0]] -> ... -> points[order.back()].
+double tour_length(std::span<const geom::Vec2> points,
+                   std::span<const std::size_t> order, geom::Vec2 start);
+
+/// Nearest-neighbour order over `points` beginning at `start`.
+std::vector<std::size_t> nearest_neighbor_tour(
+    std::span<const geom::Vec2> points, geom::Vec2 start);
+
+/// In-place 2-opt improvement of an open tour; stops when a full pass yields
+/// no improvement or after `max_passes`.  Returns the number of improving
+/// moves applied.
+std::size_t two_opt(std::span<const geom::Vec2> points,
+                    std::vector<std::size_t>& order, geom::Vec2 start,
+                    std::size_t max_passes = 16);
+
+/// Convenience: nearest-neighbour + 2-opt.
+std::vector<std::size_t> plan_tour(std::span<const geom::Vec2> points,
+                                   geom::Vec2 start);
+
+}  // namespace wrsn::mc

@@ -1,0 +1,229 @@
+#include "net/keynodes.hpp"
+
+#include <algorithm>
+#include <stack>
+
+#include "common/check.hpp"
+#include "net/topology.hpp"
+
+namespace wrsn::net {
+namespace {
+
+bool alive_or_all(const std::vector<bool>& alive, NodeId id) {
+  return alive.empty() || alive[id];
+}
+
+// Adjacency view over the alive subgraph with the sink as virtual vertex n.
+class AliveGraph {
+ public:
+  AliveGraph(const Network& network, const std::vector<bool>& alive)
+      : network_(network), alive_(alive) {}
+
+  std::size_t vertex_count() const { return network_.size() + 1; }
+  std::size_t sink_vertex() const { return network_.size(); }
+
+  bool present(std::size_t v) const {
+    return v == sink_vertex() || alive_or_all(alive_, static_cast<NodeId>(v));
+  }
+
+  template <typename Fn>
+  void for_each_neighbor(std::size_t v, Fn&& fn) const {
+    if (v == sink_vertex()) {
+      for (const NodeId u : network_.sink_neighbors()) {
+        if (present(u)) fn(static_cast<std::size_t>(u));
+      }
+      return;
+    }
+    const auto id = static_cast<NodeId>(v);
+    for (const NodeId u : network_.neighbors(id)) {
+      if (present(u)) fn(static_cast<std::size_t>(u));
+    }
+    if (network_.sink_reachable(id)) fn(sink_vertex());
+  }
+
+ private:
+  const Network& network_;
+  const std::vector<bool>& alive_;
+};
+
+// Iterative Tarjan articulation-point computation (recursion-free so deep
+// chain topologies cannot overflow the stack).
+std::vector<bool> tarjan_articulation(const AliveGraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, -1);
+  std::vector<bool> is_cut(n, false);
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t parent;
+    std::vector<std::size_t> neighbors;
+    std::size_t next_index = 0;
+    int child_count = 0;
+  };
+
+  int timer = 0;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (!graph.present(root) || disc[root] != -1) continue;
+
+    std::stack<Frame> stack;
+    const auto push_vertex = [&](std::size_t v, std::size_t parent) {
+      disc[v] = low[v] = timer++;
+      Frame frame;
+      frame.vertex = v;
+      frame.parent = parent;
+      graph.for_each_neighbor(
+          v, [&](std::size_t u) { frame.neighbors.push_back(u); });
+      stack.push(std::move(frame));
+    };
+
+    push_vertex(root, n);  // n = no parent sentinel
+    while (!stack.empty()) {
+      Frame& frame = stack.top();
+      if (frame.next_index < frame.neighbors.size()) {
+        const std::size_t u = frame.neighbors[frame.next_index++];
+        if (u == frame.parent) continue;
+        if (disc[u] == -1) {
+          ++frame.child_count;
+          push_vertex(u, frame.vertex);
+        } else {
+          low[frame.vertex] = std::min(low[frame.vertex], disc[u]);
+        }
+        continue;
+      }
+      // Frame finished: propagate low-link to the parent frame.
+      const Frame done = std::move(frame);
+      stack.pop();
+      if (!stack.empty()) {
+        Frame& parent_frame = stack.top();
+        low[parent_frame.vertex] =
+            std::min(low[parent_frame.vertex], low[done.vertex]);
+        if (low[done.vertex] >= disc[parent_frame.vertex] &&
+            parent_frame.parent != n) {
+          is_cut[parent_frame.vertex] = true;
+        }
+      } else if (done.child_count > 1) {
+        is_cut[done.vertex] = true;  // root with 2+ DFS children
+      }
+    }
+  }
+  return is_cut;
+}
+
+}  // namespace
+
+std::vector<NodeId> articulation_points(const Network& network,
+                                        const std::vector<bool>& alive) {
+  WRSN_REQUIRE(alive.empty() || alive.size() == network.size(),
+               "alive mask size mismatch");
+  const AliveGraph graph(network, alive);
+  const std::vector<bool> is_cut = tarjan_articulation(graph);
+
+  std::vector<NodeId> cuts;
+  for (NodeId id = 0; id < network.size(); ++id) {
+    if (alive_or_all(alive, id) && is_cut[id]) cuts.push_back(id);
+  }
+  return cuts;
+}
+
+std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
+                                        const TrafficLoads& loads,
+                                        const std::vector<bool>& alive) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(loads.tx_bps.empty() || loads.tx_bps.size() == n,
+               "loads do not match network");
+
+  // Only articulation points can have nonzero disconnect counts; compute the
+  // exact count for each by re-running sink reachability without the node.
+  const std::vector<NodeId> cuts = articulation_points(network, alive);
+  const std::size_t base_connected = count_sink_connected(network, alive);
+
+  std::vector<std::size_t> disconnects(n, 0);
+  std::vector<bool> mask = alive;
+  if (mask.empty()) mask.assign(n, true);
+  for (const NodeId cut : cuts) {
+    mask[cut] = false;
+    const std::size_t connected = count_sink_connected(network, mask);
+    mask[cut] = true;
+    // The cut node itself leaves the connected set; anything beyond that is
+    // collateral disconnection.
+    const std::size_t lost = base_connected - connected;
+    disconnects[cut] = lost > 0 ? lost - 1 : 0;
+  }
+
+  std::vector<KeyNodeInfo> ranked;
+  ranked.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!alive_or_all(alive, id)) continue;
+    KeyNodeInfo info;
+    info.id = id;
+    info.disconnect_count = disconnects[id];
+    info.traffic_bps = loads.tx_bps.empty() ? 0.0 : loads.tx_bps[id];
+    ranked.push_back(info);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const KeyNodeInfo& a, const KeyNodeInfo& b) {
+              if (a.disconnect_count != b.disconnect_count) {
+                return a.disconnect_count > b.disconnect_count;
+              }
+              if (a.traffic_bps != b.traffic_bps) {
+                return a.traffic_bps > b.traffic_bps;
+              }
+              return a.id < b.id;
+            });
+  return ranked;
+}
+
+std::vector<NodeId> select_key_nodes(const Network& network,
+                                     const TrafficLoads& loads,
+                                     const KeyNodeConfig& config,
+                                     const std::vector<bool>& alive) {
+  WRSN_REQUIRE(config.max_count > 0, "max_count must be > 0");
+  std::vector<KeyNodeInfo> ranked = rank_key_nodes(network, loads, alive);
+
+  if (config.rule == KeyNodeRule::TopTraffic) {
+    std::sort(ranked.begin(), ranked.end(),
+              [](const KeyNodeInfo& a, const KeyNodeInfo& b) {
+                if (a.traffic_bps != b.traffic_bps) {
+                  return a.traffic_bps > b.traffic_bps;
+                }
+                return a.id < b.id;
+              });
+  }
+
+  std::vector<NodeId> selected;
+  for (const KeyNodeInfo& info : ranked) {
+    if (selected.size() >= config.max_count) break;
+    if (config.rule == KeyNodeRule::Articulation &&
+        info.disconnect_count < config.min_disconnect) {
+      break;  // ranked descending; nothing later qualifies either
+    }
+    if (config.rule == KeyNodeRule::Hybrid &&
+        info.disconnect_count < config.min_disconnect) {
+      break;  // cut-vertex phase done; traffic fill happens below
+    }
+    selected.push_back(info.id);
+  }
+
+  if (config.rule == KeyNodeRule::Hybrid && selected.size() < config.max_count) {
+    // Fill the remainder with the highest-traffic nodes not yet selected.
+    std::vector<KeyNodeInfo> by_traffic = ranked;
+    std::sort(by_traffic.begin(), by_traffic.end(),
+              [](const KeyNodeInfo& a, const KeyNodeInfo& b) {
+                if (a.traffic_bps != b.traffic_bps) {
+                  return a.traffic_bps > b.traffic_bps;
+                }
+                return a.id < b.id;
+              });
+    for (const KeyNodeInfo& info : by_traffic) {
+      if (selected.size() >= config.max_count) break;
+      if (std::find(selected.begin(), selected.end(), info.id) ==
+          selected.end()) {
+        selected.push_back(info.id);
+      }
+    }
+  }
+  return selected;
+}
+
+}  // namespace wrsn::net

@@ -1,0 +1,62 @@
+// Key-node analysis: which nodes is the network most vulnerable to losing?
+//
+// The attack paper targets "key nodes" — nodes whose exhaustion partitions
+// the network or removes a disproportionate share of delivered traffic.  Two
+// selection rules are provided (and compared in the fig5 bench):
+//
+//  * Articulation: cut vertices of the alive communication graph (computed
+//    with Tarjan's algorithm over the graph including the sink), ranked by
+//    how many nodes their death disconnects from the sink.
+//  * TopTraffic: nodes carrying the highest aggregated traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/routing.hpp"
+
+namespace wrsn::net {
+
+enum class KeyNodeRule {
+  Articulation,  ///< cut vertices only (may yield fewer than max_count)
+  TopTraffic,    ///< highest aggregated traffic
+  Hybrid,        ///< cut vertices first, then top-traffic fill to max_count
+};
+
+struct KeyNodeConfig {
+  KeyNodeRule rule = KeyNodeRule::Articulation;
+  /// At most this many key nodes are selected.
+  std::size_t max_count = 10;
+  /// Articulation rule: ignore cut vertices that disconnect fewer than this
+  /// many nodes (noise filtering).
+  std::size_t min_disconnect = 1;
+};
+
+/// Scored key-node candidate.
+struct KeyNodeInfo {
+  NodeId id = kInvalidNode;
+  /// Nodes that lose sink connectivity if this node dies (0 for non-cuts).
+  std::size_t disconnect_count = 0;
+  /// Aggregated traffic this node carries [bit/s].
+  double traffic_bps = 0.0;
+};
+
+/// Articulation points of the alive communication graph including the sink,
+/// i.e. nodes whose removal disconnects some alive node from the sink.
+std::vector<NodeId> articulation_points(const Network& network,
+                                        const std::vector<bool>& alive = {});
+
+/// Ranks every alive node by (disconnect_count, traffic) descending.
+/// `loads` may be empty, in which case traffic is treated as zero.
+std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
+                                        const TrafficLoads& loads,
+                                        const std::vector<bool>& alive = {});
+
+/// Selects the attack target set according to `config`.
+std::vector<NodeId> select_key_nodes(const Network& network,
+                                     const TrafficLoads& loads,
+                                     const KeyNodeConfig& config,
+                                     const std::vector<bool>& alive = {});
+
+}  // namespace wrsn::net

@@ -1,0 +1,62 @@
+#include "net/network.hpp"
+
+#include "common/check.hpp"
+
+namespace wrsn::net {
+
+Network::Network(std::vector<SensorSpec> nodes, geom::Vec2 sink_position,
+                 Meters comm_range)
+    : nodes_(std::move(nodes)),
+      sink_position_(sink_position),
+      comm_range_(comm_range) {
+  WRSN_REQUIRE(comm_range_ > 0.0, "comm_range must be positive");
+  WRSN_REQUIRE(!nodes_.empty(), "network must have at least one node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    WRSN_REQUIRE(nodes_[i].id == static_cast<NodeId>(i),
+                 "node ids must be dense and equal their index");
+    WRSN_REQUIRE(nodes_[i].data_rate_bps >= 0.0, "negative data rate");
+    WRSN_REQUIRE(nodes_[i].battery_capacity > 0.0,
+                 "battery capacity must be positive");
+  }
+
+  adjacency_.resize(nodes_.size());
+  sink_adjacent_.resize(nodes_.size(), false);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (geom::distance(nodes_[i].position, nodes_[j].position) <=
+          comm_range_) {
+        adjacency_[i].push_back(static_cast<NodeId>(j));
+        adjacency_[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+    if (geom::distance(nodes_[i].position, sink_position_) <= comm_range_) {
+      sink_adjacent_[i] = true;
+      sink_neighbors_.push_back(static_cast<NodeId>(i));
+    }
+  }
+}
+
+const SensorSpec& Network::node(NodeId id) const {
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+std::span<const NodeId> Network::neighbors(NodeId id) const {
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return adjacency_[id];
+}
+
+bool Network::sink_reachable(NodeId id) const {
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return sink_adjacent_[id];
+}
+
+Meters Network::distance(NodeId a, NodeId b) const {
+  return geom::distance(node(a).position, node(b).position);
+}
+
+Meters Network::distance_to_sink(NodeId id) const {
+  return geom::distance(node(id).position, sink_position_);
+}
+
+}  // namespace wrsn::net

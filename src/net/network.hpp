@@ -1,0 +1,70 @@
+// Static description of a deployed wireless rechargeable sensor network:
+// node positions, data rates, the sink, and the unit-disk communication graph.
+//
+// The Network is immutable after construction; live state (battery levels,
+// alive flags) belongs to the simulation world, which passes alive masks into
+// the routing and key-node routines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "geom/vec2.hpp"
+
+namespace wrsn::net {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Static properties of one sensor node.
+struct SensorSpec {
+  NodeId id = kInvalidNode;
+  geom::Vec2 position;
+  /// Application data generation rate [bit/s].
+  double data_rate_bps = 0.0;
+  /// Battery capacity [J].
+  Joules battery_capacity = 10'800.0;
+};
+
+/// Immutable network description plus the precomputed unit-disk adjacency.
+class Network {
+ public:
+  /// Builds the network and its communication graph.  Node ids must equal
+  /// their index in `nodes` (enforced); `comm_range` > 0.
+  Network(std::vector<SensorSpec> nodes, geom::Vec2 sink_position,
+          Meters comm_range);
+
+  std::size_t size() const { return nodes_.size(); }
+  const SensorSpec& node(NodeId id) const;
+  std::span<const SensorSpec> nodes() const { return nodes_; }
+  geom::Vec2 sink_position() const { return sink_position_; }
+  Meters comm_range() const { return comm_range_; }
+
+  /// Node-to-node neighbours within communication range (excludes the sink).
+  std::span<const NodeId> neighbors(NodeId id) const;
+
+  /// True if `id` can talk directly to the sink.
+  bool sink_reachable(NodeId id) const;
+
+  /// Ids of all nodes within communication range of the sink.
+  std::span<const NodeId> sink_neighbors() const { return sink_neighbors_; }
+
+  /// Euclidean distance between two nodes.
+  Meters distance(NodeId a, NodeId b) const;
+
+  /// Euclidean distance from a node to the sink.
+  Meters distance_to_sink(NodeId id) const;
+
+ private:
+  std::vector<SensorSpec> nodes_;
+  geom::Vec2 sink_position_;
+  Meters comm_range_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<NodeId> sink_neighbors_;
+  std::vector<bool> sink_adjacent_;
+};
+
+}  // namespace wrsn::net

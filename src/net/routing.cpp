@@ -1,0 +1,114 @@
+#include "net/routing.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace wrsn::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool alive_or_all(const std::vector<bool>& alive, NodeId id) {
+  return alive.empty() || alive[id];
+}
+
+}  // namespace
+
+RoutingTree build_routing_tree(const Network& network,
+                               const std::vector<bool>& alive,
+                               const RoutingParams& params) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(alive.empty() || alive.size() == n, "alive mask size mismatch");
+  WRSN_REQUIRE(params.hop_cost >= 0.0, "negative hop cost");
+
+  RoutingTree tree;
+  tree.parent.assign(n, kInvalidNode);
+  tree.reachable.assign(n, false);
+  tree.uplink_distance.assign(n, 0.0);
+  tree.path_cost.assign(n, kInf);
+
+  using Entry = std::pair<double, NodeId>;  // (cost, node), min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  // Seed with direct sink uplinks.
+  for (const NodeId id : network.sink_neighbors()) {
+    if (!alive_or_all(alive, id)) continue;
+    const Meters d = network.distance_to_sink(id);
+    const double cost = params.hop_cost + d * d;
+    if (cost < tree.path_cost[id]) {
+      tree.path_cost[id] = cost;
+      tree.uplink_distance[id] = d;
+      heap.emplace(cost, id);
+    }
+  }
+
+  std::vector<bool> settled(n, false);
+  while (!heap.empty()) {
+    const auto [cost, u] = heap.top();
+    heap.pop();
+    if (settled[u] || cost > tree.path_cost[u]) continue;
+    settled[u] = true;
+    tree.reachable[u] = true;
+    tree.settle_order.push_back(u);
+    for (const NodeId v : network.neighbors(u)) {
+      if (!alive_or_all(alive, v) || settled[v]) continue;
+      const Meters d = network.distance(u, v);
+      const double next = cost + params.hop_cost + d * d;
+      if (next < tree.path_cost[v]) {
+        tree.path_cost[v] = next;
+        tree.parent[v] = u;
+        tree.uplink_distance[v] = d;
+        heap.emplace(next, v);
+      }
+    }
+  }
+  return tree;
+}
+
+TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
+                           const std::vector<bool>& alive) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(tree.parent.size() == n, "tree does not match network");
+
+  TrafficLoads loads;
+  loads.tx_bps.assign(n, 0.0);
+  loads.rx_bps.assign(n, 0.0);
+
+  // Process leaves-first: settle_order is sink-outward, so its reverse is a
+  // valid topological order for child-to-parent aggregation.
+  for (auto it = tree.settle_order.rbegin(); it != tree.settle_order.rend();
+       ++it) {
+    const NodeId u = *it;
+    if (!alive_or_all(alive, u)) continue;
+    loads.tx_bps[u] += network.node(u).data_rate_bps;
+    const NodeId p = tree.parent[u];
+    if (p != kInvalidNode) {
+      loads.rx_bps[p] += loads.tx_bps[u];
+      loads.tx_bps[p] += loads.tx_bps[u];
+    }
+  }
+  return loads;
+}
+
+std::vector<Watts> compute_drain_rates(const Network& network,
+                                       const RoutingTree& tree,
+                                       const TrafficLoads& loads,
+                                       const DrainParams& params) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(loads.tx_bps.size() == n, "loads do not match network");
+  WRSN_REQUIRE(params.sensing_power >= 0.0, "negative sensing power");
+
+  const energy::RadioModel radio(params.radio);
+  std::vector<Watts> drain(n, 0.0);
+  for (NodeId id = 0; id < n; ++id) {
+    drain[id] = params.sensing_power;
+    if (!tree.reachable[id]) continue;
+    drain[id] += radio.tx_power(loads.tx_bps[id], tree.uplink_distance[id]);
+    drain[id] += radio.rx_power(loads.rx_bps[id]);
+  }
+  return drain;
+}
+
+}  // namespace wrsn::net

@@ -1,0 +1,71 @@
+// Sink-rooted routing tree, traffic aggregation, and node drain rates.
+//
+// Routing uses energy-aware Dijkstra: the per-bit cost of relaying one hop
+// over distance d is 2*e_elec + e_amp*d^2, so edge weight = hop_cost + d^2
+// with hop_cost = 2*e_elec/e_amp.  Traffic is aggregated up the tree to get
+// each node's transmit/receive rates, which combined with the first-order
+// radio model and the sensing floor give the per-node battery drain rate —
+// the quantity the attacker's time-window calculations are built on.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/radio.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::net {
+
+/// Routing cost parameters.
+struct RoutingParams {
+  /// Distance-squared-equivalent cost of one hop [m^2]; default matches
+  /// 2*e_elec/e_amp of the first-order radio model.
+  double hop_cost = 1'000.0;
+};
+
+/// Sink-rooted shortest-path tree over the alive subgraph.
+struct RoutingTree {
+  /// Parent node id; kInvalidNode when the node uplinks directly to the sink
+  /// or is unreachable (see `reachable`).
+  std::vector<NodeId> parent;
+  /// True when the node has a path to the sink.
+  std::vector<bool> reachable;
+  /// Distance to the parent (or to the sink for direct uplinks) [m].
+  std::vector<Meters> uplink_distance;
+  /// Reachable nodes in ascending path-cost order (sink outward).
+  std::vector<NodeId> settle_order;
+  /// Path cost from the sink [m^2-equivalent]; +inf when unreachable.
+  std::vector<double> path_cost;
+};
+
+/// Builds the routing tree over nodes with `alive[id]` set (empty = all).
+RoutingTree build_routing_tree(const Network& network,
+                               const std::vector<bool>& alive = {},
+                               const RoutingParams& params = {});
+
+/// Per-node steady-state traffic after aggregation up the tree [bit/s].
+struct TrafficLoads {
+  std::vector<double> tx_bps;  ///< own generation + forwarded
+  std::vector<double> rx_bps;  ///< forwarded (received from children)
+};
+
+/// Aggregates application traffic up the routing tree.  Unreachable nodes
+/// carry no traffic (their data has nowhere to go).
+TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
+                           const std::vector<bool>& alive = {});
+
+/// Drain-rate model parameters.
+struct DrainParams {
+  /// Always-on sensing/MCU floor [W].
+  Watts sensing_power = 2e-3;
+  energy::RadioParams radio;
+};
+
+/// Per-node battery drain rate [W]: sensing floor + radio tx/rx power.
+/// Unreachable nodes pay only the sensing floor.
+std::vector<Watts> compute_drain_rates(const Network& network,
+                                       const RoutingTree& tree,
+                                       const TrafficLoads& loads,
+                                       const DrainParams& params = {});
+
+}  // namespace wrsn::net

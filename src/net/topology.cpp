@@ -1,0 +1,182 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace wrsn::net {
+namespace {
+
+geom::Vec2 uniform_point(const geom::Rect& region, Rng& rng) {
+  return {rng.uniform(region.lo.x, region.hi.x),
+          rng.uniform(region.lo.y, region.hi.y)};
+}
+
+bool respects_separation(const std::vector<geom::Vec2>& placed,
+                         geom::Vec2 candidate, Meters min_sep) {
+  if (min_sep <= 0.0) return true;
+  return std::none_of(placed.begin(), placed.end(), [&](geom::Vec2 p) {
+    return geom::distance(p, candidate) < min_sep;
+  });
+}
+
+std::vector<geom::Vec2> place_uniform(const TopologyConfig& cfg, Rng& rng) {
+  std::vector<geom::Vec2> points;
+  points.reserve(cfg.node_count);
+  // Bounded rejection sampling for min separation; falls back to accepting
+  // the candidate if the region is too crowded to honor the separation.
+  while (points.size() < cfg.node_count) {
+    geom::Vec2 candidate = uniform_point(cfg.region, rng);
+    for (int tries = 0;
+         tries < 32 && !respects_separation(points, candidate, cfg.min_separation);
+         ++tries) {
+      candidate = uniform_point(cfg.region, rng);
+    }
+    points.push_back(candidate);
+  }
+  return points;
+}
+
+std::vector<geom::Vec2> place_grid(const TopologyConfig& cfg, Rng& rng) {
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(double(cfg.node_count))));
+  const Meters dx = cfg.region.width() / double(side);
+  const Meters dy = cfg.region.height() / double(side);
+  std::vector<geom::Vec2> points;
+  points.reserve(cfg.node_count);
+  for (std::size_t r = 0; r < side && points.size() < cfg.node_count; ++r) {
+    for (std::size_t c = 0; c < side && points.size() < cfg.node_count; ++c) {
+      const geom::Vec2 cell_center{cfg.region.lo.x + (double(c) + 0.5) * dx,
+                                   cfg.region.lo.y + (double(r) + 0.5) * dy};
+      const geom::Vec2 jitter{rng.uniform(-0.25 * dx, 0.25 * dx),
+                              rng.uniform(-0.25 * dy, 0.25 * dy)};
+      points.push_back(cell_center + jitter);
+    }
+  }
+  return points;
+}
+
+std::vector<geom::Vec2> place_clustered(const TopologyConfig& cfg, Rng& rng) {
+  const double diag = std::hypot(cfg.region.width(), cfg.region.height());
+  const Meters sigma = cfg.cluster_sigma_fraction * diag;
+  std::vector<geom::Vec2> centers;
+  centers.reserve(cfg.cluster_count);
+  for (std::size_t i = 0; i < cfg.cluster_count; ++i) {
+    centers.push_back(uniform_point(cfg.region, rng));
+  }
+
+  std::vector<geom::Vec2> points;
+  points.reserve(cfg.node_count);
+  const auto background = static_cast<std::size_t>(
+      std::round(cfg.cluster_background_fraction * double(cfg.node_count)));
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    if (i < background || centers.empty()) {
+      points.push_back(uniform_point(cfg.region, rng));
+      continue;
+    }
+    const geom::Vec2 center =
+        centers[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(centers.size()) - 1))];
+    geom::Vec2 p{rng.normal(center.x, sigma), rng.normal(center.y, sigma)};
+    p.x = std::clamp(p.x, cfg.region.lo.x, cfg.region.hi.x);
+    p.y = std::clamp(p.y, cfg.region.lo.y, cfg.region.hi.y);
+    points.push_back(p);
+  }
+  return points;
+}
+
+Network build_network(const TopologyConfig& cfg,
+                      const std::vector<geom::Vec2>& points, Rng& rng) {
+  std::vector<SensorSpec> nodes;
+  nodes.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SensorSpec spec;
+    spec.id = static_cast<NodeId>(i);
+    spec.position = points[i];
+    spec.data_rate_bps =
+        rng.uniform(0.5 * cfg.mean_data_rate_bps, 1.5 * cfg.mean_data_rate_bps);
+    spec.battery_capacity = cfg.battery_capacity;
+    nodes.push_back(spec);
+  }
+  const geom::Vec2 sink =
+      cfg.sink_at_center ? cfg.region.center() : cfg.sink_position;
+  return Network(std::move(nodes), sink, cfg.comm_range);
+}
+
+}  // namespace
+
+void TopologyConfig::validate() const {
+  if (node_count == 0) throw ConfigError("node_count must be > 0");
+  if (comm_range <= 0.0) throw ConfigError("comm_range must be > 0");
+  if (region.width() <= 0.0 || region.height() <= 0.0) {
+    throw ConfigError("deployment region must have positive area");
+  }
+  if (mean_data_rate_bps < 0.0) throw ConfigError("negative data rate");
+  if (battery_capacity <= 0.0) throw ConfigError("battery capacity must be > 0");
+  if (max_attempts == 0) throw ConfigError("max_attempts must be > 0");
+  if (!sink_at_center && !region.contains(sink_position)) {
+    throw ConfigError("sink_position outside the deployment region");
+  }
+}
+
+Network generate_topology(const TopologyConfig& config, Rng& rng) {
+  config.validate();
+  for (std::size_t attempt = 0; attempt < config.max_attempts; ++attempt) {
+    std::vector<geom::Vec2> points;
+    switch (config.deployment) {
+      case Deployment::Uniform: points = place_uniform(config, rng); break;
+      case Deployment::Grid: points = place_grid(config, rng); break;
+      case Deployment::Clustered: points = place_clustered(config, rng); break;
+    }
+    Network net = build_network(config, points, rng);
+    if (is_connected(net)) return net;
+  }
+  throw SimulationError(
+      "generate_topology: no connected deployment found; increase comm_range "
+      "or node density");
+}
+
+std::size_t count_sink_connected(const Network& network,
+                                 const std::vector<bool>& alive) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(alive.empty() || alive.size() == n,
+               "alive mask size mismatch");
+  const auto is_alive = [&](NodeId id) {
+    return alive.empty() || alive[id];
+  };
+
+  std::vector<bool> visited(n, false);
+  std::queue<NodeId> frontier;
+  for (const NodeId id : network.sink_neighbors()) {
+    if (is_alive(id) && !visited[id]) {
+      visited[id] = true;
+      frontier.push(id);
+    }
+  }
+  std::size_t reached = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    ++reached;
+    for (const NodeId v : network.neighbors(u)) {
+      if (is_alive(v) && !visited[v]) {
+        visited[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached;
+}
+
+bool is_connected(const Network& network, const std::vector<bool>& alive) {
+  std::size_t alive_count = network.size();
+  if (!alive.empty()) {
+    alive_count = static_cast<std::size_t>(
+        std::count(alive.begin(), alive.end(), true));
+  }
+  return count_sink_connected(network, alive) == alive_count;
+}
+
+}  // namespace wrsn::net

@@ -1,0 +1,71 @@
+// Topology generators: deployments used by the evaluation.
+//
+// All generators guarantee the produced network is connected (every node can
+// reach the sink over the unit-disk graph); generation retries with fresh
+// randomness until connectivity holds and throws after a bounded number of
+// attempts so misconfigured densities fail loudly instead of looping.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::net {
+
+enum class Deployment {
+  Uniform,   ///< independent uniform positions in the region
+  Grid,      ///< jittered grid covering the region
+  Clustered, ///< Gaussian clusters plus a uniform background sprinkle
+};
+
+/// Parameters shared by all generators.
+struct TopologyConfig {
+  geom::Rect region{{0.0, 0.0}, {100.0, 100.0}};
+  std::size_t node_count = 100;
+  Meters comm_range = 20.0;
+  Deployment deployment = Deployment::Uniform;
+
+  /// Sink location; defaults to the region center when `sink_at_center`.
+  bool sink_at_center = true;
+  geom::Vec2 sink_position;
+
+  /// Mean application data rate [bit/s]; per node drawn uniform in
+  /// [0.5, 1.5] x mean.
+  double mean_data_rate_bps = 2'000.0;
+
+  /// Node battery capacity [J].
+  Joules battery_capacity = 10'800.0;
+
+  /// Minimum pairwise node separation [m]; 0 disables the check.
+  Meters min_separation = 1.0;
+
+  /// Number of Gaussian clusters (Clustered deployment only).
+  std::size_t cluster_count = 4;
+
+  /// Cluster standard deviation as a fraction of the region diagonal.
+  double cluster_sigma_fraction = 0.06;
+
+  /// Fraction of nodes sprinkled uniformly instead of into clusters.
+  double cluster_background_fraction = 0.2;
+
+  /// Attempts before generation gives up with SimulationError.
+  std::size_t max_attempts = 64;
+
+  void validate() const;
+};
+
+/// Generates a connected network according to `config`.
+/// Throws SimulationError if no connected deployment is found within
+/// `max_attempts` (density too low for the requested comm_range).
+Network generate_topology(const TopologyConfig& config, Rng& rng);
+
+/// True if every node can reach the sink over the unit-disk graph,
+/// considering only nodes with `alive[id]` set (alive may be empty = all).
+bool is_connected(const Network& network, const std::vector<bool>& alive = {});
+
+/// Number of alive nodes that can reach the sink.
+std::size_t count_sink_connected(const Network& network,
+                                 const std::vector<bool>& alive = {});
+
+}  // namespace wrsn::net

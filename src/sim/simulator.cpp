@@ -1,0 +1,60 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace wrsn::sim {
+
+EventId Simulator::schedule_at(Seconds at, std::function<void()> fn) {
+  WRSN_REQUIRE(at >= now_, "cannot schedule into the past");
+  WRSN_REQUIRE(static_cast<bool>(fn), "null event callback");
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_in(Seconds delay, std::function<void()> fn) {
+  WRSN_REQUIRE(delay >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(entry.id) > 0) continue;
+    WRSN_ASSERT(entry.time >= now_);
+    now_ = entry.time;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Seconds until) {
+  WRSN_REQUIRE(until >= now_, "cannot run backwards");
+  while (!queue_.empty()) {
+    // Peek past cancelled entries to find the next live event time.
+    if (cancelled_.erase(queue_.top().id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > until) break;
+    pop_and_run();
+  }
+  now_ = until;
+}
+
+void Simulator::run_all() {
+  while (pop_and_run()) {
+  }
+}
+
+bool Simulator::step() { return pop_and_run(); }
+
+}  // namespace wrsn::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event loop: events are (time, sequence) ordered,
+// so same-time events fire in scheduling order and runs are exactly
+// reproducible.  Cancellation is by id; cancelled events are dropped lazily
+// when they reach the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "common/units.hpp"
+
+namespace wrsn::sim {
+
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic single-threaded event loop.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time [s].
+  Seconds now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now); returns a cancellable id.
+  EventId schedule_at(Seconds at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  EventId schedule_in(Seconds delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled (safe to call either way).
+  bool cancel(EventId id);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`.
+  void run_until(Seconds until);
+
+  /// Runs until the queue is empty.
+  void run_all();
+
+  /// Fires the single earliest event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Number of events currently pending (may include cancelled entries not
+  /// yet reaped; use for monitoring only).
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& rhs) const {
+      if (time != rhs.time) return time > rhs.time;
+      return seq > rhs.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace wrsn::sim

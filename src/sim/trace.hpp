@@ -1,0 +1,86 @@
+// Simulation trace: the ground-truth record every detector, metric, and
+// bench consumes.
+//
+// Records carry both the observable view (what a node or the base station
+// could measure) and the ground truth (session kind); detectors must only
+// read the observable fields — tests enforce this by construction, since the
+// detector APIs take the observable projection.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::sim {
+
+/// Why a charging session ran.
+enum class SessionKind {
+  Genuine,  ///< honest charging: harvested DC follows the benign model
+  Spoofed,  ///< CSA phase-cancelled session: ~zero harvested DC
+};
+
+/// A node asking the charging service for energy.
+struct RequestRecord {
+  Seconds time = 0.0;
+  net::NodeId node = net::kInvalidNode;
+  Joules level_at_request = 0.0;
+  /// True when issued by the hardware low-voltage comparator defense.
+  bool emergency = false;
+};
+
+/// One completed (or truncated) charging session.
+struct SessionRecord {
+  net::NodeId node = net::kInvalidNode;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  SessionKind kind = SessionKind::Genuine;  ///< ground truth, not observable
+
+  /// Energy the node/BS expects from a nominal session of this duration [J].
+  Joules expected_gain = 0.0;
+  /// Energy actually stored in the battery [J].
+  Joules delivered = 0.0;
+  /// RF power observed at the node's communication antenna during the
+  /// session [W] — what an RSSI check sees.
+  Watts rf_observed = 0.0;
+  /// RF power a neighbouring node probing the session would measure [W] —
+  /// what the neighbourhood-voting detector sees.
+  Watts rf_neighbor_probe = 0.0;
+  /// Distance from the served node to that probing neighbour [m];
+  /// +inf when no alive neighbour exists.
+  Meters nearest_probe_distance = 0.0;
+  /// Energy the charger radiated during the session [J] (depot accounting).
+  Joules radiated = 0.0;
+};
+
+/// A node exhausting its battery.
+struct DeathRecord {
+  Seconds time = 0.0;
+  net::NodeId node = net::kInvalidNode;
+  /// True if the node had an unserved request outstanding when it died —
+  /// the strongest base-station-visible indictment of the charging service.
+  bool request_outstanding = false;
+};
+
+/// The base station noticing a request unserved past the patience deadline.
+struct EscalationRecord {
+  Seconds time = 0.0;
+  net::NodeId node = net::kInvalidNode;
+};
+
+/// Append-only event log of one simulation run.
+struct Trace {
+  std::vector<RequestRecord> requests;
+  std::vector<SessionRecord> sessions;
+  std::vector<DeathRecord> deaths;
+  std::vector<EscalationRecord> escalations;
+
+  void clear() {
+    requests.clear();
+    sessions.clear();
+    deaths.clear();
+    escalations.clear();
+  }
+};
+
+}  // namespace wrsn::sim

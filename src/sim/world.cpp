@@ -1,0 +1,447 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "net/topology.hpp"
+
+namespace wrsn::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Slack applied when validating analytically-scheduled crossings, to absorb
+// floating-point drift between the scheduled time and the extrapolated level.
+constexpr Joules kLevelEpsilon = 1e-6;
+
+}  // namespace
+
+void WorldParams::validate() const {
+  if (request_threshold <= 0.0 || request_threshold >= 1.0) {
+    throw ConfigError("request_threshold must be in (0, 1)");
+  }
+  if (min_request_gap < 0.0) throw ConfigError("min_request_gap < 0");
+  if (patience <= 0.0) throw ConfigError("patience must be > 0");
+  if (charge_target_fraction <= request_threshold ||
+      charge_target_fraction > 1.0) {
+    throw ConfigError(
+        "charge_target_fraction must be in (request_threshold, 1]");
+  }
+  if (benign_gain_mean <= 0.0 || benign_gain_mean > 1.0) {
+    throw ConfigError("benign_gain_mean must be in (0, 1]");
+  }
+  if (benign_gain_cv < 0.0) throw ConfigError("benign_gain_cv < 0");
+  if (initial_level_min <= 0.0 || initial_level_max > 1.0 ||
+      initial_level_min > initial_level_max) {
+    throw ConfigError("initial level range must satisfy 0 < min <= max <= 1");
+  }
+  if (emergency_fraction <= 0.0 || emergency_fraction >= request_threshold) {
+    throw ConfigError(
+        "emergency_fraction must be in (0, request_threshold)");
+  }
+  if (emergency_patience <= 0.0) throw ConfigError("emergency_patience <= 0");
+  if (hardware_mtbf < 0.0) throw ConfigError("hardware_mtbf < 0");
+  charging.validate();
+  drain.radio.validate();
+}
+
+World::World(Simulator& sim, net::Network network, const WorldParams& params,
+             Rng rng)
+    : sim_(sim),
+      network_(std::move(network)),
+      params_(params),
+      charging_model_(params.charging),
+      rng_(std::move(rng)) {
+  params_.validate();
+
+  Rng init_rng = rng_.fork("init-levels");
+  states_.reserve(network_.size());
+  for (const net::SensorSpec& spec : network_.nodes()) {
+    const double frac =
+        init_rng.uniform(params_.initial_level_min, params_.initial_level_max);
+    states_.emplace_back(
+        energy::Battery(spec.battery_capacity, frac * spec.battery_capacity));
+    states_.back().sync_time = sim_.now();
+    states_.back().believed = frac * spec.battery_capacity;
+  }
+  alive_count_ = states_.size();
+
+  // Background hardware failures: each node draws an exponential lifetime.
+  if (params_.hardware_mtbf > 0.0) {
+    Rng failure_rng = rng_.fork("hardware-failures");
+    for (net::NodeId id = 0; id < states_.size(); ++id) {
+      const Seconds at =
+          sim_.now() + failure_rng.exponential(1.0 / params_.hardware_mtbf);
+      sim_.schedule_at(at, [this, id] { fire_hardware_failure(id); });
+    }
+  }
+
+  recompute_routing();
+}
+
+void World::fire_hardware_failure(net::NodeId id) {
+  NodeState& s = state(id);
+  if (!s.alive) return;
+  resync(id);
+  s.battery.discharge(s.battery.level());  // component fault: node bricks
+  s.alive = false;
+  s.charge = 0.0;
+  --alive_count_;
+  ++s.death_version;
+  ++s.request_version;
+  ++s.emergency_version;
+  ++s.escalation_version;
+  trace_.deaths.push_back({sim_.now(), id, s.pending});
+  log(LogLevel::Debug) << "node " << id << " hardware failure at t="
+                       << sim_.now();
+  recompute_routing();
+  for (const auto& listener : death_listeners_) listener(id);
+}
+
+World::NodeState& World::state(net::NodeId id) {
+  WRSN_REQUIRE(id < states_.size(), "node id out of range");
+  return states_[id];
+}
+
+const World::NodeState& World::state(net::NodeId id) const {
+  WRSN_REQUIRE(id < states_.size(), "node id out of range");
+  return states_[id];
+}
+
+bool World::alive(net::NodeId id) const { return state(id).alive; }
+
+Joules World::level(net::NodeId id) const {
+  const NodeState& s = state(id);
+  if (!s.alive) return 0.0;
+  const Seconds dt = sim_.now() - s.sync_time;
+  const Joules delta = net_drain(s) * dt;
+  return std::clamp(s.battery.level() - delta, 0.0, s.battery.capacity());
+}
+
+double World::level_fraction(net::NodeId id) const {
+  return level(id) / state(id).battery.capacity();
+}
+
+Joules World::believed_level(net::NodeId id) const {
+  const NodeState& s = state(id);
+  if (!s.alive) return 0.0;
+  const Seconds dt = sim_.now() - s.sync_time;
+  return std::clamp(s.believed - s.drain * dt, 0.0, s.battery.capacity());
+}
+
+Watts World::drain_rate(net::NodeId id) const { return state(id).drain; }
+
+Watts World::charge_rate(net::NodeId id) const { return state(id).charge; }
+
+Seconds World::predicted_death(net::NodeId id) const {
+  const NodeState& s = state(id);
+  if (!s.alive) return sim_.now();
+  const Watts net = net_drain(s);
+  if (net <= 0.0) return kInf;
+  return sim_.now() + level(id) / net;
+}
+
+Seconds World::predicted_request(net::NodeId id) const {
+  const NodeState& s = state(id);
+  if (!s.alive || s.pending || s.in_service) return kInf;
+  const Joules threshold = params_.request_threshold * s.battery.capacity();
+  const Joules believed = believed_level(id);
+  if (believed <= threshold) {
+    return std::max(sim_.now(), s.cooldown_until);
+  }
+  // The believed level declines at the node's measured consumption rate
+  // (harvest is only credited at service end).
+  if (s.drain <= 0.0) return kInf;
+  const Seconds crossing = sim_.now() + (believed - threshold) / s.drain;
+  return std::max(crossing, s.cooldown_until);
+}
+
+bool World::has_pending_request(net::NodeId id) const {
+  return state(id).pending;
+}
+
+std::vector<PendingRequest> World::pending_requests() const {
+  std::vector<PendingRequest> pending;
+  for (net::NodeId id = 0; id < states_.size(); ++id) {
+    const NodeState& s = states_[id];
+    if (s.alive && s.pending) {
+      pending.push_back(
+          {id, s.requested_at, s.escalation_deadline, s.pending_emergency});
+    }
+  }
+  return pending;
+}
+
+std::size_t World::sink_connected_count() const {
+  std::vector<bool> mask(states_.size());
+  for (net::NodeId id = 0; id < states_.size(); ++id) {
+    mask[id] = states_[id].alive;
+  }
+  return net::count_sink_connected(network_, mask);
+}
+
+Watts World::nominal_dc_power() const {
+  return charging_model_.docked_dc_power();
+}
+
+Seconds World::planned_session_duration(Joules deficit) const {
+  WRSN_REQUIRE(deficit >= 0.0, "negative deficit");
+  return deficit / (nominal_dc_power() * params_.benign_gain_mean);
+}
+
+Joules World::expected_session_gain(Seconds duration) const {
+  WRSN_REQUIRE(duration >= 0.0, "negative duration");
+  return nominal_dc_power() * params_.benign_gain_mean * duration;
+}
+
+double World::draw_genuine_gain_factor() {
+  // Clamp bounds sit ~2.6 sigma out, so the draw stays effectively
+  // unbiased: E[factor] ~= benign_gain_mean, which is what keeps the
+  // fleet-calibrated expectation honest for benign service.  Factors above
+  // 1 are good-alignment sessions where harvest beats the mean-calibrated
+  // rate; the charger meters its output, so a low factor just means a
+  // longer stay, not a short-changed node.
+  const double sigma = params_.benign_gain_mean * params_.benign_gain_cv;
+  const double factor = rng_.normal(params_.benign_gain_mean, sigma);
+  return std::clamp(factor, 0.4, 1.6);
+}
+
+bool World::set_charge_input(net::NodeId id, Watts dc) {
+  WRSN_REQUIRE(dc >= 0.0, "negative charge input");
+  NodeState& s = state(id);
+  if (!s.alive) return false;
+  resync(id);
+  s.charge = dc;
+  reschedule(id);
+  return true;
+}
+
+void World::note_service_started(net::NodeId id) {
+  NodeState& s = state(id);
+  if (!s.alive) return;
+  s.in_service = true;
+  if (s.pending) {
+    s.pending = false;
+    s.pending_emergency = false;
+    ++s.escalation_version;  // cancel the escalation timer
+  }
+}
+
+void World::note_service_ended(net::NodeId id, Joules expected,
+                               Joules delivered) {
+  WRSN_REQUIRE(expected >= 0.0 && delivered >= 0.0,
+               "negative session energy");
+  (void)delivered;  // only the trace sees the truth; the node cannot
+  NodeState& s = state(id);
+  s.in_service = false;
+  if (!s.alive) return;
+  s.cooldown_until = sim_.now() + params_.min_request_gap;
+  resync(id);
+  // The node trusts the service: it credits the fleet-calibrated EXPECTED
+  // gain, whatever truly arrived.  Honest service keeps the belief near the
+  // truth (expectations are unbiased); a spoofed session inflates it by the
+  // whole expected gain — the node then schedules its next request far in
+  // the future and dies silently first.
+  s.believed = std::min(s.believed + expected, s.battery.capacity());
+  reschedule(id);
+}
+
+void World::add_request_listener(std::function<void(net::NodeId)> listener) {
+  request_listeners_.push_back(std::move(listener));
+}
+
+void World::set_request_handler(std::function<void(net::NodeId)> handler) {
+  add_request_listener(std::move(handler));
+}
+
+void World::add_death_listener(std::function<void(net::NodeId)> listener) {
+  death_listeners_.push_back(std::move(listener));
+}
+
+void World::add_escalation_listener(
+    std::function<void(net::NodeId)> listener) {
+  escalation_listeners_.push_back(std::move(listener));
+}
+
+void World::resync(net::NodeId id) {
+  NodeState& s = state(id);
+  const Seconds now = sim_.now();
+  const Seconds dt = now - s.sync_time;
+  if (dt > 0.0 && s.alive) {
+    const Joules delta = net_drain(s) * dt;
+    if (delta >= 0.0) {
+      s.battery.discharge(delta);
+    } else {
+      s.battery.charge(-delta);  // clamped at capacity by the battery
+    }
+    // The node's own estimate drains at the consumption rate; harvested
+    // energy is only credited when a service ends (note_service_ended).
+    s.believed = std::max(0.0, s.believed - s.drain * dt);
+  }
+  s.sync_time = now;
+}
+
+void World::reschedule(net::NodeId id) {
+  NodeState& s = state(id);
+  if (!s.alive) return;
+  WRSN_ASSERT(s.sync_time == sim_.now());
+
+  // Death event.
+  const std::uint64_t death_ver = ++s.death_version;
+  const Watts net = net_drain(s);
+  if (net > 0.0) {
+    const Seconds at = sim_.now() + s.battery.level() / net;
+    sim_.schedule_at(at, [this, id, death_ver] { fire_death(id, death_ver); });
+  }
+
+  // Request-arming event (believed-level crossing).
+  const std::uint64_t req_ver = ++s.request_version;
+  const Seconds req_at = predicted_request(id);
+  if (req_at < kInf) {
+    sim_.schedule_at(req_at,
+                     [this, id, req_ver] { fire_request(id, req_ver); });
+  }
+
+  // Hardware low-voltage comparator (true-level crossing).
+  if (params_.emergency_enabled) {
+    const std::uint64_t em_ver = ++s.emergency_version;
+    const Joules em_level = params_.emergency_fraction * s.battery.capacity();
+    if (net > 0.0 && s.battery.level() > em_level) {
+      const Seconds at = sim_.now() + (s.battery.level() - em_level) / net;
+      sim_.schedule_at(at,
+                       [this, id, em_ver] { fire_emergency(id, em_ver); });
+    } else if (s.battery.level() <= em_level && !s.pending && !s.in_service) {
+      // The comparator output is level-triggered: it (re)asserts as soon as
+      // the node may speak again, even straight out of a service cooldown.
+      sim_.schedule_at(std::max(sim_.now(), s.cooldown_until),
+                       [this, id, em_ver] { fire_emergency(id, em_ver); });
+    }
+  }
+}
+
+void World::fire_death(net::NodeId id, std::uint64_t version) {
+  NodeState& s = state(id);
+  if (!s.alive || version != s.death_version) return;
+  resync(id);
+  if (s.battery.level() > kLevelEpsilon) {
+    // Rates changed between scheduling and firing; reschedule instead.
+    reschedule(id);
+    return;
+  }
+
+  s.alive = false;
+  s.charge = 0.0;
+  --alive_count_;
+  ++s.death_version;
+  ++s.request_version;
+  ++s.emergency_version;
+  ++s.escalation_version;
+
+  trace_.deaths.push_back({sim_.now(), id, s.pending});
+  log(LogLevel::Debug) << "node " << id << " died at t=" << sim_.now()
+                       << (s.pending ? " (request outstanding)" : "");
+
+  recompute_routing();
+  for (const auto& listener : death_listeners_) listener(id);
+}
+
+void World::fire_request(net::NodeId id, std::uint64_t version) {
+  NodeState& s = state(id);
+  if (!s.alive || s.pending || s.in_service || version != s.request_version) {
+    return;
+  }
+  if (sim_.now() < s.cooldown_until) return;
+  resync(id);
+  const Joules threshold = params_.request_threshold * s.battery.capacity();
+  if (believed_level(id) > threshold + kLevelEpsilon) {
+    reschedule(id);  // level rose (charging) before the event fired
+    return;
+  }
+  issue_request(id, /*emergency=*/false);
+}
+
+void World::fire_emergency(net::NodeId id, std::uint64_t version) {
+  NodeState& s = state(id);
+  if (!s.alive || s.in_service || version != s.emergency_version) return;
+  if (sim_.now() < s.cooldown_until) {
+    // Re-arm after the rate-limit gap: the comparator output is level-
+    // triggered, so it re-asserts as soon as the node may speak again.
+    const std::uint64_t em_ver = s.emergency_version;
+    sim_.schedule_at(s.cooldown_until,
+                     [this, id, em_ver] { fire_emergency(id, em_ver); });
+    return;
+  }
+  resync(id);
+  const Joules em_level = params_.emergency_fraction * s.battery.capacity();
+  if (s.battery.level() > em_level + kLevelEpsilon) {
+    reschedule(id);
+    return;
+  }
+  if (s.pending) {
+    // Upgrade the outstanding request to an emergency: tighten escalation.
+    if (!s.pending_emergency) {
+      s.pending_emergency = true;
+      s.escalation_deadline =
+          std::min(s.escalation_deadline,
+                   sim_.now() + params_.emergency_patience);
+      const std::uint64_t esc_ver = ++s.escalation_version;
+      sim_.schedule_at(s.escalation_deadline, [this, id, esc_ver] {
+        fire_escalation(id, esc_ver);
+      });
+      trace_.requests.push_back(
+          {sim_.now(), id, s.battery.level(), /*emergency=*/true});
+      for (const auto& listener : request_listeners_) listener(id);
+    }
+    return;
+  }
+  issue_request(id, /*emergency=*/true);
+}
+
+void World::issue_request(net::NodeId id, bool emergency) {
+  NodeState& s = state(id);
+  s.pending = true;
+  s.pending_emergency = emergency;
+  s.requested_at = sim_.now();
+  const Seconds patience =
+      emergency ? params_.emergency_patience : params_.patience;
+  s.escalation_deadline = sim_.now() + patience;
+  trace_.requests.push_back({sim_.now(), id, s.battery.level(), emergency});
+
+  const std::uint64_t esc_ver = ++s.escalation_version;
+  sim_.schedule_at(s.escalation_deadline,
+                   [this, id, esc_ver] { fire_escalation(id, esc_ver); });
+
+  for (const auto& listener : request_listeners_) listener(id);
+}
+
+void World::fire_escalation(net::NodeId id, std::uint64_t version) {
+  NodeState& s = state(id);
+  if (!s.alive || !s.pending || version != s.escalation_version) return;
+  trace_.escalations.push_back({sim_.now(), id});
+  log(LogLevel::Debug) << "escalation for node " << id
+                       << " at t=" << sim_.now();
+  for (const auto& listener : escalation_listeners_) listener(id);
+}
+
+void World::recompute_routing() {
+  std::vector<bool> mask(states_.size());
+  for (net::NodeId id = 0; id < states_.size(); ++id) {
+    mask[id] = states_[id].alive;
+  }
+  routing_ = net::build_routing_tree(network_, mask, params_.routing);
+  loads_ = net::compute_loads(network_, routing_, mask);
+  const std::vector<Watts> drains =
+      net::compute_drain_rates(network_, routing_, loads_, params_.drain);
+
+  for (net::NodeId id = 0; id < states_.size(); ++id) {
+    NodeState& s = states_[id];
+    if (!s.alive) continue;
+    resync(id);
+    s.drain = drains[id];
+    reschedule(id);
+  }
+}
+
+}  // namespace wrsn::sim

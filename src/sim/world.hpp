@@ -1,0 +1,240 @@
+// Live WRSN world state on top of the event kernel.
+//
+// Energy is accounted lazily: each node stores its battery level at the last
+// synchronization point plus constant drain/charge rates; levels at `now` are
+// linear extrapolations, and deaths/threshold crossings are scheduled as
+// analytic events (no ticking).  A node death invalidates the routing tree,
+// so the world recomputes routes, loads, and drain rates and reschedules all
+// pending node events with version counters (the standard invalidate-by-
+// version idiom for mutable-deadline event queues).
+//
+// Charging-service protocol (the contract both the benign charger and the
+// attacker operate under), and the believed-level mechanism the attack
+// exploits:
+//   * Nodes cannot meter harvested energy precisely (commodity SoC gauges
+//     are noisy), so each node tracks a BELIEVED level: its true level plus
+//     a surplus equal to the energy the charging service was expected to
+//     deliver but did not.  Requests are armed on the believed level.
+//   * A node issues a charging request when its believed level falls below
+//     `request_threshold`; if the request stays unserved for `patience`
+//     seconds the base station escalates (a service-failure record).
+//   * When service starts the request is considered answered; when it ends
+//     the node adds the EXPECTED gain to its believed level.  A spoof-charged
+//     node therefore believes it is nearly full, schedules its next request
+//     far in the future, and dies silently first — "exhausted in vain".
+//   * Optional defense (`emergency_enabled`): a hardware low-voltage
+//     comparator on the TRUE level fires an emergency request at
+//     `emergency_fraction` regardless of beliefs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "energy/battery.hpp"
+#include "net/keynodes.hpp"
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "wpt/charging_model.hpp"
+
+namespace wrsn::sim {
+
+/// Tunable protocol and physics parameters of the world.
+struct WorldParams {
+  /// Believed battery fraction below which a node requests charging.
+  double request_threshold = 0.30;
+
+  /// Minimum gap between a service ending and the node's next request [s]
+  /// (protocol rate limit).
+  Seconds min_request_gap = 300.0;
+
+  /// Seconds an unserved request may age before the base station escalates.
+  /// Must be generous relative to session length (~25 min) or benign queueing
+  /// alone trips escalations.
+  Seconds patience = 7'200.0;
+
+  /// Genuine sessions aim to fill the battery to this fraction.
+  double charge_target_fraction = 0.95;
+
+  /// Mean multiplicative efficiency of genuine sessions relative to the
+  /// nominal docked harvest rate (partial service / misalignment is normal).
+  double benign_gain_mean = 0.85;
+
+  /// Coefficient of variation of the genuine-session efficiency.
+  double benign_gain_cv = 0.20;
+
+  /// Initial battery fractions are drawn uniform in this range, staggering
+  /// the first wave of requests as in a steady-state deployment.
+  double initial_level_min = 0.45;
+  double initial_level_max = 1.0;
+
+  /// Hardware low-voltage-interrupt defense: when enabled, a comparator on
+  /// the TRUE battery level fires an emergency request at
+  /// `emergency_fraction` no matter what the node believes.
+  bool emergency_enabled = false;
+  double emergency_fraction = 0.05;
+  Seconds emergency_patience = 600.0;
+
+  /// Mean time between background hardware failures per node [s];
+  /// 0 disables them.  Real deployments lose nodes to component faults;
+  /// the death-rate defense must be calibrated against this background,
+  /// which is also the noise the attack hides its kills in.
+  Seconds hardware_mtbf = 0.0;
+
+  wpt::ChargingModelParams charging;
+  net::RoutingParams routing;
+  net::DrainParams drain;
+
+  void validate() const;
+};
+
+/// A pending charging request as seen by the charging service.
+struct PendingRequest {
+  net::NodeId node = net::kInvalidNode;
+  Seconds requested_at = 0.0;
+  /// Escalation fires at this absolute time if unserved.
+  Seconds escalation_deadline = 0.0;
+  bool emergency = false;
+};
+
+/// Mutable network world; all mutation flows through event callbacks and the
+/// charger-facing service API.
+class World {
+ public:
+  World(Simulator& sim, net::Network network, const WorldParams& params,
+        Rng rng);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- static context -------------------------------------------------------
+  const net::Network& network() const { return network_; }
+  const wpt::ChargingModel& charging_model() const { return charging_model_; }
+  const WorldParams& params() const { return params_; }
+  Simulator& simulator() { return sim_; }
+
+  // --- live state queries ---------------------------------------------------
+  bool alive(net::NodeId id) const;
+  std::size_t alive_count() const { return alive_count_; }
+  /// True battery level at the current simulation time [J].
+  Joules level(net::NodeId id) const;
+  double level_fraction(net::NodeId id) const;
+  /// What the node believes its level is (true level + trusted-but-undelivered
+  /// surplus), capped at capacity.
+  Joules believed_level(net::NodeId id) const;
+  Watts drain_rate(net::NodeId id) const;
+  Watts charge_rate(net::NodeId id) const;
+  /// Time the node dies if no further charge arrives; +inf if net-positive.
+  Seconds predicted_death(net::NodeId id) const;
+  /// Time the node will next issue a request (alive, non-pending nodes);
+  /// +inf if it never will at current rates.
+  Seconds predicted_request(net::NodeId id) const;
+  bool has_pending_request(net::NodeId id) const;
+  std::vector<PendingRequest> pending_requests() const;
+  const net::RoutingTree& routing() const { return routing_; }
+  const net::TrafficLoads& loads() const { return loads_; }
+  /// Alive nodes currently connected to the sink.
+  std::size_t sink_connected_count() const;
+
+  // --- charging-service API (benign charger and attacker both use this) -----
+  /// Nominal harvest rate of a docked genuine session [W].
+  Watts nominal_dc_power() const;
+  /// Session length a charger plans to restore `deficit` joules, using the
+  /// fleet-calibrated mean session efficiency.
+  Seconds planned_session_duration(Joules deficit) const;
+  /// Energy a node expects from a session of `duration` — the calibrated
+  /// expectation (unbiased for honest service), which is what the node
+  /// credits its believed level with.
+  Joules expected_session_gain(Seconds duration) const;
+  /// Draws the per-session multiplicative efficiency of a genuine session.
+  double draw_genuine_gain_factor();
+  /// Sets the DC power currently flowing into a node's battery (0 stops).
+  /// No-op (returns false) if the node is dead.
+  bool set_charge_input(net::NodeId id, Watts dc);
+  /// Marks the node's outstanding request as being answered (service began):
+  /// cancels the escalation timer.
+  void note_service_started(net::NodeId id);
+  /// Marks service complete.  The node credits its believed level with
+  /// `expected` (it trusts the service) while only `delivered` actually
+  /// arrived; the believed-vs-true surplus grows by the difference.
+  void note_service_ended(net::NodeId id, Joules expected, Joules delivered);
+
+  // --- event subscription ----------------------------------------------------
+  /// Adds a charging-service request listener.  Multi-charger fleets
+  /// register one listener per vehicle and filter by territory.
+  void add_request_listener(std::function<void(net::NodeId)> listener);
+  /// Convenience for the single-charger case (same as adding a listener).
+  void set_request_handler(std::function<void(net::NodeId)> handler);
+  void add_death_listener(std::function<void(net::NodeId)> listener);
+  void add_escalation_listener(std::function<void(net::NodeId)> listener);
+
+  // --- trace -----------------------------------------------------------------
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  struct NodeState {
+    energy::Battery battery;
+    Seconds sync_time = 0.0;
+    Watts drain = 0.0;
+    Watts charge = 0.0;
+    /// The node's own estimate of its level [J], tracked independently of
+    /// the true battery: it drains at the measured consumption rate and is
+    /// credited with the EXPECTED gain when a service ends (the node cannot
+    /// meter the harvest itself).  Honest service keeps it near the truth;
+    /// a spoofed session inflates it by the whole expected gain.
+    Joules believed = 0.0;
+    bool alive = true;
+    bool pending = false;
+    bool pending_emergency = false;
+    bool in_service = false;
+    Seconds requested_at = 0.0;
+    Seconds escalation_deadline = 0.0;
+    Seconds cooldown_until = 0.0;  ///< min-request-gap guard
+    std::uint64_t death_version = 0;
+    std::uint64_t request_version = 0;
+    std::uint64_t emergency_version = 0;
+    std::uint64_t escalation_version = 0;
+
+    explicit NodeState(energy::Battery b) : battery(std::move(b)) {}
+  };
+
+  Watts net_drain(const NodeState& state) const {
+    return state.drain - state.charge;
+  }
+  NodeState& state(net::NodeId id);
+  const NodeState& state(net::NodeId id) const;
+
+  /// Folds elapsed time into the battery and resets the sync point.
+  void resync(net::NodeId id);
+  /// (Re)schedules the death, request-arming, and emergency events.
+  void reschedule(net::NodeId id);
+  void fire_death(net::NodeId id, std::uint64_t version);
+  void fire_hardware_failure(net::NodeId id);
+  void fire_request(net::NodeId id, std::uint64_t version);
+  void fire_emergency(net::NodeId id, std::uint64_t version);
+  void fire_escalation(net::NodeId id, std::uint64_t version);
+  void issue_request(net::NodeId id, bool emergency);
+  /// Rebuilds routing/loads/drains after a topology change and reschedules
+  /// every alive node.
+  void recompute_routing();
+
+  Simulator& sim_;
+  net::Network network_;
+  WorldParams params_;
+  wpt::ChargingModel charging_model_;
+  Rng rng_;
+  std::vector<NodeState> states_;
+  std::size_t alive_count_ = 0;
+  net::RoutingTree routing_;
+  net::TrafficLoads loads_;
+  Trace trace_;
+  std::vector<std::function<void(net::NodeId)>> request_listeners_;
+  std::vector<std::function<void(net::NodeId)>> death_listeners_;
+  std::vector<std::function<void(net::NodeId)>> escalation_listeners_;
+};
+
+}  // namespace wrsn::sim

@@ -1,0 +1,119 @@
+// Tests for the INI scenario-configuration loader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/config_io.hpp"
+#include "common/check.hpp"
+
+namespace wrsn::analysis {
+namespace {
+
+std::map<std::string, std::string> parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_ini(in);
+}
+
+TEST(Ini, ParsesKeysCommentsAndSections) {
+  const auto entries = parse(
+      "# comment line\n"
+      "[topology]\n"
+      "topology.node_count = 50   # trailing comment\n"
+      "\n"
+      "seed=9\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.at("topology.node_count"), "50");
+  EXPECT_EQ(entries.at("seed"), "9");
+}
+
+TEST(Ini, RejectsMalformedLines) {
+  EXPECT_THROW(parse("this is not a key value pair\n"), ConfigError);
+  EXPECT_THROW(parse("= value\n"), ConfigError);
+  EXPECT_THROW(parse("key =\n"), ConfigError);
+}
+
+TEST(Ini, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse("seed = 1\nseed = 2\n"), ConfigError);
+}
+
+TEST(Config, AppliesOverridesOnDefaults) {
+  std::istringstream in(
+      "topology.node_count = 42\n"
+      "topology.region_size = 250\n"
+      "world.patience = 5000\n"
+      "attack.spoof_mode = partial-cancel\n"
+      "attack.key_rule = top-traffic\n"
+      "benign.policy = tour\n"
+      "horizon = 100000\n"
+      "hardened_detectors = true\n"
+      "seed = 77\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_EQ(cfg.topology.node_count, 42u);
+  EXPECT_DOUBLE_EQ(cfg.topology.region.hi.x, 250.0);
+  EXPECT_DOUBLE_EQ(cfg.world.patience, 5000.0);
+  EXPECT_EQ(cfg.attack.spoof_mode, csa::SpoofMode::PartialCancel);
+  EXPECT_EQ(cfg.attack.key_selection.rule, net::KeyNodeRule::TopTraffic);
+  EXPECT_EQ(cfg.benign.policy, mc::SchedulePolicy::Tour);
+  EXPECT_DOUBLE_EQ(cfg.horizon, 100'000.0);
+  // Horizon propagates into the attack campaign deadline.
+  EXPECT_DOUBLE_EQ(cfg.attack.campaign_deadline, 100'000.0);
+  EXPECT_TRUE(cfg.hardened_detectors);
+  EXPECT_EQ(cfg.seed, 77u);
+}
+
+TEST(Config, UnsetKeysKeepDefaults) {
+  std::istringstream in("seed = 3\n");
+  const ScenarioConfig cfg = load_config(in);
+  const ScenarioConfig defaults = default_scenario();
+  EXPECT_EQ(cfg.topology.node_count, defaults.topology.node_count);
+  EXPECT_DOUBLE_EQ(cfg.world.patience, defaults.world.patience);
+  EXPECT_EQ(cfg.seed, 3u);
+}
+
+TEST(Config, UnknownKeyThrows) {
+  std::istringstream in("topology.node_cnt = 10\n");  // typo
+  EXPECT_THROW(load_config(in), ConfigError);
+}
+
+TEST(Config, BadValuesThrow) {
+  {
+    std::istringstream in("topology.node_count = fifty\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("topology.node_count = 12.5\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("hardened_detectors = maybe\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("attack.spoof_mode = invisible\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("world.patience = 5000km\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+}
+
+TEST(Config, MissingFileThrows) {
+  EXPECT_THROW(load_config_file("/nonexistent/config.ini"), ConfigError);
+}
+
+TEST(Config, LoadedConfigValidatesAndRuns) {
+  std::istringstream in(
+      "topology.node_count = 40\n"
+      "topology.region_size = 220\n"
+      "horizon = 86400\n"
+      "seed = 5\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_NO_THROW(cfg.topology.validate());
+  EXPECT_NO_THROW(cfg.world.validate());
+  const ScenarioResult result = run_scenario(cfg, ChargerMode::Benign);
+  EXPECT_EQ(result.node_count, 40u);
+}
+
+}  // namespace
+}  // namespace wrsn::analysis

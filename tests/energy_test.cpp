@@ -1,0 +1,148 @@
+// Tests for the battery and first-order radio energy models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "energy/battery.hpp"
+#include "energy/radio.hpp"
+
+namespace wrsn::energy {
+namespace {
+
+TEST(Battery, StartsFullByDefault) {
+  Battery b(100.0);
+  EXPECT_DOUBLE_EQ(b.level(), 100.0);
+  EXPECT_DOUBLE_EQ(b.capacity(), 100.0);
+  EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(b.headroom(), 0.0);
+  EXPECT_FALSE(b.depleted());
+}
+
+TEST(Battery, ConstructorValidation) {
+  EXPECT_THROW(Battery(0.0), PreconditionError);
+  EXPECT_THROW(Battery(-5.0), PreconditionError);
+  EXPECT_THROW(Battery(10.0, -1.0), PreconditionError);
+  EXPECT_THROW(Battery(10.0, 11.0), PreconditionError);
+  EXPECT_NO_THROW(Battery(10.0, 0.0));
+  EXPECT_NO_THROW(Battery(10.0, 10.0));
+}
+
+TEST(Battery, ChargeClampsAtCapacity) {
+  Battery b(100.0, 90.0);
+  EXPECT_DOUBLE_EQ(b.charge(30.0), 10.0);  // only 10 J fit
+  EXPECT_DOUBLE_EQ(b.level(), 100.0);
+  EXPECT_DOUBLE_EQ(b.charge(5.0), 0.0);
+}
+
+TEST(Battery, DischargeClampsAtZero) {
+  Battery b(100.0, 20.0);
+  EXPECT_DOUBLE_EQ(b.discharge(50.0), 20.0);
+  EXPECT_DOUBLE_EQ(b.level(), 0.0);
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.discharge(5.0), 0.0);
+}
+
+TEST(Battery, NegativeAmountsThrow) {
+  Battery b(100.0);
+  EXPECT_THROW(b.charge(-1.0), PreconditionError);
+  EXPECT_THROW(b.discharge(-1.0), PreconditionError);
+}
+
+TEST(Battery, ChargeDischargeConservation) {
+  Battery b(1000.0, 500.0);
+  const Joules in = b.charge(200.0);
+  const Joules out = b.discharge(300.0);
+  EXPECT_DOUBLE_EQ(b.level(), 500.0 + in - out);
+}
+
+TEST(Battery, TimeToEmpty) {
+  Battery b(100.0, 50.0);
+  EXPECT_DOUBLE_EQ(b.time_to_empty(5.0), 10.0);
+  EXPECT_TRUE(std::isinf(b.time_to_empty(0.0)));
+  EXPECT_TRUE(std::isinf(b.time_to_empty(-1.0)));
+}
+
+TEST(Battery, TimeToThreshold) {
+  Battery b(100.0, 80.0);
+  EXPECT_DOUBLE_EQ(b.time_to_threshold(30.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(b.time_to_threshold(80.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.time_to_threshold(90.0, 10.0), 0.0);  // already below
+  EXPECT_TRUE(std::isinf(b.time_to_threshold(30.0, 0.0)));
+}
+
+TEST(RadioParams, Validation) {
+  RadioParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.e_elec = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = RadioParams{};
+  p.e_amp = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(RadioModel, TxEnergyFormula) {
+  RadioModel radio;  // e_elec = 50 nJ/bit, e_amp = 100 pJ/bit/m^2
+  // 1000 bits over 10 m: 1000*50e-9 + 1000*100e-12*100 = 5e-5 + 1e-5.
+  EXPECT_NEAR(radio.tx_energy(1000.0, 10.0), 6e-5, 1e-12);
+}
+
+TEST(RadioModel, RxEnergyIndependentOfDistance) {
+  RadioModel radio;
+  EXPECT_NEAR(radio.rx_energy(1000.0), 5e-5, 1e-15);
+}
+
+TEST(RadioModel, ZeroBitsZeroEnergy) {
+  RadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.tx_energy(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(radio.rx_energy(0.0), 0.0);
+}
+
+TEST(RadioModel, NegativeInputsThrow) {
+  RadioModel radio;
+  EXPECT_THROW(radio.tx_energy(-1.0, 10.0), PreconditionError);
+  EXPECT_THROW(radio.tx_energy(10.0, -1.0), PreconditionError);
+  EXPECT_THROW(radio.rx_energy(-1.0), PreconditionError);
+}
+
+TEST(RadioModel, PowerIsEnergyPerSecondAtBps) {
+  RadioModel radio;
+  // tx_power(bps, d) must equal tx_energy(bps bits, d) numerically.
+  EXPECT_DOUBLE_EQ(radio.tx_power(2000.0, 25.0), radio.tx_energy(2000.0, 25.0));
+  EXPECT_DOUBLE_EQ(radio.rx_power(2000.0), radio.rx_energy(2000.0));
+}
+
+TEST(RadioModel, EnergyMonotoneInDistance) {
+  RadioModel radio;
+  double prev = 0.0;
+  for (double d = 0.0; d <= 100.0; d += 10.0) {
+    const double e = radio.tx_energy(1e4, d);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+// Property sweep: battery never leaves [0, capacity] under random op mixes.
+class BatteryFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatteryFuzz, LevelAlwaysInRange) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  std::srand(seed);
+  Battery b(500.0, 250.0);
+  for (int i = 0; i < 200; ++i) {
+    const double amount = (std::rand() % 1000) / 3.0;
+    if (std::rand() % 2 == 0) {
+      b.charge(amount);
+    } else {
+      b.discharge(amount);
+    }
+    EXPECT_GE(b.level(), 0.0);
+    EXPECT_LE(b.level(), b.capacity());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatteryFuzz, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace wrsn::energy

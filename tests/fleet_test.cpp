@@ -1,0 +1,129 @@
+// Tests for multi-charger fleets: partitioning, cooperative benign service,
+// and the compromised-member scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/scenario.hpp"
+#include "common/check.hpp"
+#include "mc/fleet.hpp"
+#include "net/topology.hpp"
+
+namespace wrsn::mc {
+namespace {
+
+net::Network fleet_network(std::uint64_t seed, std::size_t count = 60) {
+  net::TopologyConfig cfg;
+  cfg.region = {{0.0, 0.0}, {300.0, 300.0}};
+  cfg.node_count = count;
+  cfg.comm_range = 55.0;
+  Rng rng(seed);
+  return net::generate_topology(cfg, rng);
+}
+
+TEST(Fleet, DefaultDepotsInsideRegion) {
+  const geom::Rect region{{0.0, 0.0}, {100.0, 100.0}};
+  for (std::size_t count = 1; count <= 8; ++count) {
+    const auto depots = default_depots(region, count);
+    EXPECT_EQ(depots.size(), count);
+    for (const geom::Vec2 depot : depots) {
+      EXPECT_TRUE(region.contains(depot));
+    }
+  }
+  EXPECT_THROW(default_depots(region, 0), PreconditionError);
+  EXPECT_THROW(default_depots(region, 9), PreconditionError);
+}
+
+TEST(Fleet, PartitionCoversEveryNodeExactlyOnce) {
+  const net::Network network = fleet_network(1);
+  const auto depots = default_depots({{0, 0}, {300, 300}}, 4);
+  const auto cells = partition_by_depot(network, depots);
+  ASSERT_EQ(cells.size(), 4u);
+  std::set<net::NodeId> seen;
+  for (const auto& cell : cells) {
+    for (const net::NodeId id : cell) {
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), network.size());
+}
+
+TEST(Fleet, PartitionAssignsToNearestDepot) {
+  const net::Network network = fleet_network(2);
+  const auto depots = default_depots({{0, 0}, {300, 300}}, 2);
+  const auto cells = partition_by_depot(network, depots);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    for (const net::NodeId id : cells[k]) {
+      const geom::Vec2 pos = network.node(id).position;
+      for (std::size_t other = 0; other < depots.size(); ++other) {
+        EXPECT_LE(geom::distance(pos, depots[k]),
+                  geom::distance(pos, depots[other]) + 1e-9);
+      }
+    }
+  }
+}
+
+analysis::ScenarioConfig fleet_config(std::uint64_t seed) {
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Fleet, TwoHonestChargersShareTheLoad) {
+  const analysis::ScenarioResult result =
+      analysis::run_fleet_scenario(fleet_config(31), 2);
+  EXPECT_EQ(result.report.sessions_spoofed, 0u);
+  EXPECT_FALSE(result.report.detected);
+  EXPECT_LT(result.report.escalations, 4u);
+  // With two vehicles, the first vehicle's ledger shows roughly half the
+  // single-charger radiated load.
+  const analysis::ScenarioResult solo = analysis::run_scenario(
+      fleet_config(31), analysis::ChargerMode::Benign);
+  EXPECT_LT(result.ledger.radiated_total(),
+            0.85 * solo.ledger.radiated_total());
+}
+
+TEST(Fleet, CompromisedMemberAttacksOnlyItsCell) {
+  analysis::ScenarioConfig cfg = fleet_config(32);
+  const analysis::ScenarioResult result =
+      analysis::run_fleet_scenario(cfg, 3, /*compromised=*/1);
+
+  // Recreate the same partition to know cell 1.
+  Rng rng(cfg.seed);
+  Rng topo_rng = rng.fork("topology");
+  const net::Network network =
+      net::generate_topology(cfg.topology, topo_rng);
+  const auto depots = default_depots(cfg.topology.region, 3);
+  const auto cells = partition_by_depot(network, depots);
+  const std::set<net::NodeId> cell(cells[1].begin(), cells[1].end());
+
+  ASSERT_FALSE(result.keys.empty());
+  for (const net::NodeId key : result.keys) {
+    EXPECT_TRUE(cell.count(key) > 0)
+        << "target " << key << " outside the compromised cell";
+  }
+  // Spoofed sessions only hit nodes in the cell.
+  for (const sim::SessionRecord& s : result.trace.sessions) {
+    if (s.kind == sim::SessionKind::Spoofed) {
+      EXPECT_TRUE(cell.count(s.node) > 0);
+    }
+  }
+}
+
+TEST(Fleet, CompromisedMemberStillKillsItsTargets) {
+  const analysis::ScenarioResult result =
+      analysis::run_fleet_scenario(fleet_config(33), 3, 0);
+  EXPECT_GT(result.report.sessions_spoofed, 0u);
+  EXPECT_GE(result.report.exhaustion_ratio, 0.5);
+}
+
+TEST(Fleet, HonestMembersDoNotMaskTheHardenedAudit) {
+  analysis::ScenarioConfig cfg = fleet_config(34);
+  cfg.hardened_detectors = true;
+  const analysis::ScenarioResult result =
+      analysis::run_fleet_scenario(cfg, 3, 0);
+  EXPECT_TRUE(result.report.detected);
+}
+
+}  // namespace
+}  // namespace wrsn::mc

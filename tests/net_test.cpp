@@ -1,0 +1,391 @@
+// Tests for the network substrate: graph construction, topology generators,
+// routing/traffic/drain computation, and key-node analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/keynodes.hpp"
+#include "net/network.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace wrsn::net {
+namespace {
+
+using geom::Vec2;
+
+/// Hand-built line topology: sink - n0 - n1 - n2 - ... spaced `gap` apart,
+/// sink at origin, nodes along +x.
+Network make_line(std::size_t count, Meters gap = 10.0,
+                  Meters comm_range = 12.0) {
+  std::vector<SensorSpec> nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    SensorSpec spec;
+    spec.id = static_cast<NodeId>(i);
+    spec.position = {gap * double(i + 1), 0.0};
+    spec.data_rate_bps = 1000.0;
+    nodes.push_back(spec);
+  }
+  return Network(std::move(nodes), {0.0, 0.0}, comm_range);
+}
+
+TEST(Network, RejectsBadInput) {
+  std::vector<SensorSpec> empty;
+  EXPECT_THROW(Network(std::move(empty), {0, 0}, 10.0), PreconditionError);
+
+  std::vector<SensorSpec> wrong_id(1);
+  wrong_id[0].id = 5;
+  wrong_id[0].battery_capacity = 100.0;
+  EXPECT_THROW(Network(std::move(wrong_id), {0, 0}, 10.0), PreconditionError);
+
+  std::vector<SensorSpec> bad_range(1);
+  bad_range[0].id = 0;
+  bad_range[0].battery_capacity = 100.0;
+  EXPECT_THROW(Network(std::move(bad_range), {0, 0}, 0.0), PreconditionError);
+}
+
+TEST(Network, LineAdjacency) {
+  const Network net = make_line(4);
+  EXPECT_EQ(net.size(), 4u);
+  // Chain: each interior node has 2 neighbours, ends have 1.
+  EXPECT_EQ(net.neighbors(0).size(), 1u);
+  EXPECT_EQ(net.neighbors(1).size(), 2u);
+  EXPECT_EQ(net.neighbors(2).size(), 2u);
+  EXPECT_EQ(net.neighbors(3).size(), 1u);
+  // Only node 0 reaches the sink directly (10 <= 12).
+  EXPECT_TRUE(net.sink_reachable(0));
+  EXPECT_FALSE(net.sink_reachable(1));
+  ASSERT_EQ(net.sink_neighbors().size(), 1u);
+  EXPECT_EQ(net.sink_neighbors()[0], 0u);
+}
+
+TEST(Network, DistanceHelpers) {
+  const Network net = make_line(3);
+  EXPECT_DOUBLE_EQ(net.distance(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(net.distance_to_sink(1), 20.0);
+  EXPECT_THROW(net.node(99), PreconditionError);
+}
+
+TEST(Connectivity, LineIsConnected) {
+  const Network net = make_line(5);
+  EXPECT_TRUE(is_connected(net));
+  EXPECT_EQ(count_sink_connected(net), 5u);
+}
+
+TEST(Connectivity, KillingMiddleDisconnectsTail) {
+  const Network net = make_line(5);
+  std::vector<bool> alive(5, true);
+  alive[2] = false;
+  EXPECT_FALSE(is_connected(net, alive));
+  // Nodes 0, 1 still reach the sink.
+  EXPECT_EQ(count_sink_connected(net, alive), 2u);
+}
+
+TEST(Connectivity, AliveMaskSizeMismatchThrows) {
+  const Network net = make_line(3);
+  std::vector<bool> bad(2, true);
+  EXPECT_THROW(count_sink_connected(net, bad), PreconditionError);
+}
+
+TEST(Topology, GeneratorsProduceConnectedNetworks) {
+  for (const Deployment dep :
+       {Deployment::Uniform, Deployment::Grid, Deployment::Clustered}) {
+    TopologyConfig cfg;
+    cfg.node_count = 60;
+    cfg.comm_range = 25.0;
+    cfg.deployment = dep;
+    Rng rng(17);
+    const Network net = generate_topology(cfg, rng);
+    EXPECT_EQ(net.size(), 60u);
+    EXPECT_TRUE(is_connected(net));
+    for (const SensorSpec& spec : net.nodes()) {
+      EXPECT_TRUE(cfg.region.contains(spec.position));
+      EXPECT_GT(spec.data_rate_bps, 0.0);
+    }
+  }
+}
+
+TEST(Topology, ImpossibleDensityThrows) {
+  TopologyConfig cfg;
+  cfg.node_count = 5;
+  cfg.comm_range = 2.0;  // 5 nodes on 100x100 with 2 m radios: hopeless
+  cfg.max_attempts = 4;
+  Rng rng(1);
+  EXPECT_THROW(generate_topology(cfg, rng), SimulationError);
+}
+
+TEST(Topology, ConfigValidation) {
+  TopologyConfig cfg;
+  cfg.node_count = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = TopologyConfig{};
+  cfg.comm_range = -1.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = TopologyConfig{};
+  cfg.sink_at_center = false;
+  cfg.sink_position = {1e9, 1e9};
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  TopologyConfig cfg;
+  cfg.node_count = 40;
+  cfg.comm_range = 30.0;
+  Rng r1(5), r2(5);
+  const Network a = generate_topology(cfg, r1);
+  const Network b = generate_topology(cfg, r2);
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i).position, b.node(i).position);
+    EXPECT_DOUBLE_EQ(a.node(i).data_rate_bps, b.node(i).data_rate_bps);
+  }
+}
+
+TEST(Routing, LineBuildsChainTree) {
+  const Network net = make_line(4);
+  const RoutingTree tree = build_routing_tree(net);
+  EXPECT_TRUE(tree.reachable[0]);
+  EXPECT_TRUE(tree.reachable[3]);
+  EXPECT_EQ(tree.parent[0], kInvalidNode);  // direct to sink
+  EXPECT_EQ(tree.parent[1], 0u);
+  EXPECT_EQ(tree.parent[2], 1u);
+  EXPECT_EQ(tree.parent[3], 2u);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(tree.uplink_distance[i], 10.0);
+  }
+}
+
+TEST(Routing, PathCostsIncreaseAlongChain) {
+  const Network net = make_line(4);
+  const RoutingTree tree = build_routing_tree(net);
+  for (NodeId i = 1; i < 4; ++i) {
+    EXPECT_GT(tree.path_cost[i], tree.path_cost[i - 1]);
+  }
+}
+
+TEST(Routing, DeadNodesAreUnreachable) {
+  const Network net = make_line(4);
+  std::vector<bool> alive(4, true);
+  alive[1] = false;
+  const RoutingTree tree = build_routing_tree(net, alive);
+  EXPECT_TRUE(tree.reachable[0]);
+  EXPECT_FALSE(tree.reachable[1]);
+  EXPECT_FALSE(tree.reachable[2]);  // cut off behind the dead node
+  EXPECT_FALSE(tree.reachable[3]);
+}
+
+TEST(Routing, SettleOrderIsTopological) {
+  TopologyConfig cfg;
+  cfg.node_count = 50;
+  cfg.comm_range = 30.0;
+  Rng rng(3);
+  const Network net = generate_topology(cfg, rng);
+  const RoutingTree tree = build_routing_tree(net);
+  // A parent must settle before its child.
+  std::vector<int> position(net.size(), -1);
+  for (std::size_t i = 0; i < tree.settle_order.size(); ++i) {
+    position[tree.settle_order[i]] = static_cast<int>(i);
+  }
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (!tree.reachable[id] || tree.parent[id] == kInvalidNode) continue;
+    EXPECT_LT(position[tree.parent[id]], position[id]);
+  }
+}
+
+TEST(Loads, LineAggregatesDownstreamTraffic) {
+  const Network net = make_line(4);  // each node generates 1000 bps
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  EXPECT_DOUBLE_EQ(loads.tx_bps[3], 1000.0);
+  EXPECT_DOUBLE_EQ(loads.tx_bps[2], 2000.0);
+  EXPECT_DOUBLE_EQ(loads.tx_bps[1], 3000.0);
+  EXPECT_DOUBLE_EQ(loads.tx_bps[0], 4000.0);
+  EXPECT_DOUBLE_EQ(loads.rx_bps[0], 3000.0);
+  EXPECT_DOUBLE_EQ(loads.rx_bps[3], 0.0);
+}
+
+TEST(Loads, TrafficConservation) {
+  // Total tx at sink uplinks equals total generated by reachable nodes.
+  TopologyConfig cfg;
+  cfg.node_count = 80;
+  cfg.comm_range = 30.0;
+  Rng rng(11);
+  const Network net = generate_topology(cfg, rng);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+
+  double generated = 0.0;
+  for (const SensorSpec& spec : net.nodes()) generated += spec.data_rate_bps;
+  double into_sink = 0.0;
+  for (NodeId id = 0; id < net.size(); ++id) {
+    if (tree.reachable[id] && tree.parent[id] == kInvalidNode) {
+      into_sink += loads.tx_bps[id];
+    }
+  }
+  EXPECT_NEAR(into_sink, generated, 1e-6);
+}
+
+TEST(Drains, SensingFloorAlwaysPaid) {
+  const Network net = make_line(3);
+  std::vector<bool> alive(3, true);
+  alive[0] = false;  // nodes 1, 2 unreachable
+  const RoutingTree tree = build_routing_tree(net, alive);
+  const TrafficLoads loads = compute_loads(net, tree, alive);
+  DrainParams params;
+  params.sensing_power = 0.005;
+  const auto drains = compute_drain_rates(net, tree, loads, params);
+  EXPECT_DOUBLE_EQ(drains[1], 0.005);  // unreachable: sensing only
+  EXPECT_DOUBLE_EQ(drains[2], 0.005);
+}
+
+TEST(Drains, RelayDrainsMoreThanLeaf) {
+  const Network net = make_line(4);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  const auto drains = compute_drain_rates(net, tree, loads);
+  EXPECT_GT(drains[0], drains[3]);
+  EXPECT_GT(drains[1], drains[2]);
+}
+
+TEST(KeyNodes, LineInteriorNodesAreArticulation) {
+  const Network net = make_line(4);
+  const auto cuts = articulation_points(net);
+  // All but the last node are cut vertices of the sink-rooted chain.
+  const std::set<NodeId> cut_set(cuts.begin(), cuts.end());
+  EXPECT_TRUE(cut_set.count(0));
+  EXPECT_TRUE(cut_set.count(1));
+  EXPECT_TRUE(cut_set.count(2));
+  EXPECT_FALSE(cut_set.count(3));
+}
+
+TEST(KeyNodes, TriangleHasNoArticulation) {
+  // Three mutually-connected nodes all adjacent to the sink: no cuts.
+  std::vector<SensorSpec> nodes(3);
+  for (NodeId i = 0; i < 3; ++i) {
+    nodes[i].id = i;
+    nodes[i].data_rate_bps = 100.0;
+  }
+  nodes[0].position = {5.0, 0.0};
+  nodes[1].position = {0.0, 5.0};
+  nodes[2].position = {4.0, 4.0};
+  const Network net(std::move(nodes), {0.0, 0.0}, 10.0);
+  EXPECT_TRUE(articulation_points(net).empty());
+}
+
+TEST(KeyNodes, TarjanMatchesBruteForce) {
+  // Property check on random graphs: a node is an articulation point iff
+  // removing it disconnects some alive node from the sink.
+  for (int seed = 1; seed <= 5; ++seed) {
+    TopologyConfig cfg;
+    cfg.node_count = 40;
+    cfg.comm_range = 24.0;
+    Rng rng(static_cast<std::uint64_t>(seed));
+    const Network net = generate_topology(cfg, rng);
+    const auto cuts = articulation_points(net);
+    const std::set<NodeId> cut_set(cuts.begin(), cuts.end());
+
+    const std::size_t base = count_sink_connected(net);
+    for (NodeId id = 0; id < net.size(); ++id) {
+      std::vector<bool> alive(net.size(), true);
+      alive[id] = false;
+      const std::size_t connected = count_sink_connected(net, alive);
+      const bool disconnects = connected < base - 1;
+      EXPECT_EQ(cut_set.count(id) > 0, disconnects)
+          << "seed " << seed << " node " << id;
+    }
+  }
+}
+
+TEST(KeyNodes, RankOrdersByDisconnectThenTraffic) {
+  const Network net = make_line(5);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  const auto ranked = rank_key_nodes(net, loads);
+  ASSERT_EQ(ranked.size(), 5u);
+  // Node 0 disconnects 4 others, node 1 disconnects 3, etc.
+  EXPECT_EQ(ranked[0].id, 0u);
+  EXPECT_EQ(ranked[0].disconnect_count, 4u);
+  EXPECT_EQ(ranked[1].id, 1u);
+  EXPECT_EQ(ranked[1].disconnect_count, 3u);
+  EXPECT_EQ(ranked.back().id, 4u);
+  EXPECT_EQ(ranked.back().disconnect_count, 0u);
+}
+
+TEST(KeyNodes, SelectArticulationStopsAtNonCuts) {
+  const Network net = make_line(5);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  KeyNodeConfig cfg;
+  cfg.rule = KeyNodeRule::Articulation;
+  cfg.max_count = 10;
+  const auto keys = select_key_nodes(net, loads, cfg);
+  EXPECT_EQ(keys.size(), 4u);  // node 4 is not a cut vertex
+}
+
+TEST(KeyNodes, SelectTopTraffic) {
+  const Network net = make_line(5);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  KeyNodeConfig cfg;
+  cfg.rule = KeyNodeRule::TopTraffic;
+  cfg.max_count = 2;
+  const auto keys = select_key_nodes(net, loads, cfg);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 0u);  // carries everything
+  EXPECT_EQ(keys[1], 1u);
+}
+
+TEST(KeyNodes, HybridFillsWithTraffic) {
+  const Network net = make_line(5);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  KeyNodeConfig cfg;
+  cfg.rule = KeyNodeRule::Hybrid;
+  cfg.max_count = 5;
+  const auto keys = select_key_nodes(net, loads, cfg);
+  EXPECT_EQ(keys.size(), 5u);  // 4 cuts + node 4 via traffic fill
+  const std::set<NodeId> key_set(keys.begin(), keys.end());
+  EXPECT_TRUE(key_set.count(4));
+}
+
+TEST(KeyNodes, MaxCountRespected) {
+  const Network net = make_line(5);
+  const RoutingTree tree = build_routing_tree(net);
+  const TrafficLoads loads = compute_loads(net, tree);
+  KeyNodeConfig cfg;
+  cfg.max_count = 2;
+  for (const KeyNodeRule rule : {KeyNodeRule::Articulation,
+                                 KeyNodeRule::TopTraffic,
+                                 KeyNodeRule::Hybrid}) {
+    cfg.rule = rule;
+    EXPECT_LE(select_key_nodes(net, loads, cfg).size(), 2u);
+  }
+}
+
+// Parameterized: deployments stay connected across sizes.
+class TopologySweep
+    : public ::testing::TestWithParam<std::tuple<int, Deployment>> {};
+
+TEST_P(TopologySweep, ConnectedAtAllSizes) {
+  const auto [count, dep] = GetParam();
+  TopologyConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(count);
+  cfg.comm_range = 30.0;
+  cfg.deployment = dep;
+  Rng rng(static_cast<std::uint64_t>(count) * 31 + 7);
+  const Network net = generate_topology(cfg, rng);
+  EXPECT_TRUE(is_connected(net));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologySweep,
+    ::testing::Combine(::testing::Values(20, 50, 100, 150),
+                       ::testing::Values(Deployment::Uniform, Deployment::Grid,
+                                         Deployment::Clustered)));
+
+}  // namespace
+}  // namespace wrsn::net

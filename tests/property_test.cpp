@@ -1,0 +1,205 @@
+// Cross-cutting property tests: invariants that must hold for every random
+// instance, seed, and planner — plan feasibility, energy accounting, wave
+// physics conservation, and world-level monotonicities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/scenario.hpp"
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "core/planners.hpp"
+#include "wpt/charging_model.hpp"
+#include "wpt/spoofing.hpp"
+#include "wpt/wave.hpp"
+
+namespace wrsn {
+namespace {
+
+csa::TideInstance random_tide(Rng& gen, int keys, int stops) {
+  csa::TideInstance inst;
+  inst.start_position = {gen.uniform(-20.0, 20.0), gen.uniform(-20.0, 20.0)};
+  inst.start_time = gen.uniform(0.0, 100.0);
+  inst.speed = gen.uniform(1.0, 8.0);
+  for (int i = 0; i < keys + stops; ++i) {
+    csa::Stop s;
+    s.node = static_cast<net::NodeId>(i);
+    s.position = {gen.uniform(-80.0, 80.0), gen.uniform(-80.0, 80.0)};
+    s.window_open = inst.start_time + gen.uniform(0.0, 120.0);
+    s.window_close = s.window_open + gen.uniform(10.0, 400.0);
+    s.service_time = gen.uniform(0.0, 15.0);
+    s.is_key = i < keys;
+    s.utility = s.is_key ? 0.0 : gen.uniform(0.5, 10.0);
+    inst.stops.push_back(s);
+  }
+  return inst;
+}
+
+// Every plan any planner returns must re-evaluate as feasible with the
+// same utility and key count (no planner may fabricate a schedule).
+class PlannerFeasibility : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerFeasibility, PlansAlwaysReEvaluate) {
+  Rng gen(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  const csa::TideInstance inst = random_tide(gen, 3, 8);
+
+  const csa::CsaPlanner planner_csa;
+  const csa::UtilityFirstPlanner planner_uf;
+  const csa::GreedyNearestPlanner planner_gn;
+  const csa::RandomPlanner planner_rnd;
+  const csa::ExactPlanner planner_exact;
+  const csa::Planner* planners[] = {&planner_csa, &planner_uf, &planner_gn,
+                                    &planner_rnd, &planner_exact};
+  for (const csa::Planner* planner : planners) {
+    Rng rng(7);
+    const csa::Plan plan = planner->plan(inst, rng);
+    std::vector<std::size_t> order;
+    for (const csa::Visit& v : plan.visits) order.push_back(v.stop_index);
+    const auto check = csa::evaluate_order(inst, order);
+    ASSERT_TRUE(check.has_value()) << planner->name();
+    EXPECT_NEAR(check->utility, plan.utility, 1e-9) << planner->name();
+    EXPECT_EQ(check->keys_scheduled, plan.keys_scheduled) << planner->name();
+    // No duplicate visits.
+    std::set<std::size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size()) << planner->name();
+    // Visits are chronologically ordered with waits honoured.
+    for (std::size_t i = 1; i < plan.visits.size(); ++i) {
+      EXPECT_GE(plan.visits[i].arrival, plan.visits[i - 1].departure - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PlannerFeasibility,
+                         ::testing::Range(0, 20));
+
+// CSA never schedules fewer keys than the exact optimum (its EDF skeleton
+// may only tie or, in pathological cases, miss at most what the optimum
+// misses too — on these generous instances it must match).
+class KeyCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyCoverage, CsaMatchesExactWhenExactCoversAll) {
+  Rng gen(static_cast<std::uint64_t>(GetParam()) * 991 + 17);
+  const csa::TideInstance inst = random_tide(gen, 2, 7);
+  Rng rng(5);
+  const csa::Plan exact = csa::ExactPlanner().plan(inst, rng);
+  if (!exact.covers_all_keys()) return;
+  const csa::Plan plan = csa::CsaPlanner().plan(inst, rng);
+  EXPECT_TRUE(plan.covers_all_keys());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KeyCoverage,
+                         ::testing::Range(0, 25));
+
+// Wave physics: total power through a circle around an isolated source is
+// independent of the phase convention, and superposition of co-located
+// identical sources quadruples power everywhere.
+TEST(WaveProperty, PhaseOffsetDoesNotChangeSingleSourcePower) {
+  wpt::WaveSource a;
+  a.position = {0.0, 0.0};
+  a.alpha = 2.0;
+  a.max_range = 100.0;
+  for (double phase = 0.0; phase < 6.28; phase += 0.7) {
+    wpt::WaveSource b = a;
+    b.phase_offset = phase;
+    for (double angle = 0.0; angle < 6.28; angle += 0.9) {
+      const geom::Vec2 probe{10.0 * std::cos(angle), 10.0 * std::sin(angle)};
+      EXPECT_NEAR(wpt::superposed_rf_power({&a, 1}, probe),
+                  wpt::superposed_rf_power({&b, 1}, probe), 1e-12);
+    }
+  }
+}
+
+TEST(WaveProperty, RandomPhaseAveragePowerEqualsIncoherentSum) {
+  // Averaged over a uniformly random relative carrier phase, the expected
+  // coherent power at ANY point equals the incoherent sum — interference
+  // redistributes energy, it does not create or destroy it.
+  wpt::WaveSource s1;
+  s1.position = {0.0, 0.5};
+  s1.alpha = 1.0;
+  s1.max_range = 1e5;
+  wpt::WaveSource s2 = s1;
+  s2.position = {0.3, -0.5};
+
+  Rng rng(9);
+  for (int probe_idx = 0; probe_idx < 5; ++probe_idx) {
+    const geom::Vec2 probe{rng.uniform(-30.0, 30.0),
+                           rng.uniform(-30.0, 30.0)};
+    double coherent = 0.0;
+    const int samples = 5'000;
+    for (int i = 0; i < samples; ++i) {
+      wpt::WaveSource randomized = s2;
+      randomized.phase_offset = constants::kTwoPi * i / samples;
+      const wpt::WaveSource arr[] = {s1, randomized};
+      coherent += wpt::superposed_rf_power(arr, probe);
+    }
+    const wpt::WaveSource arr[] = {s1, s2};
+    const double incoherent = wpt::incoherent_rf_power(arr, probe);
+    EXPECT_NEAR(coherent / samples / incoherent, 1.0, 0.01)
+        << "probe " << probe_idx;
+  }
+}
+
+// Spoof suppression must degrade gracefully with hardware quality.
+TEST(SpoofProperty, SuppressionMonotoneInJitter) {
+  const wpt::ChargingModel model;
+  Watts worst_low = 0.0, worst_high = 0.0;
+  for (const double sigma : {0.002, 0.1}) {
+    wpt::SpoofingParams params;
+    params.phase_jitter_sigma = sigma;
+    const wpt::SpoofingEmitter emitter(model, params);
+    Rng rng(3);
+    Watts worst = 0.0;
+    for (int i = 0; i < 100; ++i) {
+      const auto out = emitter.configure({0.0, 0.0}, {0.3, 0.0}, &rng);
+      worst = std::max(worst, out.rf_at_target);
+    }
+    (sigma < 0.01 ? worst_low : worst_high) = worst;
+  }
+  EXPECT_LT(worst_low, worst_high);
+}
+
+// World-level monotonicity: a higher request threshold can only produce
+// earlier (or equal) first requests.
+TEST(WorldProperty, RequestThresholdMonotonicity) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    double first_low = 0.0, first_high = 0.0;
+    for (const double threshold : {0.2, 0.5}) {
+      analysis::ScenarioConfig cfg = analysis::default_scenario();
+      cfg.seed = seed;
+      cfg.topology.node_count = 30;
+      cfg.topology.region = {{0.0, 0.0}, {180.0, 180.0}};
+      cfg.world.request_threshold = threshold;
+      cfg.world.initial_level_min = 0.40;
+      cfg.world.initial_level_max = 0.80;
+      cfg.horizon = 5 * 86'400.0;
+      cfg.world.hardware_mtbf = 0.0;
+      const auto result =
+          analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+      ASSERT_FALSE(result.trace.requests.empty());
+      (threshold < 0.3 ? first_low : first_high) =
+          result.trace.requests.front().time;
+    }
+    EXPECT_LE(first_high, first_low) << "seed " << seed;
+  }
+}
+
+// Battery conservation across a full mission: for every node, delivered
+// energy can never exceed the charger's radiated energy budget and no
+// node's level exceeds its capacity at any recorded instant.
+TEST(WorldProperty, SessionEnergiesPhysical) {
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = 21;
+  const auto result =
+      analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+  for (const sim::SessionRecord& s : result.trace.sessions) {
+    EXPECT_GE(s.delivered, 0.0);
+    EXPECT_GE(s.radiated, -1e-9);
+    EXPECT_LE(s.end - s.start, 4 * 3'600.0);  // no runaway sessions
+    // DC delivered cannot exceed radiated RF (rectifier efficiency < 1).
+    if (s.radiated > 0.0) EXPECT_LE(s.delivered, s.radiated + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace wrsn

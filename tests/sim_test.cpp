@@ -1,0 +1,418 @@
+// Tests for the discrete-event kernel and the WRSN world: lazy energy
+// accounting, the believed-level request protocol, escalations, deaths,
+// routing recomputation, and hardware failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn::sim {
+namespace {
+
+using net::NodeId;
+
+TEST(Simulator, OrdersEventsByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockAndStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.run_until(7.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  sim.run_until(10.0);  // boundary inclusive
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel reports false
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, EventsScheduledDuringEventsRun) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(0.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run_until(2.0);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.run_until(1.0), PreconditionError);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, std::function<void()>{}),
+               PreconditionError);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+// --- world fixtures -------------------------------------------------------
+
+/// Two-node line: node 0 adjacent to sink, node 1 behind it.
+net::Network line2(Joules capacity = 1000.0) {
+  std::vector<net::SensorSpec> nodes(2);
+  nodes[0].id = 0;
+  nodes[0].position = {10.0, 0.0};
+  nodes[0].data_rate_bps = 1000.0;
+  nodes[0].battery_capacity = capacity;
+  nodes[1].id = 1;
+  nodes[1].position = {20.0, 0.0};
+  nodes[1].data_rate_bps = 1000.0;
+  nodes[1].battery_capacity = capacity;
+  return net::Network(std::move(nodes), {0.0, 0.0}, 12.0);
+}
+
+WorldParams small_params() {
+  WorldParams params;
+  params.request_threshold = 0.3;
+  params.patience = 500.0;
+  params.min_request_gap = 10.0;
+  params.initial_level_min = 1.0;  // start full: deterministic timings
+  params.initial_level_max = 1.0;
+  params.benign_gain_cv = 0.0;     // deterministic sessions
+  params.drain.sensing_power = 1.0;  // 1 W: fast, easy arithmetic
+  params.drain.radio.e_elec = 1e-12;  // make radio negligible
+  params.drain.radio.e_amp = 1e-15;
+  return params;
+}
+
+TEST(World, InitialStateFullBatteriesAndRouting) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  EXPECT_EQ(world.alive_count(), 2u);
+  EXPECT_NEAR(world.level(0), 1000.0, 1e-9);
+  EXPECT_NEAR(world.believed_level(0), 1000.0, 1e-9);
+  EXPECT_TRUE(world.routing().reachable[1]);
+  EXPECT_EQ(world.routing().parent[1], 0u);
+  EXPECT_EQ(world.sink_connected_count(), 2u);
+}
+
+TEST(World, LazyDrainMatchesAnalyticLevel) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  const Watts drain = world.drain_rate(1);
+  sim.run_until(100.0);
+  EXPECT_NEAR(world.level(1), 1000.0 - drain * 100.0, 1e-6);
+}
+
+TEST(World, RequestFiresAtBelievedThresholdCrossing) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  std::vector<std::pair<Seconds, NodeId>> requests;
+  world.set_request_handler([&](NodeId id) {
+    requests.emplace_back(sim.now(), id);
+  });
+  // drain ~1 W, threshold 300 J -> crossing at ~700 s.
+  sim.run_until(650.0);
+  EXPECT_TRUE(requests.empty());
+  sim.run_until(710.0);
+  ASSERT_GE(requests.size(), 1u);
+  EXPECT_NEAR(requests[0].first, 700.0, 2.0);
+  EXPECT_TRUE(world.has_pending_request(requests[0].second));
+}
+
+TEST(World, PredictedRequestMatchesActual) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  Seconds fired = -1.0;
+  world.set_request_handler([&](NodeId id) {
+    if (id == 0 && fired < 0.0) fired = sim.now();
+  });
+  const Seconds predicted = world.predicted_request(0);
+  sim.run_until(predicted + 1.0);
+  EXPECT_NEAR(fired, predicted, 1.0);
+}
+
+TEST(World, EscalationFiresAfterPatience) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.patience = 200.0;  // escalate before the ~1000 s death
+  World world(sim, line2(), params, Rng(1));
+  std::vector<Seconds> escalations;
+  world.add_escalation_listener(
+      [&](NodeId) { escalations.push_back(sim.now()); });
+  sim.run_until(950.0);  // request ~700 + patience 200
+  ASSERT_GE(world.trace().escalations.size(), 1u);
+  EXPECT_FALSE(escalations.empty());
+  EXPECT_NEAR(escalations[0], 900.0, 3.0);
+}
+
+TEST(World, DeathCancelsPendingEscalation) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));  // patience 500
+  std::vector<Seconds> escalations;
+  world.add_escalation_listener(
+      [&](NodeId) { escalations.push_back(sim.now()); });
+  // Death at ~1000 s lands before the ~1200 s escalation deadline.
+  sim.run_until(1400.0);
+  EXPECT_TRUE(escalations.empty());
+  EXPECT_EQ(world.alive_count(), 0u);
+}
+
+TEST(World, ServiceCancelsEscalationAndCreditsBelief) {
+  Simulator sim;
+  WorldParams params = small_params();
+  World world(sim, line2(), params, Rng(1));
+  bool escalated = false;
+  world.add_escalation_listener([&](NodeId) { escalated = true; });
+  NodeId requester = net::kInvalidNode;
+  world.set_request_handler([&](NodeId id) {
+    if (requester == net::kInvalidNode) requester = id;
+  });
+  sim.run_until(710.0);
+  ASSERT_NE(requester, net::kInvalidNode);
+
+  // Serve: start immediately, push 600 J over 100 s, claim 650 expected.
+  world.note_service_started(requester);
+  world.set_charge_input(requester, 6.0);
+  sim.run_until(810.0);
+  world.set_charge_input(requester, 0.0);
+  world.note_service_ended(requester, 650.0, 600.0);
+
+  sim.run_until(1300.0);  // past the would-be escalation deadline
+  EXPECT_FALSE(escalated);
+  EXPECT_FALSE(world.has_pending_request(requester));
+  // Believed credit = expected 650 on top of ~(level at service end).
+  EXPECT_GT(world.believed_level(requester), world.level(requester));
+}
+
+TEST(World, SpoofedServiceLeavesBelievedInflated) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  NodeId requester = net::kInvalidNode;
+  world.set_request_handler([&](NodeId id) {
+    if (requester == net::kInvalidNode) requester = id;
+  });
+  sim.run_until(710.0);
+  ASSERT_NE(requester, net::kInvalidNode);
+
+  // Spoof: no energy flows, but the node is told it got 650 J.
+  world.note_service_started(requester);
+  world.note_service_ended(requester, 650.0, 0.0);
+
+  const Joules gap =
+      world.believed_level(requester) - world.level(requester);
+  EXPECT_NEAR(gap, 650.0, 1.0);
+  // The node will not re-request until its believed level decays again.
+  EXPECT_GT(world.predicted_request(requester), sim.now() + 500.0);
+}
+
+TEST(World, NodeDiesWhenBatteryEmpties) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  std::vector<NodeId> deaths;
+  world.add_death_listener([&](NodeId id) { deaths.push_back(id); });
+  sim.run_until(1100.0);  // 1000 J at ~1 W
+  EXPECT_FALSE(deaths.empty());
+  EXPECT_EQ(world.trace().deaths.size(), deaths.size());
+  for (const NodeId id : deaths) {
+    EXPECT_FALSE(world.alive(id));
+    EXPECT_NEAR(world.level(id), 0.0, 1e-6);
+  }
+}
+
+TEST(World, DeathRecordsOutstandingRequestFlag) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  sim.run_until(1100.0);
+  // Nobody served the requests, so nodes died while begging.
+  ASSERT_FALSE(world.trace().deaths.empty());
+  EXPECT_TRUE(world.trace().deaths.front().request_outstanding);
+}
+
+TEST(World, DeathTriggersRoutingRecomputation) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  // Kill node 0 by draining it manually: set a huge charge on node 1 so
+  // only node 0 dies first (both drain ~1 W; node 0 drains slightly more
+  // as the relay).
+  std::vector<NodeId> deaths;
+  world.add_death_listener([&](NodeId id) { deaths.push_back(id); });
+  sim.run_until(1100.0);
+  ASSERT_FALSE(deaths.empty());
+  if (deaths[0] == 0) {
+    // Node 1 lost its relay: unreachable.
+    EXPECT_FALSE(world.routing().reachable[1]);
+  }
+}
+
+TEST(World, ChargingExtendsLifetime) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  // Trickle-charge node 1 at exactly its drain rate: it should never die.
+  const Watts drain = world.drain_rate(1);
+  world.set_charge_input(1, drain);
+  sim.run_until(5000.0);
+  EXPECT_TRUE(world.alive(1));
+  EXPECT_FALSE(world.alive(0));  // the un-charged relay died long ago
+}
+
+TEST(World, SetChargeInputOnDeadNodeReturnsFalse) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  sim.run_until(1100.0);
+  ASSERT_FALSE(world.alive(0));
+  EXPECT_FALSE(world.set_charge_input(0, 5.0));
+}
+
+TEST(World, MinRequestGapRateLimitsReRequests) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.min_request_gap = 200.0;
+  World world(sim, line2(), params, Rng(1));
+  // Serve node 1 with zero energy (spoof-like) each time it asks; it can
+  // only re-ask after the gap.
+  std::vector<Seconds> requests;
+  world.set_request_handler([&](NodeId id) {
+    if (id != 1) return;
+    requests.push_back(sim.now());
+    world.note_service_started(id);
+    world.note_service_ended(id, 0.0, 0.0);  // nothing credited
+  });
+  sim.run_until(1000.0);
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    EXPECT_GE(requests[i] - requests[i - 1], 200.0 - 1e-6);
+  }
+}
+
+TEST(World, EmergencyDefenseFiresOnTrueLevel) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.emergency_enabled = true;
+  params.emergency_fraction = 0.10;
+  World world(sim, line2(), params, Rng(1));
+  NodeId requester = net::kInvalidNode;
+  world.set_request_handler([&](NodeId id) {
+    if (requester == net::kInvalidNode) requester = id;
+    // Spoof every normal request so believed stays high.
+    world.note_service_started(id);
+    world.note_service_ended(id, 700.0, 0.0);
+  });
+  sim.run_until(950.0);  // true level hits 10 % at ~900 s
+  bool emergency_seen = false;
+  for (const RequestRecord& r : world.trace().requests) {
+    if (r.emergency) emergency_seen = true;
+  }
+  EXPECT_TRUE(emergency_seen);
+}
+
+TEST(World, NoEmergencyWhenDisabled) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  world.set_request_handler([&](NodeId id) {
+    world.note_service_started(id);
+    world.note_service_ended(id, 700.0, 0.0);
+  });
+  sim.run_until(1100.0);
+  for (const RequestRecord& r : world.trace().requests) {
+    EXPECT_FALSE(r.emergency);
+  }
+}
+
+TEST(World, HardwareFailuresKillWithoutDraining) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.hardware_mtbf = 400.0;  // aggressive: both nodes die fast
+  World world(sim, line2(), params, Rng(3));
+  sim.run_until(3000.0);
+  EXPECT_EQ(world.alive_count(), 0u);
+  EXPECT_GE(world.trace().deaths.size(), 2u);
+}
+
+TEST(World, ParamsValidation) {
+  WorldParams params;
+  params.request_threshold = 0.0;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = WorldParams{};
+  params.charge_target_fraction = 0.2;  // below threshold
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = WorldParams{};
+  params.emergency_fraction = 0.5;  // above request threshold
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = WorldParams{};
+  params.initial_level_min = 0.9;
+  params.initial_level_max = 0.5;
+  EXPECT_THROW(params.validate(), ConfigError);
+  params = WorldParams{};
+  params.hardware_mtbf = -1.0;
+  EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(World, PlannedSessionHelpersAreConsistent) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  const Joules deficit = 480.0;
+  const Seconds duration = world.planned_session_duration(deficit);
+  EXPECT_NEAR(world.expected_session_gain(duration), deficit, 1e-9);
+}
+
+TEST(World, GainFactorStatistics) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.benign_gain_mean = 0.85;
+  params.benign_gain_cv = 0.2;
+  World world(sim, line2(), params, Rng(9));
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double f = world.draw_genuine_gain_factor();
+    EXPECT_GE(f, 0.4);
+    EXPECT_LE(f, 1.6);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / n, 0.85, 0.02);  // clamped draw stays unbiased
+}
+
+}  // namespace
+}  // namespace wrsn::sim

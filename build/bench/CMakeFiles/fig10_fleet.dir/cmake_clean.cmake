@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fleet.dir/fig10_fleet.cpp.o"
+  "CMakeFiles/fig10_fleet.dir/fig10_fleet.cpp.o.d"
+  "fig10_fleet"
+  "fig10_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_audit_budget.dir/fig11_audit_budget.cpp.o"
+  "CMakeFiles/fig11_audit_budget.dir/fig11_audit_budget.cpp.o.d"
+  "fig11_audit_budget"
+  "fig11_audit_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_audit_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

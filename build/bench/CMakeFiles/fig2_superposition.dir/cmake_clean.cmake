@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_superposition.dir/fig2_superposition.cpp.o"
+  "CMakeFiles/fig2_superposition.dir/fig2_superposition.cpp.o.d"
+  "fig2_superposition"
+  "fig2_superposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_superposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

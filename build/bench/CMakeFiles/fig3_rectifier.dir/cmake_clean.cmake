@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_rectifier.dir/fig3_rectifier.cpp.o"
+  "CMakeFiles/fig3_rectifier.dir/fig3_rectifier.cpp.o.d"
+  "fig3_rectifier"
+  "fig3_rectifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rectifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

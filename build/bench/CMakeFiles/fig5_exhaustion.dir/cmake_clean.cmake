@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exhaustion.dir/fig5_exhaustion.cpp.o"
+  "CMakeFiles/fig5_exhaustion.dir/fig5_exhaustion.cpp.o.d"
+  "fig5_exhaustion"
+  "fig5_exhaustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exhaustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_utility.dir/fig7_utility.cpp.o"
+  "CMakeFiles/fig7_utility.dir/fig7_utility.cpp.o.d"
+  "fig7_utility"
+  "fig7_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_impact.dir/fig9_impact.cpp.o"
+  "CMakeFiles/fig9_impact.dir/fig9_impact.cpp.o.d"
+  "fig9_impact"
+  "fig9_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

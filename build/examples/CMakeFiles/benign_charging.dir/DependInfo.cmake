@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/benign_charging.cpp" "examples/CMakeFiles/benign_charging.dir/benign_charging.cpp.o" "gcc" "examples/CMakeFiles/benign_charging.dir/benign_charging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wrsn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wrsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/wrsn_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/wrsn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wrsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wpt/CMakeFiles/wrsn_wpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wrsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wrsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wrsn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wrsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

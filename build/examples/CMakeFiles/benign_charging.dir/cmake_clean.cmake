@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benign_charging.dir/benign_charging.cpp.o"
+  "CMakeFiles/benign_charging.dir/benign_charging.cpp.o.d"
+  "benign_charging"
+  "benign_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benign_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_study.dir/detection_study.cpp.o"
+  "CMakeFiles/detection_study.dir/detection_study.cpp.o.d"
+  "detection_study"
+  "detection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_compromise.dir/fleet_compromise.cpp.o"
+  "CMakeFiles/fleet_compromise.dir/fleet_compromise.cpp.o.d"
+  "fleet_compromise"
+  "fleet_compromise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_compromise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

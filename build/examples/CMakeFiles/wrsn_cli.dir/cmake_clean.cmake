@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_cli.dir/wrsn_cli.cpp.o"
+  "CMakeFiles/wrsn_cli.dir/wrsn_cli.cpp.o.d"
+  "wrsn_cli"
+  "wrsn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_analysis.dir/config_io.cpp.o"
+  "CMakeFiles/wrsn_analysis.dir/config_io.cpp.o.d"
+  "CMakeFiles/wrsn_analysis.dir/scenario.cpp.o"
+  "CMakeFiles/wrsn_analysis.dir/scenario.cpp.o.d"
+  "CMakeFiles/wrsn_analysis.dir/stats.cpp.o"
+  "CMakeFiles/wrsn_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/wrsn_analysis.dir/table.cpp.o"
+  "CMakeFiles/wrsn_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/wrsn_analysis.dir/trace_io.cpp.o"
+  "CMakeFiles/wrsn_analysis.dir/trace_io.cpp.o.d"
+  "libwrsn_analysis.a"
+  "libwrsn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

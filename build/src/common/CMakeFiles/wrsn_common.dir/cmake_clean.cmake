@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_common.dir/log.cpp.o"
+  "CMakeFiles/wrsn_common.dir/log.cpp.o.d"
+  "CMakeFiles/wrsn_common.dir/rng.cpp.o"
+  "CMakeFiles/wrsn_common.dir/rng.cpp.o.d"
+  "libwrsn_common.a"
+  "libwrsn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

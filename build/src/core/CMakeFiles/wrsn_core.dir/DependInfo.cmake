@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/wrsn_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/core/CMakeFiles/wrsn_core.dir/orchestrator.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/core/planners.cpp" "src/core/CMakeFiles/wrsn_core.dir/planners.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/planners.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/wrsn_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/wrsn_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/tide.cpp" "src/core/CMakeFiles/wrsn_core.dir/tide.cpp.o" "gcc" "src/core/CMakeFiles/wrsn_core.dir/tide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wrsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wrsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/wrsn_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/wrsn_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/wpt/CMakeFiles/wrsn_wpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wrsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wrsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wrsn_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

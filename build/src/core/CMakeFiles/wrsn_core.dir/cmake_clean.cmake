@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_core.dir/exact.cpp.o"
+  "CMakeFiles/wrsn_core.dir/exact.cpp.o.d"
+  "CMakeFiles/wrsn_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/wrsn_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/wrsn_core.dir/planners.cpp.o"
+  "CMakeFiles/wrsn_core.dir/planners.cpp.o.d"
+  "CMakeFiles/wrsn_core.dir/report.cpp.o"
+  "CMakeFiles/wrsn_core.dir/report.cpp.o.d"
+  "CMakeFiles/wrsn_core.dir/theory.cpp.o"
+  "CMakeFiles/wrsn_core.dir/theory.cpp.o.d"
+  "CMakeFiles/wrsn_core.dir/tide.cpp.o"
+  "CMakeFiles/wrsn_core.dir/tide.cpp.o.d"
+  "libwrsn_core.a"
+  "libwrsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_detect.dir/audit_planner.cpp.o"
+  "CMakeFiles/wrsn_detect.dir/audit_planner.cpp.o.d"
+  "CMakeFiles/wrsn_detect.dir/detectors.cpp.o"
+  "CMakeFiles/wrsn_detect.dir/detectors.cpp.o.d"
+  "libwrsn_detect.a"
+  "libwrsn_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

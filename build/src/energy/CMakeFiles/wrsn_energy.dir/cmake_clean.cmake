@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_energy.dir/battery.cpp.o"
+  "CMakeFiles/wrsn_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/wrsn_energy.dir/radio.cpp.o"
+  "CMakeFiles/wrsn_energy.dir/radio.cpp.o.d"
+  "libwrsn_energy.a"
+  "libwrsn_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

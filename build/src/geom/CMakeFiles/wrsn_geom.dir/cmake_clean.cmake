@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_geom.dir/vec2.cpp.o"
+  "CMakeFiles/wrsn_geom.dir/vec2.cpp.o.d"
+  "libwrsn_geom.a"
+  "libwrsn_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

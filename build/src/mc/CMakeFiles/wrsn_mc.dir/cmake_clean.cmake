@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_mc.dir/agent.cpp.o"
+  "CMakeFiles/wrsn_mc.dir/agent.cpp.o.d"
+  "CMakeFiles/wrsn_mc.dir/charger.cpp.o"
+  "CMakeFiles/wrsn_mc.dir/charger.cpp.o.d"
+  "CMakeFiles/wrsn_mc.dir/fleet.cpp.o"
+  "CMakeFiles/wrsn_mc.dir/fleet.cpp.o.d"
+  "CMakeFiles/wrsn_mc.dir/tsp.cpp.o"
+  "CMakeFiles/wrsn_mc.dir/tsp.cpp.o.d"
+  "libwrsn_mc.a"
+  "libwrsn_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

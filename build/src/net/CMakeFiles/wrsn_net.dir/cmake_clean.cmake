@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_net.dir/keynodes.cpp.o"
+  "CMakeFiles/wrsn_net.dir/keynodes.cpp.o.d"
+  "CMakeFiles/wrsn_net.dir/network.cpp.o"
+  "CMakeFiles/wrsn_net.dir/network.cpp.o.d"
+  "CMakeFiles/wrsn_net.dir/routing.cpp.o"
+  "CMakeFiles/wrsn_net.dir/routing.cpp.o.d"
+  "CMakeFiles/wrsn_net.dir/topology.cpp.o"
+  "CMakeFiles/wrsn_net.dir/topology.cpp.o.d"
+  "libwrsn_net.a"
+  "libwrsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

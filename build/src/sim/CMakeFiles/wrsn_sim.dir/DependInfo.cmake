@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/wrsn_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/wrsn_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/wrsn_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/wrsn_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wrsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wrsn_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wrsn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wrsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wpt/CMakeFiles/wrsn_wpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

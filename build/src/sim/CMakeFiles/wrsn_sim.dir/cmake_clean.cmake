@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wrsn_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wrsn_sim.dir/world.cpp.o"
+  "CMakeFiles/wrsn_sim.dir/world.cpp.o.d"
+  "libwrsn_sim.a"
+  "libwrsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wpt/charging_model.cpp" "src/wpt/CMakeFiles/wrsn_wpt.dir/charging_model.cpp.o" "gcc" "src/wpt/CMakeFiles/wrsn_wpt.dir/charging_model.cpp.o.d"
+  "/root/repo/src/wpt/rectifier.cpp" "src/wpt/CMakeFiles/wrsn_wpt.dir/rectifier.cpp.o" "gcc" "src/wpt/CMakeFiles/wrsn_wpt.dir/rectifier.cpp.o.d"
+  "/root/repo/src/wpt/spoofing.cpp" "src/wpt/CMakeFiles/wrsn_wpt.dir/spoofing.cpp.o" "gcc" "src/wpt/CMakeFiles/wrsn_wpt.dir/spoofing.cpp.o.d"
+  "/root/repo/src/wpt/wave.cpp" "src/wpt/CMakeFiles/wrsn_wpt.dir/wave.cpp.o" "gcc" "src/wpt/CMakeFiles/wrsn_wpt.dir/wave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wrsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wrsn_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

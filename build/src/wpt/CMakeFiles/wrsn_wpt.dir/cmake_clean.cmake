@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrsn_wpt.dir/charging_model.cpp.o"
+  "CMakeFiles/wrsn_wpt.dir/charging_model.cpp.o.d"
+  "CMakeFiles/wrsn_wpt.dir/rectifier.cpp.o"
+  "CMakeFiles/wrsn_wpt.dir/rectifier.cpp.o.d"
+  "CMakeFiles/wrsn_wpt.dir/spoofing.cpp.o"
+  "CMakeFiles/wrsn_wpt.dir/spoofing.cpp.o.d"
+  "CMakeFiles/wrsn_wpt.dir/wave.cpp.o"
+  "CMakeFiles/wrsn_wpt.dir/wave.cpp.o.d"
+  "libwrsn_wpt.a"
+  "libwrsn_wpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrsn_wpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpt_test.dir/wpt_test.cpp.o"
+  "CMakeFiles/wpt_test.dir/wpt_test.cpp.o.d"
+  "wpt_test"
+  "wpt_test.pdb"
+  "wpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

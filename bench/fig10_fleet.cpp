@@ -7,9 +7,11 @@
 // surface grows with every vehicle an operator cannot audit.
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 constexpr int kSeeds = 6;
@@ -18,31 +20,55 @@ constexpr int kSeeds = 6;
 int main() {
   using namespace wrsn;
 
+  const struct {
+    std::size_t nodes;
+    std::size_t fleet;
+  } settings[] = {{100, 1}, {100, 2}, {200, 2}, {200, 4}, {400, 4}};
+
+  struct Trial {
+    std::size_t nodes;
+    std::size_t fleet;
+    bool attack;
+    int seed;
+  };
+  std::vector<Trial> trials;
+  for (const auto& setting : settings) {
+    for (const bool attack : {false, true}) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        trials.push_back({setting.nodes, setting.fleet, attack, seed});
+      }
+    }
+  }
+
+  runner::RunStats stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [](const Trial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(trial.seed);
+        cfg.topology.node_count = trial.nodes;
+        // Demand scales with N; the fleet provides the capacity (unlike
+        // fig5, per-node rates are NOT scaled down here).
+        const double scale = 100.0 / double(trial.nodes);
+        cfg.topology.comm_range = 65.0 * std::sqrt(scale);
+        return analysis::run_fleet_scenario(cfg, trial.fleet,
+                                            trial.attack ? 0 : SIZE_MAX);
+      },
+      {.label = "fig10"}, &stats);
+
   analysis::Table table("Fig. 10: charger fleets, honest vs one compromised "
                         "member (mean over " + std::to_string(kSeeds) +
                         " seeds)");
   table.headers({"nodes", "fleet", "compromised", "alive@end", "exhausted %",
                  "undetected %", "detected runs"});
 
-  const struct {
-    std::size_t nodes;
-    std::size_t fleet;
-  } settings[] = {{100, 1}, {100, 2}, {200, 2}, {200, 4}, {400, 4}};
-
+  std::size_t next = 0;
   for (const auto& setting : settings) {
     for (const bool attack : {false, true}) {
       std::vector<double> alive, exhausted, undetected;
       int detected = 0;
       for (int seed = 1; seed <= kSeeds; ++seed) {
-        analysis::ScenarioConfig cfg = analysis::default_scenario();
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.topology.node_count = setting.nodes;
-        // Demand scales with N; the fleet provides the capacity (unlike
-        // fig5, per-node rates are NOT scaled down here).
-        const double scale = 100.0 / double(setting.nodes);
-        cfg.topology.comm_range = 65.0 * std::sqrt(scale);
-        const analysis::ScenarioResult result = analysis::run_fleet_scenario(
-            cfg, setting.fleet, attack ? 0 : SIZE_MAX);
+        const analysis::ScenarioResult& result = results[next++];
         alive.push_back(double(result.alive_at_end));
         exhausted.push_back(100.0 * result.report.exhaustion_ratio);
         undetected.push_back(100.0 *
@@ -62,5 +88,6 @@ int main() {
     }
   }
   table.print(std::cout);
+  analysis::print_perf(std::cout, stats);
   return 0;
 }

@@ -6,13 +6,19 @@
 // meters (10 % of nodes); random placement needs several times more,
 // because the attacker only ever touches its structural targets with
 // spoofed sessions.
+//
+// The missions do not depend on the meter budget or placement, so each
+// seed's (benign, attack) pair is simulated once — sharded over the runner
+// — and every (budget, placement) cell re-analyzes the cached traces.
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "detect/audit_planner.hpp"
 #include "net/topology.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 constexpr int kSeeds = 10;
@@ -30,6 +36,42 @@ int main() {
       {detect::AuditPlacement::Random, "random"},
   };
 
+  // One trial per seed: the defender's pristine-topology view plus both
+  // mission traces.
+  struct SeedData {
+    net::Network network;
+    net::TrafficLoads loads;
+    analysis::ScenarioResult benign;
+    analysis::ScenarioResult attack;
+  };
+  std::vector<std::uint64_t> seeds;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    seeds.push_back(static_cast<std::uint64_t>(seed));
+  }
+
+  runner::RunStats stats;
+  std::vector<SeedData> data = runner::run_trials(
+      std::span<const std::uint64_t>(seeds),
+      [](const std::uint64_t& seed, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = seed;
+
+        // The defender plans its placement on the pristine topology.
+        Rng rng(cfg.seed);
+        Rng topo_rng = rng.fork("topology");
+        net::Network network = net::generate_topology(cfg.topology, topo_rng);
+        const net::RoutingTree tree = net::build_routing_tree(network);
+        net::TrafficLoads loads = net::compute_loads(network, tree);
+
+        analysis::ScenarioResult benign =
+            analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+        analysis::ScenarioResult attack =
+            analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+        return SeedData{std::move(network), std::move(loads),
+                        std::move(benign), std::move(attack)};
+      },
+      {.label = "fig11"}, &stats);
+
   analysis::Table table(
       "Fig. 11: CSA detection rate vs coulomb-counter budget and placement "
       "(" + std::to_string(kSeeds) + " seeds, metered energy-delta audit)");
@@ -41,23 +83,18 @@ int main() {
       int caught = 0, fp = 0;
       std::vector<double> undetected;
       for (int seed = 1; seed <= kSeeds; ++seed) {
+        const SeedData& sd = data[std::size_t(seed) - 1];
         analysis::ScenarioConfig cfg = analysis::default_scenario();
         cfg.seed = static_cast<std::uint64_t>(seed);
 
-        // The defender plans its placement on the pristine topology.
         Rng rng(cfg.seed);
-        Rng topo_rng = rng.fork("topology");
-        const net::Network network =
-            net::generate_topology(cfg.topology, topo_rng);
-        const net::RoutingTree tree = net::build_routing_tree(network);
-        const net::TrafficLoads loads = net::compute_loads(network, tree);
         Rng place_rng = rng.fork("audit-placement");
         const std::vector<net::NodeId> audited = detect::select_audit_nodes(
-            network, loads, budget, entry.placement, place_rng);
+            sd.network, sd.loads, budget, entry.placement, place_rng);
         const detect::EnergyDeltaDetector detector(audited);
 
         detect::DetectorContext ctx;
-        ctx.network = &network;
+        ctx.network = &sd.network;
         ctx.nominal_dc = 1.0;  // unused by this detector
         ctx.benign_gain_mean = cfg.world.benign_gain_mean;
         ctx.benign_gain_cv = cfg.world.benign_gain_cv;
@@ -65,9 +102,8 @@ int main() {
         ctx.horizon = cfg.horizon;
 
         for (const bool attack : {false, true}) {
-          const analysis::ScenarioResult result = analysis::run_scenario(
-              cfg, attack ? analysis::ChargerMode::Attack
-                          : analysis::ChargerMode::Benign);
+          const analysis::ScenarioResult& result =
+              attack ? sd.attack : sd.benign;
           const auto detection = detector.analyze(result.trace, ctx);
           if (!attack) {
             if (detection.has_value()) ++fp;
@@ -97,6 +133,7 @@ int main() {
     }
   }
   table.print(std::cout);
+  analysis::print_perf(std::cout, stats);
 
   std::cout << "\nDefender-attacker symmetry: the defender can compute the"
                " same key-node ranking the attacker targets, so a handful of"

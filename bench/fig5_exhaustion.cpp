@@ -7,12 +7,18 @@
 // redundancy assumption), so total network demand — and hence the single
 // charger's load — stays constant across sizes; what grows is the routing
 // structure and the scheduling problem.
+//
+// The full sweep grid (4 sizes x 4 planners x kSeeds, plus the ablation) is
+// flattened into one trial list and sharded over WRSN_THREADS workers; the
+// numbers are bit-identical at any thread count.
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "core/planners.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 
@@ -40,10 +46,35 @@ int main() {
   const csa::GreedyNearestPlanner planner_greedy;
   const csa::RandomPlanner planner_random;
   const csa::UtilityFirstPlanner planner_utility;
-  const struct {
+  const csa::Planner* planners[] = {&planner_csa, &planner_greedy,
+                                    &planner_random, &planner_utility};
+  const std::size_t sizes[] = {50, 100, 150, 200};
+
+  // Flatten the (size, planner, seed) grid in row-major order; results come
+  // back in the same order, so group g's trials live at [g*kSeeds, (g+1)*kSeeds).
+  struct Trial {
+    std::size_t n;
     const csa::Planner* planner;
-  } strategies[] = {
-      {&planner_csa}, {&planner_greedy}, {&planner_random}, {&planner_utility}};
+    int seed;
+  };
+  std::vector<Trial> trials;
+  for (const std::size_t n : sizes) {
+    for (const csa::Planner* planner : planners) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        trials.push_back({n, planner, seed});
+      }
+    }
+  }
+
+  runner::RunStats sweep_stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [](const Trial& trial, Rng&) {
+        return analysis::run_scenario(
+            sized_config(trial.n, static_cast<std::uint64_t>(trial.seed)),
+            analysis::ChargerMode::Attack, trial.planner);
+      },
+      {.label = "fig5"}, &sweep_stats);
 
   analysis::Table table(
       "Fig. 5: key-node exhaustion (mean +- 95% CI over " +
@@ -51,14 +82,13 @@ int main() {
   table.headers({"nodes", "planner", "exhausted %", "undetected exhausted %",
                  "detected runs", "escalations"});
 
-  for (const std::size_t n : {50u, 100u, 150u, 200u}) {
-    for (const auto& strategy : strategies) {
+  std::size_t next = 0;
+  for (const std::size_t n : sizes) {
+    for (const csa::Planner* planner : planners) {
       std::vector<double> exhausted, undetected, escalations;
       int detected_runs = 0;
       for (int seed = 1; seed <= kSeeds; ++seed) {
-        const analysis::ScenarioResult result = analysis::run_scenario(
-            sized_config(n, static_cast<std::uint64_t>(seed)),
-            analysis::ChargerMode::Attack, strategy.planner);
+        const analysis::ScenarioResult& result = results[next++];
         exhausted.push_back(100.0 * result.report.exhaustion_ratio);
         undetected.push_back(100.0 *
                              result.report.undetected_exhaustion_ratio);
@@ -68,7 +98,7 @@ int main() {
       const auto ex = analysis::summarize(exhausted);
       const auto un = analysis::summarize(undetected);
       const auto es = analysis::summarize(escalations);
-      table.row({std::to_string(n), std::string(strategy.planner->name()),
+      table.row({std::to_string(n), std::string(planner->name()),
                  analysis::fmt_ci(ex.mean, ex.ci95, 1),
                  analysis::fmt_ci(un.mean, un.ci95, 1),
                  std::to_string(detected_runs) + "/" + std::to_string(kSeeds),
@@ -78,25 +108,46 @@ int main() {
   table.print(std::cout);
 
   // Key-node definition ablation at N = 100 (DESIGN.md decision 4).
-  analysis::Table ablation(
-      "Fig. 5b: key-node selection rule ablation (CSA, N=100)");
-  ablation.headers({"rule", "exhausted %", "undetected %",
-                    "partitioned runs", "mean partition hour"});
   const struct {
     net::KeyNodeRule rule;
     const char* name;
   } rules[] = {{net::KeyNodeRule::Articulation, "articulation"},
                {net::KeyNodeRule::TopTraffic, "top-traffic"},
                {net::KeyNodeRule::Hybrid, "hybrid"}};
+
+  struct AblationTrial {
+    net::KeyNodeRule rule;
+    int seed;
+  };
+  std::vector<AblationTrial> ablation_trials;
+  for (const auto& entry : rules) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      ablation_trials.push_back({entry.rule, seed});
+    }
+  }
+
+  runner::RunStats ablation_stats;
+  const std::vector<analysis::ScenarioResult> ablation_results =
+      runner::run_trials(
+          std::span<const AblationTrial>(ablation_trials),
+          [](const AblationTrial& trial, Rng&) {
+            analysis::ScenarioConfig cfg =
+                sized_config(100, static_cast<std::uint64_t>(trial.seed));
+            cfg.attack.key_selection.rule = trial.rule;
+            return analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+          },
+          {.label = "fig5b"}, &ablation_stats);
+
+  analysis::Table ablation(
+      "Fig. 5b: key-node selection rule ablation (CSA, N=100)");
+  ablation.headers({"rule", "exhausted %", "undetected %",
+                    "partitioned runs", "mean partition hour"});
+  next = 0;
   for (const auto& entry : rules) {
     std::vector<double> exhausted, undetected, part_hours;
     int partitioned = 0;
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      analysis::ScenarioConfig cfg =
-          sized_config(100, static_cast<std::uint64_t>(seed));
-      cfg.attack.key_selection.rule = entry.rule;
-      const analysis::ScenarioResult result =
-          analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+      const analysis::ScenarioResult& result = ablation_results[next++];
       exhausted.push_back(100.0 * result.report.exhaustion_ratio);
       undetected.push_back(100.0 * result.report.undetected_exhaustion_ratio);
       if (result.report.partition_time.has_value()) {
@@ -113,5 +164,8 @@ int main() {
                   part_hours.empty() ? "-" : analysis::fmt(ph.mean, 1)});
   }
   ablation.print(std::cout);
+
+  analysis::merge_stats(sweep_stats, ablation_stats);
+  analysis::print_perf(std::cout, sweep_stats);
   return 0;
 }

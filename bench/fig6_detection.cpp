@@ -12,9 +12,11 @@
 #include <map>
 #include <set>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 constexpr int kSeeds = 10;
@@ -34,7 +36,40 @@ int main() {
       {"silent-skip", false, csa::SpoofMode::SilentSkip},
       {"no-service", false, csa::SpoofMode::NoService},
   };
+  constexpr std::size_t kChargers = sizeof(chargers) / sizeof(chargers[0]);
 
+  // Flatten (suite, charger, seed) row-major; aggregation walks the same
+  // order below.
+  struct Trial {
+    bool hardened;
+    std::size_t charger;
+    int seed;
+  };
+  std::vector<Trial> trials;
+  for (const bool hardened : {false, true}) {
+    for (std::size_t c = 0; c < kChargers; ++c) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        trials.push_back({hardened, c, seed});
+      }
+    }
+  }
+
+  runner::RunStats suite_stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [&chargers](const Trial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(trial.seed);
+        cfg.hardened_detectors = trial.hardened;
+        cfg.attack.spoof_mode = chargers[trial.charger].mode;
+        return analysis::run_scenario(cfg,
+                                      chargers[trial.charger].benign
+                                          ? analysis::ChargerMode::Benign
+                                          : analysis::ChargerMode::Attack);
+      },
+      {.label = "fig6"}, &suite_stats);
+
+  std::size_t next = 0;
   for (const bool hardened : {false, true}) {
     analysis::Table table(
         std::string("Fig. 6: detections over ") + std::to_string(kSeeds) +
@@ -47,13 +82,7 @@ int main() {
       std::vector<double> hours, undetected;
       std::map<std::string, int> by_detector;
       for (int seed = 1; seed <= kSeeds; ++seed) {
-        analysis::ScenarioConfig cfg = analysis::default_scenario();
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.hardened_detectors = hardened;
-        cfg.attack.spoof_mode = charger.mode;
-        const analysis::ScenarioResult result = analysis::run_scenario(
-            cfg, charger.benign ? analysis::ChargerMode::Benign
-                                : analysis::ChargerMode::Attack);
+        const analysis::ScenarioResult& result = results[next++];
         if (result.report.detected) {
           ++detected;
           hours.push_back(result.report.detection_time / 3600.0);
@@ -80,7 +109,31 @@ int main() {
   }
 
   // Death-rate threshold sensitivity: how aggressive must the monitor be to
-  // see CSA, and what does that cost in benign false positives?
+  // see CSA, and what does that cost in benign false positives?  The trace
+  // pairs (benign, attack) per seed are simulated once and re-analyzed at
+  // every threshold.
+  struct PairTrial {
+    int seed;
+  };
+  std::vector<PairTrial> pair_trials;
+  for (int seed = 1; seed <= kSeeds; ++seed) pair_trials.push_back({seed});
+
+  struct TracePair {
+    analysis::ScenarioResult benign;
+    analysis::ScenarioResult attack;
+  };
+  runner::RunStats sweep_stats;
+  const std::vector<TracePair> pairs = runner::run_trials(
+      std::span<const PairTrial>(pair_trials),
+      [](const PairTrial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(trial.seed);
+        return TracePair{
+            analysis::run_scenario(cfg, analysis::ChargerMode::Benign),
+            analysis::run_scenario(cfg, analysis::ChargerMode::Attack)};
+      },
+      {.label = "fig6b"}, &sweep_stats);
+
   analysis::Table sweep(
       "Fig. 6b: death-rate monitor threshold sweep (deaths per 24 h window)");
   sweep.headers({"threshold", "benign false positives", "CSA detected",
@@ -88,34 +141,26 @@ int main() {
   for (const std::size_t threshold : {3u, 4u, 5u, 6u, 8u}) {
     int fp = 0, caught = 0;
     std::vector<double> undetected;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      analysis::ScenarioConfig cfg = analysis::default_scenario();
-      cfg.seed = static_cast<std::uint64_t>(seed);
-      for (const bool attack : {false, true}) {
-        const analysis::ScenarioResult result = analysis::run_scenario(
-            cfg, attack ? analysis::ChargerMode::Attack
-                        : analysis::ChargerMode::Benign);
-        // Re-run just the death-rate detector at this threshold.
-        detect::DeathRateDetector detector(threshold, 86'400.0);
-        detect::DetectorContext ctx;
-        ctx.horizon = cfg.horizon;
-        const auto detection = detector.analyze(result.trace, ctx);
-        if (!attack && detection.has_value()) ++fp;
-        if (attack) {
-          if (detection.has_value()) ++caught;
-          // Undetected-by-this-monitor exhaustion.
-          std::size_t before = 0;
-          std::set<net::NodeId> keys(result.keys.begin(), result.keys.end());
-          for (const sim::DeathRecord& d : result.trace.deaths) {
-            if (keys.count(d.node) > 0 &&
-                (!detection.has_value() || d.time <= detection->time)) {
-              ++before;
-            }
-          }
-          undetected.push_back(100.0 * double(before) /
-                               double(result.keys.size()));
+    for (const TracePair& pair : pairs) {
+      detect::DeathRateDetector detector(threshold, 86'400.0);
+      detect::DetectorContext ctx;
+      ctx.horizon = analysis::default_scenario().horizon;
+      const auto benign_detection = detector.analyze(pair.benign.trace, ctx);
+      if (benign_detection.has_value()) ++fp;
+      const auto detection = detector.analyze(pair.attack.trace, ctx);
+      if (detection.has_value()) ++caught;
+      // Undetected-by-this-monitor exhaustion.
+      std::size_t before = 0;
+      std::set<net::NodeId> keys(pair.attack.keys.begin(),
+                                 pair.attack.keys.end());
+      for (const sim::DeathRecord& d : pair.attack.trace.deaths) {
+        if (keys.count(d.node) > 0 &&
+            (!detection.has_value() || d.time <= detection->time)) {
+          ++before;
         }
       }
+      undetected.push_back(100.0 * double(before) /
+                           double(pair.attack.keys.size()));
     }
     const auto un = analysis::summarize(undetected);
     sweep.row({std::to_string(threshold),
@@ -124,5 +169,8 @@ int main() {
                analysis::fmt_ci(un.mean, un.ci95, 1)});
   }
   sweep.print(std::cout);
+
+  analysis::merge_stats(suite_stats, sweep_stats);
+  analysis::print_perf(std::cout, suite_stats);
   return 0;
 }

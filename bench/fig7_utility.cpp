@@ -8,10 +8,12 @@
 // or better utility.
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "core/planners.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 constexpr int kSeeds = 8;
@@ -23,18 +25,37 @@ int main() {
   const csa::CsaPlanner planner_csa;
   const csa::UtilityFirstPlanner planner_utility;
 
+  // --- (a) key-target count sweep ---------------------------------------
+  const std::size_t key_counts[] = {2, 4, 6, 8, 10, 12, 14};
+  struct KeyTrial {
+    std::size_t keys;
+    int seed;
+  };
+  std::vector<KeyTrial> key_trials;
+  for (const std::size_t keys : key_counts) {
+    for (int seed = 1; seed <= kSeeds; ++seed) key_trials.push_back({keys, seed});
+  }
+
+  runner::RunStats key_stats;
+  const std::vector<analysis::ScenarioResult> key_results = runner::run_trials(
+      std::span<const KeyTrial>(key_trials),
+      [](const KeyTrial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(trial.seed);
+        cfg.attack.key_selection.max_count = trial.keys;
+        return analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+      },
+      {.label = "fig7a"}, &key_stats);
+
   analysis::Table key_table(
       "Fig. 7a: cover utility and exhaustion vs number of key targets (CSA)");
   key_table.headers({"keys", "utility [kJ]", "exhausted %", "spoof sessions",
                      "genuine sessions"});
-  for (const std::size_t keys : {2u, 4u, 6u, 8u, 10u, 12u, 14u}) {
+  std::size_t next = 0;
+  for (const std::size_t keys : key_counts) {
     std::vector<double> utility, exhausted, spoofs, genuine;
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      analysis::ScenarioConfig cfg = analysis::default_scenario();
-      cfg.seed = static_cast<std::uint64_t>(seed);
-      cfg.attack.key_selection.max_count = keys;
-      const analysis::ScenarioResult result =
-          analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+      const analysis::ScenarioResult& result = key_results[next++];
       utility.push_back(result.report.utility_delivered / 1000.0);
       exhausted.push_back(100.0 * result.report.exhaustion_ratio);
       spoofs.push_back(double(result.report.sessions_spoofed));
@@ -49,23 +70,48 @@ int main() {
   }
   key_table.print(std::cout);
 
+  // --- (b) window tightness sweep ---------------------------------------
+  const double scales[] = {0.4, 0.7, 1.0, 1.3, 1.6};
+  const csa::Planner* planners[] = {&planner_csa, &planner_utility};
+  struct WindowTrial {
+    double scale;
+    const csa::Planner* planner;
+    int seed;
+  };
+  std::vector<WindowTrial> window_trials;
+  for (const double scale : scales) {
+    for (const csa::Planner* planner : planners) {
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        window_trials.push_back({scale, planner, seed});
+      }
+    }
+  }
+
+  runner::RunStats window_stats;
+  const std::vector<analysis::ScenarioResult> window_results =
+      runner::run_trials(
+          std::span<const WindowTrial>(window_trials),
+          [](const WindowTrial& trial, Rng&) {
+            analysis::ScenarioConfig cfg = analysis::default_scenario();
+            cfg.seed = static_cast<std::uint64_t>(trial.seed);
+            cfg.world.patience *= trial.scale;
+            return analysis::run_scenario(cfg, analysis::ChargerMode::Attack,
+                                          trial.planner);
+          },
+          {.label = "fig7b"}, &window_stats);
+
   analysis::Table window_table(
       "Fig. 7b: window tightness sweep (patience scale), CSA vs "
       "Utility-first ablation");
   window_table.headers({"patience scale", "planner", "exhausted %",
                         "utility [kJ]", "escalations", "detected runs"});
-  for (const double scale : {0.4, 0.7, 1.0, 1.3, 1.6}) {
-    for (const csa::Planner* planner :
-         {static_cast<const csa::Planner*>(&planner_csa),
-          static_cast<const csa::Planner*>(&planner_utility)}) {
+  next = 0;
+  for (const double scale : scales) {
+    for (const csa::Planner* planner : planners) {
       std::vector<double> exhausted, utility, escalations;
       int detected = 0;
       for (int seed = 1; seed <= kSeeds; ++seed) {
-        analysis::ScenarioConfig cfg = analysis::default_scenario();
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.world.patience *= scale;
-        const analysis::ScenarioResult result = analysis::run_scenario(
-            cfg, analysis::ChargerMode::Attack, planner);
+        const analysis::ScenarioResult& result = window_results[next++];
         exhausted.push_back(100.0 * result.report.exhaustion_ratio);
         utility.push_back(result.report.utility_delivered / 1000.0);
         escalations.push_back(double(result.report.escalations));
@@ -82,5 +128,8 @@ int main() {
     }
   }
   window_table.print(std::cout);
+
+  analysis::merge_stats(key_stats, window_stats);
+  analysis::print_perf(std::cout, key_stats);
   return 0;
 }

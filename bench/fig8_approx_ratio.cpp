@@ -6,13 +6,20 @@
 // documented 1/2*(1-1/e) ~= 0.316 cost-benefit-greedy floor) and its key
 // coverage matches the exact solver; the window-oblivious baselines lose
 // keys as windows tighten.
+//
+// Each instance (generation + exact solve + 4 planner solves) is one
+// runner trial; the instance is drawn from the trial's forked Rng stream,
+// so the set of instances is identical at any thread count.
+#include <array>
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "common/rng.hpp"
 #include "core/exact.hpp"
 #include "core/planners.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 
@@ -54,6 +61,7 @@ int main() {
   const csa::Planner* planners[] = {&planner_csa, &planner_utility,
                                     &planner_greedy, &planner_random};
 
+  runner::RunStats all_stats;
   for (const double window_scale : {1.0, 0.5}) {
     analysis::Table table(
         "Fig. 8: utility ratio vs exact optimum, 2 keys + 9 stops, " +
@@ -62,21 +70,42 @@ int main() {
     table.headers({"planner", "mean ratio", "p10 ratio", "min ratio",
                    "keys matched %"});
 
+    struct InstanceResult {
+      bool usable = false;
+      std::array<double, 4> ratio{};
+      std::array<bool, 4> matched{};
+    };
+
+    runner::RunStats stats;
+    const std::vector<InstanceResult> outcomes = runner::run_trials(
+        std::size_t(kInstances),
+        [&](std::size_t, Rng& gen) {
+          const csa::TideInstance inst =
+              random_instance(gen, 2, 9, window_scale);
+          InstanceResult out;
+          Rng rng(1);
+          const csa::Plan best = exact.plan(inst, rng);
+          if (!best.covers_all_keys() || best.utility <= 0.0) return out;
+          out.usable = true;
+          for (int p = 0; p < 4; ++p) {
+            const csa::Plan plan = planners[p]->plan(inst, rng);
+            out.ratio[p] = plan.utility / best.utility;
+            out.matched[p] = plan.keys_scheduled == best.keys_scheduled;
+          }
+          return out;
+        },
+        {.seed = 7, .label = "fig8"}, &stats);
+    analysis::merge_stats(all_stats, stats);
+
     std::vector<std::vector<double>> ratios(4);
     std::vector<int> keys_matched(4, 0);
     int usable = 0;
-
-    for (int i = 0; i < kInstances; ++i) {
-      Rng gen(static_cast<std::uint64_t>(i) * 127 + 7);
-      const csa::TideInstance inst = random_instance(gen, 2, 9, window_scale);
-      Rng rng(1);
-      const csa::Plan best = exact.plan(inst, rng);
-      if (!best.covers_all_keys() || best.utility <= 0.0) continue;
+    for (const InstanceResult& out : outcomes) {
+      if (!out.usable) continue;
       ++usable;
       for (int p = 0; p < 4; ++p) {
-        const csa::Plan plan = planners[p]->plan(inst, rng);
-        ratios[p].push_back(plan.utility / best.utility);
-        if (plan.keys_scheduled == best.keys_scheduled) ++keys_matched[p];
+        ratios[p].push_back(out.ratio[p]);
+        if (out.matched[p]) ++keys_matched[p];
       }
     }
 
@@ -91,5 +120,6 @@ int main() {
     std::cout << "(usable instances: " << usable << "; documented greedy "
               << "floor: 0.316)\n\n";
   }
+  analysis::print_perf(std::cout, all_stats);
   return 0;
 }

@@ -4,13 +4,19 @@
 // Expected shape: the benign curve stays flat (minus background hardware
 // failures); under CSA the connected count collapses in steps as key nodes
 // die, partitioning the network at a fraction of the benign lifetime.
+//
+// One sharded batch simulates every (mode, seed) pair; the 9a time series
+// picks the first partitioning attack seed out of the batch (the same seed
+// the old serial probe loop found) and the 9b aggregate reuses the rest.
 #include <iostream>
 #include <set>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "net/topology.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 
@@ -45,16 +51,44 @@ Series replay(const net::Network& network, const sim::Trace& trace,
 
 int main() {
   constexpr Seconds kBucket = 6 * 3'600.0;
+  constexpr int kSeeds = 10;
+
+  // Every (mode, seed) pair, benign first: results[0..kSeeds) benign,
+  // results[kSeeds..2*kSeeds) attack, seed order within each block.
+  struct Trial {
+    bool attack;
+    std::uint64_t seed;
+  };
+  std::vector<Trial> trials;
+  for (const bool attack : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      trials.push_back({attack, seed});
+    }
+  }
+
+  runner::RunStats stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [](const Trial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = trial.seed;
+        return analysis::run_scenario(cfg, trial.attack
+                                               ? analysis::ChargerMode::Attack
+                                               : analysis::ChargerMode::Benign);
+      },
+      {.label = "fig9"}, &stats);
+  const auto benign_of = [&](std::uint64_t seed) -> const auto& {
+    return results[seed - 1];
+  };
+  const auto attack_of = [&](std::uint64_t seed) -> const auto& {
+    return results[kSeeds + seed - 1];
+  };
 
   // Show the time series for the first seed whose attack run partitions the
   // network (the representative case; fig 9b aggregates all seeds).
   std::uint64_t kSeed = 1;
-  for (std::uint64_t candidate = 1; candidate <= 10; ++candidate) {
-    analysis::ScenarioConfig probe = analysis::default_scenario();
-    probe.seed = candidate;
-    const analysis::ScenarioResult r =
-        analysis::run_scenario(probe, analysis::ChargerMode::Attack);
-    if (r.report.partition_time.has_value()) {
+  for (std::uint64_t candidate = 1; candidate <= kSeeds; ++candidate) {
+    if (attack_of(candidate).report.partition_time.has_value()) {
       kSeed = candidate;
       break;
     }
@@ -68,15 +102,10 @@ int main() {
   Rng topo_rng = rng.fork("topology");
   const net::Network network = net::generate_topology(cfg.topology, topo_rng);
 
-  const analysis::ScenarioResult benign =
-      analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
-  const analysis::ScenarioResult attack =
-      analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
-
   const Series benign_series =
-      replay(network, benign.trace, cfg.horizon, kBucket);
+      replay(network, benign_of(kSeed).trace, cfg.horizon, kBucket);
   const Series attack_series =
-      replay(network, attack.trace, cfg.horizon, kBucket);
+      replay(network, attack_of(kSeed).trace, cfg.horizon, kBucket);
 
   analysis::Table table("Fig. 9a: network health over time (seed " +
                         std::to_string(kSeed) + ", N=" +
@@ -93,7 +122,6 @@ int main() {
   table.print(std::cout);
 
   // Aggregate partition statistics.
-  constexpr int kSeeds = 10;
   analysis::Table agg("Fig. 9b: partition statistics over " +
                       std::to_string(kSeeds) + " seeds");
   agg.headers({"charger", "partitioned runs", "mean partition hour",
@@ -101,12 +129,9 @@ int main() {
   for (const bool attack_mode : {false, true}) {
     int partitioned = 0;
     std::vector<double> hours, connected;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      analysis::ScenarioConfig c = analysis::default_scenario();
-      c.seed = static_cast<std::uint64_t>(seed);
-      const analysis::ScenarioResult r = analysis::run_scenario(
-          c, attack_mode ? analysis::ChargerMode::Attack
-                         : analysis::ChargerMode::Benign);
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const analysis::ScenarioResult& r =
+          attack_mode ? attack_of(seed) : benign_of(seed);
       if (r.report.partition_time.has_value()) {
         ++partitioned;
         hours.push_back(*r.report.partition_time / 3600.0);
@@ -120,5 +145,6 @@ int main() {
              analysis::fmt(analysis::summarize(connected).mean, 1)});
   }
   agg.print(std::cout);
+  analysis::print_perf(std::cout, stats);
   return 0;
 }

@@ -9,9 +9,11 @@
 #include <iostream>
 #include <set>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "runner/runner.hpp"
 
 namespace {
 constexpr int kSeeds = 10;
@@ -20,18 +22,36 @@ constexpr int kSeeds = 10;
 int main() {
   using namespace wrsn;
 
+  struct Trial {
+    int mode;
+    int seed;
+  };
+  std::vector<Trial> trials;
+  for (int mode = 0; mode < 2; ++mode) {
+    for (int seed = 1; seed <= kSeeds; ++seed) trials.push_back({mode, seed});
+  }
+
+  runner::RunStats stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [](const Trial& trial, Rng&) {
+        analysis::ScenarioConfig cfg = analysis::default_scenario();
+        cfg.seed = static_cast<std::uint64_t>(trial.seed);
+        return analysis::run_scenario(cfg, trial.mode == 0
+                                               ? analysis::ChargerMode::Benign
+                                               : analysis::ChargerMode::Attack);
+      },
+      {.label = "table3"}, &stats);
+
   struct Row {
     std::vector<double> travel, radiated, drawn, sessions, rate, to_keys;
   };
   Row rows[2];
 
+  std::size_t next = 0;
   for (int mode = 0; mode < 2; ++mode) {
     for (int seed = 1; seed <= kSeeds; ++seed) {
-      analysis::ScenarioConfig cfg = analysis::default_scenario();
-      cfg.seed = static_cast<std::uint64_t>(seed);
-      const analysis::ScenarioResult result = analysis::run_scenario(
-          cfg, mode == 0 ? analysis::ChargerMode::Benign
-                         : analysis::ChargerMode::Attack);
+      const analysis::ScenarioResult& result = results[next++];
       Row& r = rows[mode];
       r.travel.push_back(result.ledger.travel / 1000.0);
       r.radiated.push_back(result.ledger.radiated_total() / 1000.0);
@@ -69,6 +89,7 @@ int main() {
   emit("delivered to key nodes [kJ]", rows[0].to_keys, rows[1].to_keys,
        "NO (node-side only)");
   table.print(std::cout);
+  analysis::print_perf(std::cout, stats);
 
   std::cout << "\nEvery depot-visible row overlaps across the two chargers;"
                " the one row that separates them cannot be audited without"

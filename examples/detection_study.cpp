@@ -4,12 +4,15 @@
 //
 // Runs the CSA phase-cancellation attack and the two naive variants under
 // the deployed detector suite and under the hardened suite (coulomb-counter
-// defenses on every node), plus a benign run to show false positives.
+// defenses on every node), plus a benign run to show false positives.  The
+// eight missions are independent, so they shard across WRSN_THREADS workers.
 #include <cstdlib>
 #include <iostream>
 
+#include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/table.hpp"
+#include "runner/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace wrsn;
@@ -32,20 +35,36 @@ int main(int argc, char** argv) {
       {"silent-skip", false, csa::SpoofMode::SilentSkip},
       {"no-service", false, csa::SpoofMode::NoService},
   };
+  constexpr std::size_t kChargers = sizeof(chargers) / sizeof(chargers[0]);
 
+  struct Trial {
+    bool hardened;
+    std::size_t charger;
+  };
+  std::vector<Trial> trials;
+  for (const bool hardened : {false, true}) {
+    for (std::size_t c = 0; c < kChargers; ++c) trials.push_back({hardened, c});
+  }
+
+  runner::RunStats stats;
+  const std::vector<analysis::ScenarioResult> results = runner::run_trials(
+      std::span<const Trial>(trials),
+      [&](const Trial& trial, Rng&) {
+        analysis::ScenarioConfig config = analysis::default_scenario();
+        config.seed = seed;
+        config.hardened_detectors = trial.hardened;
+        config.attack.spoof_mode = chargers[trial.charger].mode;
+        return analysis::run_scenario(config,
+                                      chargers[trial.charger].benign
+                                          ? analysis::ChargerMode::Benign
+                                          : analysis::ChargerMode::Attack);
+      },
+      {.label = "detection-study"}, &stats);
+
+  std::size_t next = 0;
   for (const bool hardened : {false, true}) {
     for (const auto& entry : chargers) {
-      analysis::ScenarioConfig config = analysis::default_scenario();
-      config.seed = seed;
-      config.hardened_detectors = hardened;
-      config.attack.spoof_mode = entry.mode;
-
-      const analysis::ScenarioResult result = analysis::run_scenario(
-          config,
-          entry.benign ? analysis::ChargerMode::Benign
-                       : analysis::ChargerMode::Attack);
-      const csa::AttackReport& r = result.report;
-
+      const csa::AttackReport& r = results[next++].report;
       table.row({entry.name, hardened ? "hardened" : "deployed",
                  r.detected ? r.detector_name : "-",
                  r.detected ? analysis::fmt(r.detection_time / 3600.0, 1) : "-",
@@ -55,6 +74,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  analysis::print_perf(std::cout, stats);
 
   std::cout << "\nCSA evades the deployed suite; only per-node coulomb"
                " counters (hardened suite) see the harvest shortfall.\n";

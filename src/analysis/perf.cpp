@@ -1,0 +1,43 @@
+#include "analysis/perf.hpp"
+
+#include <algorithm>
+
+namespace wrsn::analysis {
+
+Table perf_table(const runner::RunStats& stats, const std::string& title) {
+  Table table(title);
+  table.headers({"trials", "threads", "wall [s]", "trial total [s]",
+                 "trial mean [ms]", "trial min [ms]", "trial max [ms]",
+                 "trials/s", "speedup"});
+  double min_s = 0.0, max_s = 0.0;
+  if (!stats.trial_seconds.empty()) {
+    const auto [lo, hi] = std::minmax_element(stats.trial_seconds.begin(),
+                                              stats.trial_seconds.end());
+    min_s = *lo;
+    max_s = *hi;
+  }
+  const double total = stats.trial_seconds_total();
+  const double mean =
+      stats.trials > 0 ? total / double(stats.trials) : 0.0;
+  table.row({std::to_string(stats.trials), std::to_string(stats.threads),
+             fmt(stats.wall_seconds, 3), fmt(total, 3), fmt(mean * 1e3, 1),
+             fmt(min_s * 1e3, 1), fmt(max_s * 1e3, 1),
+             fmt(stats.throughput(), 1), fmt(stats.speedup(), 2)});
+  return table;
+}
+
+void print_perf(std::ostream& os, const runner::RunStats& stats,
+                const std::string& title) {
+  perf_table(stats, title).print(os);
+}
+
+void merge_stats(runner::RunStats& into, const runner::RunStats& extra) {
+  into.trials += extra.trials;
+  into.threads = std::max(into.threads, extra.threads);
+  into.wall_seconds += extra.wall_seconds;
+  into.trial_seconds.insert(into.trial_seconds.end(),
+                            extra.trial_seconds.begin(),
+                            extra.trial_seconds.end());
+}
+
+}  // namespace wrsn::analysis

@@ -1,0 +1,24 @@
+// Perf-trace emission for the experiment runner: turns a runner::RunStats
+// into a Table row so every bench's output doubles as a throughput trace.
+#pragma once
+
+#include <ostream>
+
+#include "analysis/table.hpp"
+#include "runner/runner.hpp"
+
+namespace wrsn::analysis {
+
+/// Builds a one-table perf trace: trial count, thread count, wall time,
+/// per-trial time distribution (total/mean/min/max), throughput, speedup.
+Table perf_table(const runner::RunStats& stats, const std::string& title);
+
+/// Convenience: prints `perf_table` for the combined stats of a bench run.
+void print_perf(std::ostream& os, const runner::RunStats& stats,
+                const std::string& title = "Runner perf trace");
+
+/// Merges `extra` into `into` as if their trials ran in one call: trial
+/// times concatenate and wall times add (the calls ran back to back).
+void merge_stats(runner::RunStats& into, const runner::RunStats& extra);
+
+}  // namespace wrsn::analysis

@@ -5,16 +5,22 @@
 
 namespace wrsn::analysis {
 
-/// Aggregate of a sample: count, mean, unbiased stddev, and a 95 % normal
-/// confidence half-width.
+/// Aggregate of a sample: count, mean, unbiased stddev, and a 95 %
+/// confidence half-width using the Student-t critical value for the sample
+/// size (the benches aggregate 6-10 seeds, where the normal 1.96 would
+/// understate the interval).
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
   double stddev = 0.0;
-  double ci95 = 0.0;   ///< 1.96 * stddev / sqrt(count)
+  double ci95 = 0.0;   ///< t_critical_95(count-1) * stddev / sqrt(count)
   double min = 0.0;
   double max = 0.0;
 };
+
+/// Two-sided 95 % Student-t critical value for `dof` degrees of freedom
+/// (exact table through dof = 30, 1.96 beyond; 0.0 for dof = 0).
+double t_critical_95(std::size_t dof);
 
 /// Computes the summary of `values` (empty input yields a zero summary).
 Summary summarize(std::span<const double> values);

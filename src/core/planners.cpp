@@ -92,7 +92,7 @@ class RouteState {
       const Stop& s = inst_->stops[order_[k]];
       arrival_[k] = clock + inst_->travel_time(pos, s.position);
       start_[k] = std::max(arrival_[k], s.window_open);
-      WRSN_ASSERT(start_[k] <= s.window_close + 1e-6);
+      WRSN_ASSERT(start_[k] <= s.window_close + kWindowEpsilon);
       depart_[k] = start_[k] + s.service_time;
       clock = depart_[k];
       pos = s.position;

@@ -1,0 +1,42 @@
+#include "runner/runner.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace wrsn::runner {
+
+std::size_t configured_threads() {
+  if (const char* env = std::getenv("WRSN_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+double RunStats::trial_seconds_total() const {
+  double total = 0.0;
+  for (const double s : trial_seconds) total += s;
+  return total;
+}
+
+double RunStats::throughput() const {
+  return wall_seconds > 0.0 ? double(trials) / wall_seconds : 0.0;
+}
+
+double RunStats::speedup() const {
+  return wall_seconds > 0.0 ? trial_seconds_total() / wall_seconds : 0.0;
+}
+
+namespace detail {
+
+std::size_t resolve_threads(std::size_t requested) {
+  return requested > 0 ? requested : configured_threads();
+}
+
+}  // namespace detail
+
+}  // namespace wrsn::runner

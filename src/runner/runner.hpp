@@ -1,0 +1,149 @@
+// Deterministic parallel experiment runner.
+//
+// `run_trials` shards independent scenario trials across a fixed thread pool
+// and returns their results **in submission order**.  Determinism does not
+// depend on the thread count or on scheduling:
+//
+//   * each trial receives its own `Rng`, forked from the base seed by trial
+//     index (`Rng::fork("<label>/<index>")`), so a trial's random stream is a
+//     pure function of (base seed, index) — never of which worker ran it or
+//     what ran before it on that worker;
+//   * each trial writes only to its own pre-allocated result slot, so
+//     aggregation order equals submission order.
+//
+// Consequently the output is bit-identical at 1, 2, or N threads (there is a
+// regression test asserting exactly that), and benches are free to read
+// WRSN_THREADS from the environment without changing their numbers.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace wrsn::runner {
+
+/// Worker count for experiment sharding: `WRSN_THREADS` when set to a
+/// positive integer, else `std::thread::hardware_concurrency()` (min 1).
+std::size_t configured_threads();
+
+/// Wall-time accounting for one `run_trials` call.
+struct RunStats {
+  std::size_t trials = 0;
+  std::size_t threads = 1;
+  double wall_seconds = 0.0;
+  /// Per-trial execution time, indexed by submission order.
+  std::vector<double> trial_seconds;
+
+  double trial_seconds_total() const;
+  /// Trials completed per wall-clock second.
+  double throughput() const;
+  /// Aggregate CPU time over wall time; ~threads when sharding scales.
+  double speedup() const;
+};
+
+struct TrialOptions {
+  /// 0 selects `configured_threads()`.
+  std::size_t threads = 0;
+  /// Base seed the per-trial Rng streams are forked from.
+  std::uint64_t seed = 1;
+  /// Fork label prefix; distinct labels give unrelated stream families.
+  std::string_view label = "trial";
+};
+
+namespace detail {
+
+std::size_t resolve_threads(std::size_t requested);
+
+inline double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace detail
+
+/// Runs `fn(config, rng)` for every config, sharded over the pool; returns
+/// the results in submission (config) order.  The first trial exception, in
+/// submission order, is rethrown after all trials finish.
+template <typename Config, typename Fn>
+auto run_trials(std::span<const Config> configs, Fn&& fn,
+                const TrialOptions& options = {}, RunStats* stats = nullptr) {
+  using Result = std::invoke_result_t<Fn&, const Config&, Rng&>;
+  static_assert(!std::is_void_v<Result>,
+                "trial functions must return their result");
+
+  const std::size_t count = configs.size();
+  const std::size_t threads = detail::resolve_threads(options.threads);
+  const Rng base(options.seed);
+  const std::string label(options.label);
+
+  std::vector<std::optional<Result>> slots(count);
+  std::vector<std::exception_ptr> errors(count);
+  std::vector<double> trial_seconds(count, 0.0);
+  const auto started = std::chrono::steady_clock::now();
+
+  const auto run_one = [&](std::size_t index) {
+    const auto trial_started = std::chrono::steady_clock::now();
+    try {
+      Rng rng = base.fork(label + "/" + std::to_string(index));
+      slots[index].emplace(fn(configs[index], rng));
+    } catch (...) {
+      errors[index] = std::current_exception();
+    }
+    trial_seconds[index] = detail::elapsed_seconds(trial_started);
+  };
+
+  if (threads == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
+  } else {
+    ThreadPool pool(std::min(threads, count));
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  if (stats != nullptr) {
+    stats->trials = count;
+    stats->threads = threads;
+    stats->wall_seconds = detail::elapsed_seconds(started);
+    stats->trial_seconds = std::move(trial_seconds);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+
+  std::vector<Result> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WRSN_ASSERT(slots[i].has_value());
+    results.push_back(std::move(*slots[i]));
+  }
+  return results;
+}
+
+/// Index-based convenience: runs `fn(index, rng)` for indices [0, count).
+template <typename Fn>
+auto run_trials(std::size_t count, Fn&& fn, const TrialOptions& options = {},
+                RunStats* stats = nullptr) {
+  std::vector<std::size_t> indices(count);
+  for (std::size_t i = 0; i < count; ++i) indices[i] = i;
+  return run_trials(
+      std::span<const std::size_t>(indices),
+      [&fn](const std::size_t& index, Rng& rng) { return fn(index, rng); },
+      options, stats);
+}
+
+}  // namespace wrsn::runner

@@ -1,0 +1,54 @@
+// Fixed-size thread pool for experiment sharding.
+//
+// Deliberately minimal: one shared FIFO queue, a fixed worker count chosen at
+// construction, no work stealing and no dynamic resizing.  Determinism of the
+// experiment runner built on top does not depend on scheduling order — every
+// task owns its inputs (including its own forked Rng) and writes to its own
+// output slot — so the pool only has to be correct, not clever.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wrsn::runner {
+
+/// Fixed set of worker threads draining one shared task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1; a count of 1 still uses a worker thread
+  /// so task semantics are identical at every size).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue, waits for in-flight tasks, and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; an escaping exception
+  /// terminates (same contract as a detached thread).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wrsn::runner

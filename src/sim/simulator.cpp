@@ -9,6 +9,7 @@ EventId Simulator::schedule_at(Seconds at, std::function<void()> fn) {
   WRSN_REQUIRE(static_cast<bool>(fn), "null event callback");
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
@@ -18,8 +19,9 @@ EventId Simulator::schedule_in(Seconds delay, std::function<void()> fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == kInvalidEvent) return false;
-  return cancelled_.insert(id).second;
+  if (live_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  cancelled_.insert(id);
+  return true;
 }
 
 bool Simulator::pop_and_run() {
@@ -28,6 +30,7 @@ bool Simulator::pop_and_run() {
     queue_.pop();
     if (cancelled_.erase(entry.id) > 0) continue;
     WRSN_ASSERT(entry.time >= now_);
+    live_.erase(entry.id);
     now_ = entry.time;
     ++executed_;
     entry.fn();

@@ -35,8 +35,9 @@ class Simulator {
   /// Schedules `fn` after `delay` seconds (>= 0).
   EventId schedule_in(Seconds delay, std::function<void()> fn);
 
-  /// Cancels a pending event; returns false if it already fired or was
-  /// cancelled (safe to call either way).
+  /// Cancels a pending event; returns false — with no state change — if the
+  /// id already fired, was already cancelled, or was never scheduled (safe
+  /// to call either way).
   bool cancel(EventId id);
 
   /// Runs events with time <= `until`, then advances the clock to `until`.
@@ -51,9 +52,8 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
-  /// Number of events currently pending (may include cancelled entries not
-  /// yet reaped; use for monitoring only).
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of live (scheduled, not yet fired or cancelled) events.
+  std::size_t pending() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -74,6 +74,10 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  /// Ids scheduled but not yet fired or cancelled.  Guards `cancel` against
+  /// dead or unknown ids, so `cancelled_` (the lazy-deletion tombstones)
+  /// only ever holds ids still sitting in the heap.
+  std::unordered_set<EventId> live_;
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -39,7 +40,32 @@ TEST(Stats, KnownMoments) {
   EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // unbiased (n-1) estimator
   EXPECT_DOUBLE_EQ(s.min, 2.0);
   EXPECT_DOUBLE_EQ(s.max, 9.0);
-  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / std::sqrt(8.0), 1e-12);
+  // n = 8 -> Student-t critical value for 7 dof, not the normal 1.96.
+  EXPECT_NEAR(s.ci95, 2.365 * s.stddev / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, CiUsesStudentTForSmallSamples) {
+  // Known case: n = 10, stddev = 1 -> half-width = t_{0.975,9} / sqrt(10).
+  // The normal approximation (1.96) would understate this by ~13 %.
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(double(i) * std::sqrt(6.0 / 55.0));  // sample variance 1
+  }
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+  EXPECT_NEAR(s.ci95, 2.262 / std::sqrt(10.0), 1e-12);
+  EXPECT_GT(s.ci95, 1.96 * s.stddev / std::sqrt(10.0));
+}
+
+TEST(Stats, TCriticalTableValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);  // n = 2
+  EXPECT_DOUBLE_EQ(t_critical_95(5), 2.571);   // fig10's 6 seeds
+  EXPECT_DOUBLE_EQ(t_critical_95(7), 2.365);   // fig7's 8 seeds
+  EXPECT_DOUBLE_EQ(t_critical_95(9), 2.262);   // the benches' 10 seeds
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 1.96);   // normal fallback
+  EXPECT_DOUBLE_EQ(t_critical_95(10'000), 1.96);
 }
 
 TEST(Stats, QuantileEndpointsAndMedian) {

@@ -58,6 +58,53 @@ TEST(Simulator, CancelPreventsExecution) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(Simulator, CancelOfDeadOrUnknownIdReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));                 // already fired
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));      // never a real id
+  EXPECT_FALSE(sim.cancel(id + 1'000'000));     // never scheduled
+  // A never-scheduled id must leave no tombstone that could swallow a
+  // future event with the same id.
+  const EventId future = id + 1;
+  EXPECT_FALSE(sim.cancel(future));
+  int fired = 0;
+  const EventId next = sim.schedule_in(1.0, [&] { ++fired; });
+  EXPECT_EQ(next, future);  // ids are sequential; the cancel above targeted it
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelLeavesNoResidueInPendingCount) {
+  Simulator sim;
+  // Long-run pattern: schedule + cancel-after-fire must not grow any
+  // internal tombstone set or corrupt the pending() count.
+  for (int round = 0; round < 1'000; ++round) {
+    const EventId id = sim.schedule_in(1.0, [] {});
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run_all();
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_FALSE(sim.cancel(id));   // dead; must be a no-op
+    EXPECT_EQ(sim.pending(), 0u);   // and leave nothing behind
+  }
+  EXPECT_EQ(sim.executed(), 1'000u);
+}
+
+TEST(Simulator, PendingCountsOnlyLiveEvents) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  const EventId b = sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_TRUE(sim.cancel(b));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
 TEST(Simulator, EventsScheduledDuringEventsRun) {
   Simulator sim;
   std::vector<double> times;

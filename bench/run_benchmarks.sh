@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Records the planner-scalability trajectory (Table II) as google-benchmark
+# JSON so successive PRs can compare numbers.  Usage:
+#
+#   bench/run_benchmarks.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output = BENCH_table2.json at the repo root.
+# The committed BENCH_table2.json is the current trajectory point; see the
+# "Table II" section of EXPERIMENTS.md for how to read it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_table2.json}"
+bin="$build_dir/bench/table2_runtime"
+
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not built (cmake --build $build_dir --target table2_runtime)" >&2
+  exit 1
+fi
+
+"$bin" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+echo "wrote $out"

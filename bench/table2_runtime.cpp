@@ -1,14 +1,20 @@
 // Table II — Algorithm scalability: CSA planning time versus instance size,
 // and the exact solver's exponential wall, measured with google-benchmark.
 //
-// Expected shape: CSA stays sub-second up to hundreds of stops (the
-// incremental insertion check keeps it near-cubic in practice); the exact
-// DP blows up past ~16 stops, which is why the approximation exists.
+// Expected shape: CSA stays sub-second up to 1600 stops (O(1) slack-based
+// insertion feasibility + lazy greedy fill; see core/route_state.hpp); the
+// exact DP blows up past ~16 stops, which is why the approximation exists.
+//
+// Reproduce with bench/run_benchmarks.sh, which records the JSON trajectory
+// in BENCH_table2.json (see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
 
 #include "common/rng.hpp"
 #include "core/exact.hpp"
 #include "core/planners.hpp"
+#include "core/route_state.hpp"
 
 namespace {
 
@@ -54,7 +60,44 @@ void BM_CsaPlanner(benchmark::State& state) {
   state.counters["visits"] = double(scheduled);
 }
 BENCHMARK(BM_CsaPlanner)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(800)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+// Microbenchmark of the planner's hot primitive: one best_insertion scan
+// over a route of `range` stops.  With the slack suffix array each position
+// is O(1), so this should scale linearly in the route length.
+void BM_RouteStateInsert(benchmark::State& state) {
+  const auto route_stops = static_cast<std::size_t>(state.range(0));
+  // Wide windows so every stop can be appended; the probe stop is scanned
+  // against every position of the built route.
+  csa::TideInstance inst;
+  inst.start_position = {0.0, 0.0};
+  inst.start_time = 0.0;
+  inst.speed = 3.0;
+  Rng gen(7);
+  for (std::size_t i = 0; i <= route_stops; ++i) {
+    csa::Stop stop;
+    stop.node = static_cast<net::NodeId>(i);
+    stop.position = {gen.uniform(-200.0, 200.0), gen.uniform(-200.0, 200.0)};
+    stop.window_open = 0.0;
+    stop.window_close = 1e9;
+    stop.service_time = gen.uniform(60.0, 120.0);
+    stop.utility = 1.0;
+    inst.stops.push_back(stop);
+  }
+  csa::RouteState route(inst);
+  for (std::size_t i = 0; i < route_stops; ++i) {
+    route.insert(i, route.order().size());
+  }
+  const std::size_t probe = route_stops;  // the one stop not in the route
+  for (auto _ : state) {
+    const auto best = route.best_insertion(probe);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(route_stops + 1));
+}
+BENCHMARK(BM_RouteStateInsert)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_ExactPlanner(benchmark::State& state) {
   const auto stops = static_cast<std::size_t>(state.range(0));

@@ -223,7 +223,10 @@ TideInstance AttackAgent::build_instance() const {
 
   // Predicted key-node requests inside the lookahead horizon: lets the
   // planner reserve capacity for tight future windows.
-  if (params_.spoof_mode == SpoofMode::NoService) return instance;
+  if (params_.spoof_mode == SpoofMode::NoService) {
+    prime_travel_matrix(instance);
+    return instance;
+  }
   for (const net::NodeId key : key_targets_) {
     if (!world_.alive(key) || world_.has_pending_request(key)) continue;
     const Seconds predicted = world_.predicted_request(key);
@@ -244,7 +247,24 @@ TideInstance AttackAgent::build_instance() const {
     stop.utility = 0.0;
     instance.stops.push_back(stop);
   }
+  prime_travel_matrix(instance);
   return instance;
+}
+
+void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
+  instance.set_travel_matrix(TravelMatrix::build(
+      instance, [this](const Stop& a, const Stop& b) -> Meters {
+        if (a.node == net::kInvalidNode || b.node == net::kInvalidNode) {
+          return geom::distance(a.position, b.position);
+        }
+        const net::NodeId lo = std::min(a.node, b.node);
+        const net::NodeId hi = std::max(a.node, b.node);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(lo) << 32) | hi;
+        const auto [it, inserted] = stop_pair_distance_.try_emplace(key, 0.0);
+        if (inserted) it->second = geom::distance(a.position, b.position);
+        return it->second;
+      }));
 }
 
 void AttackAgent::replan() {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -127,6 +128,9 @@ class AttackAgent {
 
   /// Builds the TIDE snapshot: pending requests + predicted key windows.
   TideInstance build_instance() const;
+  /// Installs the instance's travel matrix, reusing node-pair distances
+  /// memoized across this agent's replans.
+  void prime_travel_matrix(TideInstance& instance) const;
   /// Replans and engages the next leg (idle vehicles only).
   void replan();
   void travel_to_node(net::NodeId id);
@@ -151,6 +155,11 @@ class AttackAgent {
   std::vector<Seconds> kill_schedule_;
   /// Keys already spoof-killed (their deaths are pre-counted predictively).
   std::unordered_set<net::NodeId> spoof_killed_;
+  /// Node-pair distances memoized across replans: consecutive TIDE
+  /// snapshots overlap heavily in stops (node positions never move), so the
+  /// travel matrix of each instance is primed from here instead of
+  /// recomputing sqrt per pair.  Keyed by packed (min id, max id).
+  mutable std::unordered_map<std::uint64_t, Meters> stop_pair_distance_;
 
   State state_ = State::Idle;
   bool started_ = false;

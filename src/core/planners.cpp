@@ -5,109 +5,16 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "core/route_state.hpp"
 
 namespace wrsn::csa {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Incrementally maintained route with O(route) insertion feasibility checks
-/// that early-exit once an inserted stop's delay has been absorbed by
-/// downstream waiting slack.
-class RouteState {
- public:
-  explicit RouteState(const TideInstance& instance) : inst_(&instance) {}
-
-  const std::vector<std::size_t>& order() const { return order_; }
-  Seconds completion() const {
-    return depart_.empty() ? inst_->start_time : depart_.back();
-  }
-
-  /// Completion-time increase if `stop` were inserted at `pos`;
-  /// nullopt when any window (the stop's or a downstream one) would break.
-  std::optional<Seconds> try_insert(std::size_t stop, std::size_t pos) const {
-    WRSN_ASSERT(pos <= order_.size());
-    const Stop& s = inst_->stops[stop];
-
-    const geom::Vec2 prev_pos =
-        pos == 0 ? inst_->start_position : inst_->stops[order_[pos - 1]].position;
-    const Seconds prev_depart = pos == 0 ? inst_->start_time : depart_[pos - 1];
-
-    const Seconds arrival = prev_depart + inst_->travel_time(prev_pos, s.position);
-    const Seconds start = std::max(arrival, s.window_open);
-    if (start > s.window_close + kWindowEpsilon) return std::nullopt;
-
-    Seconds depart = start + s.service_time;
-    geom::Vec2 cursor = s.position;
-    for (std::size_t k = pos; k < order_.size(); ++k) {
-      const Stop& next = inst_->stops[order_[k]];
-      const Seconds a = depart + inst_->travel_time(cursor, next.position);
-      const Seconds st = std::max(a, next.window_open);
-      if (st > next.window_close + kWindowEpsilon) return std::nullopt;
-      const Seconds d = st + next.service_time;
-      if (d <= depart_[k] + kWindowEpsilon) {
-        // Delay fully absorbed by waiting slack; the tail is unchanged.
-        return 0.0;
-      }
-      depart = d;
-      cursor = next.position;
-    }
-    return depart - completion();
-  }
-
-  void insert(std::size_t stop, std::size_t pos) {
-    WRSN_ASSERT(try_insert(stop, pos).has_value());
-    order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), stop);
-    rebuild();
-  }
-
-  /// Best insertion position for `stop` by minimum completion-time increase.
-  std::optional<std::pair<std::size_t, Seconds>> best_insertion(
-      std::size_t stop) const {
-    std::optional<std::pair<std::size_t, Seconds>> best;
-    for (std::size_t pos = 0; pos <= order_.size(); ++pos) {
-      const auto delta = try_insert(stop, pos);
-      if (!delta.has_value()) continue;
-      if (!best.has_value() || *delta < best->second) {
-        best = {pos, *delta};
-      }
-    }
-    return best;
-  }
-
-  Plan to_plan() const {
-    const auto plan = evaluate_order(*inst_, order_);
-    WRSN_ASSERT(plan.has_value());
-    return *plan;
-  }
-
- private:
-  void rebuild() {
-    arrival_.resize(order_.size());
-    start_.resize(order_.size());
-    depart_.resize(order_.size());
-    geom::Vec2 pos = inst_->start_position;
-    Seconds clock = inst_->start_time;
-    for (std::size_t k = 0; k < order_.size(); ++k) {
-      const Stop& s = inst_->stops[order_[k]];
-      arrival_[k] = clock + inst_->travel_time(pos, s.position);
-      start_[k] = std::max(arrival_[k], s.window_open);
-      WRSN_ASSERT(start_[k] <= s.window_close + kWindowEpsilon);
-      depart_[k] = start_[k] + s.service_time;
-      clock = depart_[k];
-      pos = s.position;
-    }
-  }
-
-  const TideInstance* inst_;
-  std::vector<std::size_t> order_;
-  std::vector<Seconds> arrival_;
-  std::vector<Seconds> start_;
-  std::vector<Seconds> depart_;
-};
-
 /// Phase 1: EDF-ordered key insertion, each at its cheapest feasible
 /// position.  Keys that cannot be placed are skipped (counted as missed).
+/// O(K * route) with the slack-based RouteState.
 void insert_keys_edf(const TideInstance& instance, RouteState& route) {
   std::vector<std::size_t> keys;
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
@@ -123,42 +30,86 @@ void insert_keys_edf(const TideInstance& instance, RouteState& route) {
   }
 }
 
-/// Phase 2: cost-benefit greedy filling with the non-key stops.
+/// Phase 2: cost-benefit greedy filling with the non-key stops, lazily
+/// (CELF-style).  Selection is identical to the classic full-rescore loop
+/// (core/reference_planner.cpp): argmax of utility / max(delta, 1), ties to
+/// the smallest stop index — the reference scans `remaining` in ascending
+/// stop order with a strict >, which is exactly that tie-break, so neither
+/// the utility-sorted traversal here nor O(1) candidate removal (an
+/// `inserted` flag instead of the old O(n) mid-vector erase) can change the
+/// outcome.  The speedup comes from two places:
+///   1. utility is an upper bound on any stop's score (denominator >= 1),
+///      so a round may stop rescoring as soon as the remaining candidates'
+///      utilities fall below the incumbent best — with wide windows the
+///      winner's insertion is absorbed by waiting slack (delta = 0, score =
+///      utility) and a round rescoren only a handful of entries;
+///   2. each candidate caches its last best (pos, delta) stamped with the
+///      route version and is re-evaluated only when consulted stale.
 void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
-  std::vector<std::size_t> remaining;
+  struct Candidate {
+    std::size_t stop = 0;
+    std::uint64_t version = 0;  ///< route version of the cached evaluation
+    bool scored = false;        ///< ever evaluated at all
+    bool feasible = false;
+    bool inserted = false;
+    std::size_t pos = 0;
+    Seconds delta = 0.0;
+    double score = 0.0;
+  };
+
+  const TravelMatrix& tt = instance.travel_matrix();
+  std::vector<Candidate> candidates;
+  candidates.reserve(instance.stops.size());
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
-    if (!instance.stops[i].is_key && instance.stops[i].utility > 0.0) {
-      remaining.push_back(i);
+    const Stop& s = instance.stops[i];
+    if (s.is_key || s.utility <= 0.0) continue;
+    // A stop the charger cannot reach in time even driving straight from
+    // the start can never be inserted (any route prefix only arrives
+    // later); the guard keeps borderline floating-point cases in play so
+    // the reference planner's per-round rejections are reproduced exactly.
+    if (instance.start_time + tt.from_start(i) >
+        s.window_close + kWindowEpsilon + 1e-6) {
+      continue;
     }
+    Candidate c;
+    c.stop = i;
+    candidates.push_back(c);
   }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              const double ua = instance.stops[a.stop].utility;
+              const double ub = instance.stops[b.stop].utility;
+              return ua != ub ? ua > ub : a.stop < b.stop;
+            });
 
-  while (!remaining.empty()) {
+  while (true) {
     double best_score = -kInf;
-    std::size_t best_stop = 0;
-    std::size_t best_pos = 0;
-    std::size_t best_remaining_idx = 0;
-    bool found = false;
-
-    for (std::size_t r = 0; r < remaining.size(); ++r) {
-      const std::size_t stop = remaining[r];
-      const auto best = route.best_insertion(stop);
-      if (!best.has_value()) continue;
-      // Cost-benefit density; insertions absorbed by waiting slack cost
-      // (almost) nothing, so clamp the denominator to keep scores finite.
-      const double score =
-          instance.stops[stop].utility / std::max(best->second, 1.0);
-      if (score > best_score) {
-        best_score = score;
-        best_stop = stop;
-        best_pos = best->first;
-        best_remaining_idx = r;
-        found = true;
+    Candidate* best = nullptr;
+    for (Candidate& c : candidates) {
+      if (c.inserted) continue;
+      const double bound = instance.stops[c.stop].utility;
+      if (best != nullptr && bound < best_score) break;  // CELF cutoff
+      if (!c.scored || c.version != route.version()) {
+        const auto bi = route.best_insertion(c.stop);
+        c.scored = true;
+        c.version = route.version();
+        c.feasible = bi.has_value();
+        if (bi) {
+          c.pos = bi->first;
+          c.delta = bi->second;
+          c.score = bound / std::max(c.delta, 1.0);
+        }
+      }
+      if (!c.feasible) continue;
+      if (best == nullptr || c.score > best_score ||
+          (c.score == best_score && c.stop < best->stop)) {
+        best = &c;
+        best_score = c.score;
       }
     }
-    if (!found) break;
-    route.insert(best_stop, best_pos);
-    remaining.erase(remaining.begin() +
-                    static_cast<std::ptrdiff_t>(best_remaining_idx));
+    if (best == nullptr) break;
+    route.insert(best->stop, best->pos);
+    best->inserted = true;
   }
 }
 
@@ -197,11 +148,14 @@ Plan GreedyNearestPlanner::plan(const TideInstance& instance, Rng& rng) const {
     for (std::size_t i = 0; i < instance.stops.size(); ++i) {
       if (used[i]) continue;
       const Stop& s = instance.stops[i];
-      const Seconds arrival = clock + instance.travel_time(pos, s.position);
-      if (std::max(arrival, s.window_open) > s.window_close) {
-        continue;  // window already lost from here
-      }
+      // One sqrt per stop: travel time is distance / speed by definition.
       const double d = geom::distance(pos, s.position);
+      const Seconds arrival = clock + d / instance.speed;
+      if (std::max(arrival, s.window_open) >
+          s.window_close + kWindowEpsilon) {
+        continue;  // window already lost from here (same tolerance as the
+                   // evaluators, so a chosen stop is never dropped later)
+      }
       if (d < best_dist) {
         best_dist = d;
         best = i;
@@ -211,7 +165,7 @@ Plan GreedyNearestPlanner::plan(const TideInstance& instance, Rng& rng) const {
     used[best] = true;
     order.push_back(best);
     const Stop& s = instance.stops[best];
-    const Seconds arrival = clock + instance.travel_time(pos, s.position);
+    const Seconds arrival = clock + best_dist / instance.speed;
     clock = std::max(arrival, s.window_open) + s.service_time;
     pos = s.position;
   }

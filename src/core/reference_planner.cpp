@@ -1,0 +1,165 @@
+#include "core/reference_planner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::csa::reference {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Phase 1: EDF-ordered key insertion, each at its cheapest feasible
+/// position.  Keys that cannot be placed are skipped (counted as missed).
+void insert_keys_edf(const TideInstance& instance, NaiveRouteState& route) {
+  std::vector<std::size_t> keys;
+  for (std::size_t i = 0; i < instance.stops.size(); ++i) {
+    if (instance.stops[i].is_key) keys.push_back(i);
+  }
+  std::sort(keys.begin(), keys.end(), [&](std::size_t a, std::size_t b) {
+    return instance.stops[a].window_close < instance.stops[b].window_close;
+  });
+  for (const std::size_t key : keys) {
+    if (const auto best = route.best_insertion(key)) {
+      route.insert(key, best->first);
+    }
+  }
+}
+
+/// Phase 2: cost-benefit greedy filling, rescoring every remaining stop
+/// each round (the original O(U^2 R^2) loop, erase included).
+void fill_utility_greedy(const TideInstance& instance,
+                         NaiveRouteState& route) {
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < instance.stops.size(); ++i) {
+    if (!instance.stops[i].is_key && instance.stops[i].utility > 0.0) {
+      remaining.push_back(i);
+    }
+  }
+
+  while (!remaining.empty()) {
+    double best_score = -kInf;
+    std::size_t best_stop = 0;
+    std::size_t best_pos = 0;
+    std::size_t best_remaining_idx = 0;
+    bool found = false;
+
+    for (std::size_t r = 0; r < remaining.size(); ++r) {
+      const std::size_t stop = remaining[r];
+      const auto best = route.best_insertion(stop);
+      if (!best.has_value()) continue;
+      // Cost-benefit density; insertions absorbed by waiting slack cost
+      // (almost) nothing, so clamp the denominator to keep scores finite.
+      const double score =
+          instance.stops[stop].utility / std::max(best->second, 1.0);
+      if (score > best_score) {
+        best_score = score;
+        best_stop = stop;
+        best_pos = best->first;
+        best_remaining_idx = r;
+        found = true;
+      }
+    }
+    if (!found) break;
+    route.insert(best_stop, best_pos);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_remaining_idx));
+  }
+}
+
+}  // namespace
+
+std::optional<Seconds> NaiveRouteState::try_insert(std::size_t stop,
+                                                   std::size_t pos) const {
+  WRSN_ASSERT(pos <= order_.size());
+  const Stop& s = inst_->stops[stop];
+
+  const geom::Vec2 prev_pos =
+      pos == 0 ? inst_->start_position : inst_->stops[order_[pos - 1]].position;
+  const Seconds prev_depart = pos == 0 ? inst_->start_time : depart_[pos - 1];
+
+  const Seconds arrival = prev_depart + inst_->travel_time(prev_pos, s.position);
+  const Seconds start = std::max(arrival, s.window_open);
+  if (start > s.window_close + kWindowEpsilon) return std::nullopt;
+
+  Seconds depart = start + s.service_time;
+  geom::Vec2 cursor = s.position;
+  for (std::size_t k = pos; k < order_.size(); ++k) {
+    const Stop& next = inst_->stops[order_[k]];
+    const Seconds a = depart + inst_->travel_time(cursor, next.position);
+    const Seconds st = std::max(a, next.window_open);
+    if (st > next.window_close + kWindowEpsilon) return std::nullopt;
+    const Seconds d = st + next.service_time;
+    if (d <= depart_[k] + kWindowEpsilon) {
+      // Delay fully absorbed by waiting slack; the tail is unchanged.
+      return 0.0;
+    }
+    depart = d;
+    cursor = next.position;
+  }
+  return depart - completion();
+}
+
+std::optional<std::pair<std::size_t, Seconds>> NaiveRouteState::best_insertion(
+    std::size_t stop) const {
+  std::optional<std::pair<std::size_t, Seconds>> best;
+  for (std::size_t pos = 0; pos <= order_.size(); ++pos) {
+    const auto delta = try_insert(stop, pos);
+    if (!delta.has_value()) continue;
+    if (!best.has_value() || *delta < best->second) {
+      best = {pos, *delta};
+    }
+  }
+  return best;
+}
+
+void NaiveRouteState::insert(std::size_t stop, std::size_t pos) {
+  WRSN_ASSERT(try_insert(stop, pos).has_value());
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), stop);
+  rebuild();
+}
+
+Plan NaiveRouteState::to_plan() const {
+  const auto plan = evaluate_order(*inst_, order_);
+  WRSN_ASSERT(plan.has_value());
+  return *plan;
+}
+
+void NaiveRouteState::rebuild() {
+  arrival_.resize(order_.size());
+  start_.resize(order_.size());
+  depart_.resize(order_.size());
+  geom::Vec2 pos = inst_->start_position;
+  Seconds clock = inst_->start_time;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const Stop& s = inst_->stops[order_[k]];
+    arrival_[k] = clock + inst_->travel_time(pos, s.position);
+    start_[k] = std::max(arrival_[k], s.window_open);
+    WRSN_ASSERT(start_[k] <= s.window_close + kWindowEpsilon);
+    depart_[k] = start_[k] + s.service_time;
+    clock = depart_[k];
+    pos = s.position;
+  }
+}
+
+Plan NaiveCsaPlanner::plan(const TideInstance& instance, Rng& rng) const {
+  (void)rng;
+  instance.validate();
+  NaiveRouteState route(instance);
+  insert_keys_edf(instance, route);
+  fill_utility_greedy(instance, route);
+  return route.to_plan();
+}
+
+Plan NaiveUtilityFirstPlanner::plan(const TideInstance& instance,
+                                    Rng& rng) const {
+  (void)rng;
+  instance.validate();
+  NaiveRouteState route(instance);
+  fill_utility_greedy(instance, route);
+  insert_keys_edf(instance, route);
+  return route.to_plan();
+}
+
+}  // namespace wrsn::csa::reference

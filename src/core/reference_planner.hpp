@@ -1,0 +1,65 @@
+// Retained naive reference implementation of the CSA planner.
+//
+// This is the pre-optimization planner kept verbatim: insertion feasibility
+// walks the downstream tail (O(route) per position), best_insertion scans
+// every position with that walk (O(route^2)), and the greedy fill rescores
+// every remaining stop each round with an O(n) mid-vector erase —
+// O(U^2 R^2) overall.  It exists ONLY as the executable specification for
+// the equivalence property test (tests/property_test.cpp): the slack-based
+// RouteState + lazy-greedy CsaPlanner must produce bit-identical plans
+// (visit order, utility, completion time) on randomized and degenerate
+// instances.  Do not use it in benches or production paths.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/planners.hpp"
+#include "core/tide.hpp"
+
+namespace wrsn::csa::reference {
+
+/// The original tail-walking route state (see file comment).
+class NaiveRouteState {
+ public:
+  explicit NaiveRouteState(const TideInstance& instance) : inst_(&instance) {}
+
+  const std::vector<std::size_t>& order() const { return order_; }
+  Seconds completion() const {
+    return depart_.empty() ? inst_->start_time : depart_.back();
+  }
+
+  std::optional<Seconds> try_insert(std::size_t stop, std::size_t pos) const;
+  std::optional<std::pair<std::size_t, Seconds>> best_insertion(
+      std::size_t stop) const;
+  void insert(std::size_t stop, std::size_t pos);
+  Plan to_plan() const;
+
+ private:
+  void rebuild();
+
+  const TideInstance* inst_;
+  std::vector<std::size_t> order_;
+  std::vector<Seconds> arrival_;
+  std::vector<Seconds> start_;
+  std::vector<Seconds> depart_;
+};
+
+/// Pre-optimization CSA (EDF key skeleton, then full-rescore greedy fill).
+class NaiveCsaPlanner final : public Planner {
+ public:
+  std::string_view name() const override { return "CSA-naive-reference"; }
+  Plan plan(const TideInstance& instance, Rng& rng) const override;
+};
+
+/// Pre-optimization Utility-first ablation (fill first, then keys).
+class NaiveUtilityFirstPlanner final : public Planner {
+ public:
+  std::string_view name() const override {
+    return "Utility-first-naive-reference";
+  }
+  Plan plan(const TideInstance& instance, Rng& rng) const override;
+};
+
+}  // namespace wrsn::csa::reference

@@ -1,0 +1,116 @@
+#include "core/route_state.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace wrsn::csa {
+namespace {
+
+constexpr Seconds kInfSlack = std::numeric_limits<Seconds>::infinity();
+
+}  // namespace
+
+RouteState::RouteState(const TideInstance& instance)
+    : inst_(&instance), tt_(&instance.travel_matrix()) {
+  slack_.assign(1, kInfSlack);
+  waitsum_.assign(1, 0.0);
+}
+
+std::optional<Seconds> RouteState::try_insert(std::size_t stop,
+                                              std::size_t pos) const {
+  WRSN_ASSERT(pos <= order_.size());
+  const Stop& s = inst_->stops[stop];
+
+  const Seconds prev_depart = pos == 0 ? inst_->start_time : depart_[pos - 1];
+  const Seconds leg_in =
+      pos == 0 ? tt_->from_start(stop) : tt_->between(order_[pos - 1], stop);
+  const Seconds arrival = prev_depart + leg_in;
+  const Seconds start = std::max(arrival, s.window_open);
+  if (start > s.window_close + kWindowEpsilon) return std::nullopt;
+
+  const Seconds depart = start + s.service_time;
+  if (pos == order_.size()) return depart - completion();
+
+  // Arrival delay imposed on the first downstream stop (>= 0 up to rounding
+  // by the triangle inequality).  Feasible iff the tail can absorb it.
+  const Seconds delay =
+      depart + tt_->between(stop, order_[pos]) - arrival_[pos];
+  if (delay > slack_[pos]) return std::nullopt;
+
+  // Waiting along the tail soaks up the delay; whatever survives the suffix
+  // of waits reaches the completion time.  Residuals within the feasibility
+  // epsilon count as fully absorbed, mirroring the naive walk's early exit.
+  const Seconds residual = delay - waitsum_[pos];
+  return residual > kWindowEpsilon ? residual : 0.0;
+}
+
+std::optional<std::pair<std::size_t, Seconds>> RouteState::best_insertion(
+    std::size_t stop) const {
+  std::optional<std::pair<std::size_t, Seconds>> best;
+  for (std::size_t pos = 0; pos <= order_.size(); ++pos) {
+    const auto delta = try_insert(stop, pos);
+    if (!delta.has_value()) continue;
+    if (!best.has_value() || *delta < best->second) {
+      best = {pos, *delta};
+    }
+  }
+  return best;
+}
+
+void RouteState::insert(std::size_t stop, std::size_t pos) {
+  WRSN_ASSERT(try_insert(stop, pos).has_value());
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(pos), stop);
+  rebuild();
+}
+
+Plan RouteState::to_plan() const {
+  const auto plan = evaluate_order(*inst_, order_);
+  WRSN_ASSERT(plan.has_value());
+  return *plan;
+}
+
+void RouteState::rebuild() {
+  const std::size_t n = order_.size();
+  arrival_.resize(n);
+  start_.resize(n);
+  depart_.resize(n);
+  slack_.resize(n + 1);
+  waitsum_.resize(n + 1);
+
+  Seconds clock = inst_->start_time;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Stop& s = inst_->stops[order_[k]];
+    const Seconds leg = k == 0 ? tt_->from_start(order_[0])
+                               : tt_->between(order_[k - 1], order_[k]);
+    arrival_[k] = clock + leg;
+    start_[k] = std::max(arrival_[k], s.window_open);
+    WRSN_ASSERT(start_[k] <= s.window_close + kWindowEpsilon);
+    depart_[k] = start_[k] + s.service_time;
+    clock = depart_[k];
+  }
+
+  // Backward pass.  Two thresholds per suffix, matching the naive tail walk
+  // stop by stop:
+  //   slack_[k]: delay bound when stop k is the FIRST downstream stop (its
+  //     window is checked before any absorbed-delay early exit can trigger);
+  //   interior[k]: bound for stops deeper in the walk, where a delay that
+  //     has shrunk to <= kWindowEpsilon exits early as "absorbed" before
+  //     the stop's window is consulted — hence the max(..., epsilon).
+  slack_[n] = kInfSlack;
+  waitsum_[n] = 0.0;
+  Seconds interior = kInfSlack;
+  for (std::size_t k = n; k-- > 0;) {
+    const Stop& s = inst_->stops[order_[k]];
+    const Seconds wait = start_[k] - arrival_[k];
+    const Seconds margin = s.window_close + kWindowEpsilon - start_[k];
+    waitsum_[k] = wait + waitsum_[k + 1];
+    slack_[k] = std::min(wait + margin, wait + interior);
+    interior =
+        std::min(std::max(wait + margin, kWindowEpsilon), wait + interior);
+  }
+  ++version_;
+}
+
+}  // namespace wrsn::csa

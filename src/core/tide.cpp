@@ -16,6 +16,41 @@ Seconds TideInstance::travel_time(geom::Vec2 from, geom::Vec2 to) const {
   return geom::distance(from, to) / speed;
 }
 
+TravelMatrix TravelMatrix::build(const TideInstance& instance,
+                                 const PairDistance& pair_distance) {
+  TravelMatrix m;
+  m.n_ = instance.stops.size();
+  m.start_row_.resize(m.n_);
+  m.cell_.assign(m.n_ * m.n_, 0.0);
+  for (std::size_t i = 0; i < m.n_; ++i) {
+    const Stop& a = instance.stops[i];
+    m.start_row_[i] =
+        geom::distance(instance.start_position, a.position) / instance.speed;
+    for (std::size_t j = i + 1; j < m.n_; ++j) {
+      const Stop& b = instance.stops[j];
+      const Meters d = pair_distance ? pair_distance(a, b)
+                                     : geom::distance(a.position, b.position);
+      const Seconds t = d / instance.speed;
+      m.cell_[i * m.n_ + j] = t;
+      m.cell_[j * m.n_ + i] = t;
+    }
+  }
+  return m;
+}
+
+const TravelMatrix& TideInstance::travel_matrix() const {
+  if (!matrix_) {
+    matrix_ = std::make_shared<const TravelMatrix>(TravelMatrix::build(*this));
+  }
+  return *matrix_;
+}
+
+void TideInstance::set_travel_matrix(TravelMatrix matrix) {
+  WRSN_REQUIRE(matrix.size() == stops.size(),
+               "travel matrix does not cover the instance stops");
+  matrix_ = std::make_shared<const TravelMatrix>(std::move(matrix));
+}
+
 void TideInstance::validate() const {
   if (speed <= 0.0) throw ConfigError("TIDE speed must be > 0");
   for (const Stop& stop : stops) {

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -22,6 +24,8 @@
 #include "net/network.hpp"
 
 namespace wrsn::csa {
+
+struct TideInstance;
 
 /// One candidate visit in a TIDE instance.
 struct Stop {
@@ -39,6 +43,41 @@ struct Stop {
   bool is_key = false;
 };
 
+/// Dense symmetric travel-time matrix over an instance's stops plus a row
+/// for the charger's start position.  Built once per instance (lazily on the
+/// planner's first use) so the planners' inner loops never recompute the
+/// sqrt behind geom::distance.  Values are bit-identical to
+/// TideInstance::travel_time on the same endpoints: each pair's distance is
+/// computed once and mirrored (hypot is sign-symmetric), then divided by the
+/// instance speed with the same expression.
+class TravelMatrix {
+ public:
+  /// Supplies the straight-line distance for a stop pair; the orchestrator
+  /// injects a memoized version so node-pair distances survive across the
+  /// receding-horizon replans of overlapping stop sets.
+  using PairDistance = std::function<Meters(const Stop&, const Stop&)>;
+
+  TravelMatrix() = default;
+  /// Builds from instance geometry; `pair_distance` (optional) overrides how
+  /// stop-pair distances are obtained.  The start row is always computed
+  /// fresh (the charger moves between replans).
+  static TravelMatrix build(const TideInstance& instance,
+                            const PairDistance& pair_distance = nullptr);
+
+  std::size_t size() const { return n_; }
+  /// Travel time from the instance start position to stop `i`.
+  Seconds from_start(std::size_t i) const { return start_row_[i]; }
+  /// Travel time between stops `i` and `j` (symmetric).
+  Seconds between(std::size_t i, std::size_t j) const {
+    return cell_[i * n_ + j];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Seconds> start_row_;
+  std::vector<Seconds> cell_;  ///< n_ x n_, row-major, symmetric
+};
+
 /// A static TIDE planning problem.
 struct TideInstance {
   geom::Vec2 start_position;
@@ -49,9 +88,19 @@ struct TideInstance {
   std::size_t key_count() const;
   /// Travel time between two stop positions at the instance speed.
   Seconds travel_time(geom::Vec2 from, geom::Vec2 to) const;
+  /// The cached travel-time matrix, built on first call (planners call this
+  /// once per plan).  Lazy init is NOT thread-safe; every runner thread owns
+  /// its instances, which is the repo-wide convention.
+  const TravelMatrix& travel_matrix() const;
+  /// Installs a pre-built matrix (the orchestrator primes it from its
+  /// cross-replan node-pair distance cache).  Must cover `stops`.
+  void set_travel_matrix(TravelMatrix matrix);
   /// Throws ConfigError on inconsistent data (closed-before-open windows,
   /// non-positive speed, negative service times).
   void validate() const;
+
+ private:
+  mutable std::shared_ptr<const TravelMatrix> matrix_;
 };
 
 /// Feasibility tolerance on window-close comparisons [s]; shared by the

@@ -13,7 +13,9 @@
 #include "core/exact.hpp"
 #include "core/orchestrator.hpp"
 #include "core/planners.hpp"
+#include "core/reference_planner.hpp"
 #include "core/report.hpp"
+#include "core/route_state.hpp"
 #include "core/tide.hpp"
 
 namespace wrsn::csa {
@@ -174,6 +176,136 @@ TEST(UtilityFirstPlanner, CanMissKeysCsaKeeps) {
   EXPECT_TRUE(csa.covers_all_keys());
   EXPECT_FALSE(utility_first.covers_all_keys());
   EXPECT_GT(utility_first.utility, csa.utility);  // the trade it made
+}
+
+// The travel matrix must reproduce travel_time bit-for-bit (symmetry
+// included) — the planners' equivalence with the naive reference relies on
+// cached legs being the same doubles the reference recomputes.
+TEST(TravelMatrix, MatchesTravelTimeBitForBit) {
+  Rng gen(17);
+  TideInstance inst = simple_instance();
+  inst.speed = 3.7;
+  inst.start_position = {gen.uniform(-50.0, 50.0), gen.uniform(-50.0, 50.0)};
+  for (int i = 0; i < 12; ++i) {
+    inst.stops.push_back(make_stop(
+        {gen.uniform(-100.0, 100.0), gen.uniform(-100.0, 100.0)}, 0.0, 1e6,
+        1.0, 1.0, false));
+  }
+  const TravelMatrix& m = inst.travel_matrix();
+  ASSERT_EQ(m.size(), inst.stops.size());
+  for (std::size_t i = 0; i < inst.stops.size(); ++i) {
+    EXPECT_EQ(m.from_start(i), inst.travel_time(inst.start_position,
+                                                inst.stops[i].position));
+    for (std::size_t j = 0; j < inst.stops.size(); ++j) {
+      EXPECT_EQ(m.between(i, j), inst.travel_time(inst.stops[i].position,
+                                                  inst.stops[j].position));
+      EXPECT_EQ(m.between(i, j), m.between(j, i));
+    }
+  }
+}
+
+TEST(TravelMatrix, SetRejectsWrongSize) {
+  TideInstance inst = simple_instance();
+  inst.stops.push_back(make_stop({1, 0}, 0.0, 1e6, 1.0, 1.0, false));
+  TideInstance other = simple_instance();
+  EXPECT_THROW(inst.set_travel_matrix(TravelMatrix::build(other)),
+               PreconditionError);
+}
+
+// Integer-exact slack behavior: a stop inserted in front of a long wait is
+// fully absorbed (delta exactly 0, downstream schedule untouched), and the
+// slack array rejects exactly the insertions whose pushed-forward delay
+// breaks a downstream window.
+TEST(RouteState, SlackAbsorbsAndRejectsExactly) {
+  TideInstance inst = simple_instance();  // speed 1, start (0,0) at t=0
+  // Stop 0: x=100, window opens at 1000 -> 900 s of waiting slack.
+  inst.stops.push_back(make_stop({100, 0}, 1000.0, 1100.0, 10.0, 0.0, true));
+  // Stop 1: x=50, on the way, wide window, service 30.
+  inst.stops.push_back(make_stop({50, 0}, 0.0, 2000.0, 30.0, 5.0, false));
+  // Stop 2: x=200, window so tight after stop 0 that any extra delay kills
+  // it: depart stop 0 at 1010, travel 100 -> arrival 1110, close at 1110.
+  inst.stops.push_back(make_stop({200, 0}, 0.0, 1110.0, 1.0, 7.0, false));
+
+  RouteState route(inst);
+  route.insert(0, 0);
+
+  // Inserting stop 1 before stop 0 is absorbed by the 900 s wait.
+  const auto absorbed = route.try_insert(1, 0);
+  ASSERT_TRUE(absorbed.has_value());
+  EXPECT_EQ(*absorbed, 0.0);
+
+  route.insert(2, 1);  // route: [0, 2], stop 2 starts exactly at its close
+  // Now stop 1 before stop 0 would still be absorbed at stop 0 (the wait
+  // soaks the delay before it ever reaches stop 2).
+  const auto still_ok = route.try_insert(1, 0);
+  ASSERT_TRUE(still_ok.has_value());
+  EXPECT_EQ(*still_ok, 0.0);
+  // But inserting stop 1 BETWEEN 0 and 2 pushes stop 2 past its window:
+  // zero slack there, so the slack array must reject it.
+  EXPECT_FALSE(route.try_insert(1, 1).has_value());
+  // And appending at the end is fine (nothing downstream).
+  EXPECT_TRUE(route.try_insert(1, 2).has_value());
+
+  // The naive reference agrees on all three verdicts.
+  csa::reference::NaiveRouteState naive(inst);
+  naive.insert(0, 0);
+  naive.insert(2, 1);
+  EXPECT_EQ(naive.try_insert(1, 0).has_value(), true);
+  EXPECT_EQ(*naive.try_insert(1, 0), 0.0);
+  EXPECT_FALSE(naive.try_insert(1, 1).has_value());
+  EXPECT_TRUE(naive.try_insert(1, 2).has_value());
+}
+
+// Documents the satellite "swap-and-pop / O(1) candidate removal" change:
+// the greedy fill's argmax is keyed on (score, then smallest stop index),
+// which is exactly what the old first-wins scan over the ascending-sorted
+// `remaining` vector computed — `remaining` was built in ascending stop
+// order and mid-vector erase preserves that order, so "first maximum in
+// iteration order" always meant "smallest stop index".  Making the key
+// explicit frees the implementation to store candidates in any order
+// (utility-sorted with O(1) tombstone removal) without changing any plan.
+// The instance below forces an EXACT score tie (equal utilities, both
+// insertions fully absorbed so both deltas are 0), where only the
+// tie-break determines the result.
+TEST(CsaPlanner, FillTieBreakPrefersSmallestStopIndex) {
+  TideInstance inst = simple_instance();  // speed 1
+  // Key at x=100 opens at 1000: everything before it is absorbed.
+  inst.stops.push_back(make_stop({100, 0}, 1000.0, 1100.0, 10.0, 0.0, true));
+  // Two identical utility stops at the same position, same window, same
+  // utility: scores tie exactly; index 1 must be inserted first.
+  inst.stops.push_back(make_stop({40, 0}, 0.0, 2000.0, 5.0, 6.0, false));
+  inst.stops.push_back(make_stop({40, 0}, 0.0, 2000.0, 5.0, 6.0, false));
+
+  Rng rng(1);
+  const Plan plan = CsaPlanner().plan(inst, rng);
+  ASSERT_EQ(plan.visits.size(), 3u);
+  // Stop 1 was inserted first (at position 0); stop 2's later insertion
+  // also lands at position 0 (same min delta 0, smallest position wins),
+  // so the visit order is [2, 1, 0] — exactly what the naive first-wins
+  // scan produces.
+  EXPECT_EQ(plan.visits[0].stop_index, 2u);
+  EXPECT_EQ(plan.visits[1].stop_index, 1u);
+  EXPECT_EQ(plan.visits[2].stop_index, 0u);
+  Rng rng2(1);
+  const Plan ref = csa::reference::NaiveCsaPlanner().plan(inst, rng2);
+  ASSERT_EQ(ref.visits.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.visits[i].stop_index, ref.visits[i].stop_index);
+  }
+}
+
+// Satellite bugfix: GreedyNearest used a bare `>` on window_close while the
+// evaluators tolerate kWindowEpsilon; a stop arriving within the epsilon was
+// skipped by the planner although evaluate_order_dropping would accept it.
+TEST(GreedyNearest, AcceptsArrivalWithinWindowEpsilon) {
+  TideInstance inst = simple_instance();  // speed 1
+  // Arrival lands epsilon/2 past the close: inside the shared tolerance.
+  inst.stops.push_back(
+      make_stop({10.0 + 5e-10, 0}, 0.0, 10.0, 1.0, 3.0, false));
+  Rng rng(1);
+  const Plan plan = GreedyNearestPlanner().plan(inst, rng);
+  ASSERT_EQ(plan.visits.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.utility, 3.0);
 }
 
 TEST(GreedyNearest, VisitsNearestFirstRegardlessOfDeadline) {

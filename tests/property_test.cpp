@@ -3,13 +3,17 @@
 // physics conservation, and world-level monotonicities.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 #include "analysis/scenario.hpp"
 #include "common/rng.hpp"
 #include "core/exact.hpp"
 #include "core/planners.hpp"
+#include "core/reference_planner.hpp"
+#include "core/route_state.hpp"
 #include "wpt/charging_model.hpp"
 #include "wpt/spoofing.hpp"
 #include "wpt/wave.hpp"
@@ -34,6 +38,154 @@ csa::TideInstance random_tide(Rng& gen, int keys, int stops) {
     inst.stops.push_back(s);
   }
   return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence of the optimized planner stack with the retained naive
+// reference (core/reference_planner.hpp): the slack-based RouteState, the
+// cached travel matrix, and the lazy CELF-style greedy fill are pure
+// optimizations — on every instance the produced Plan must be IDENTICAL
+// (visit order, utility, completion time, key count) to the pre-optimization
+// implementation.  5 instance families x 50 seeds = 250 instances, covering
+// degenerate shapes: zero-slack windows, all-key, all-infeasible, and an
+// exact-arithmetic integer grid where insertion scores tie exactly.
+// ---------------------------------------------------------------------------
+
+void expect_plans_identical(const csa::TideInstance& inst,
+                            const char* family) {
+  Rng r1(1), r2(1), r3(1), r4(1);
+  const csa::Plan fast_csa = csa::CsaPlanner().plan(inst, r1);
+  const csa::Plan ref_csa = csa::reference::NaiveCsaPlanner().plan(inst, r2);
+  ASSERT_EQ(fast_csa.visits.size(), ref_csa.visits.size()) << family;
+  for (std::size_t i = 0; i < fast_csa.visits.size(); ++i) {
+    ASSERT_EQ(fast_csa.visits[i].stop_index, ref_csa.visits[i].stop_index)
+        << family << " visit " << i;
+  }
+  // Same order + same instance => the evaluator yields bit-equal numbers.
+  EXPECT_EQ(fast_csa.utility, ref_csa.utility) << family;
+  EXPECT_EQ(fast_csa.completion_time, ref_csa.completion_time) << family;
+  EXPECT_EQ(fast_csa.keys_scheduled, ref_csa.keys_scheduled) << family;
+
+  const csa::Plan fast_uf = csa::UtilityFirstPlanner().plan(inst, r3);
+  const csa::Plan ref_uf =
+      csa::reference::NaiveUtilityFirstPlanner().plan(inst, r4);
+  ASSERT_EQ(fast_uf.visits.size(), ref_uf.visits.size()) << family;
+  for (std::size_t i = 0; i < fast_uf.visits.size(); ++i) {
+    ASSERT_EQ(fast_uf.visits[i].stop_index, ref_uf.visits[i].stop_index)
+        << family << " visit " << i;
+  }
+  EXPECT_EQ(fast_uf.utility, ref_uf.utility) << family;
+  EXPECT_EQ(fast_uf.completion_time, ref_uf.completion_time) << family;
+}
+
+class PlanEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanEquivalence, OptimizedPlannerMatchesNaiveReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+
+  {  // Mixed keys + utility stops, generic windows.
+    Rng gen(seed * 613 + 11);
+    expect_plans_identical(random_tide(gen, 3, 12), "mixed");
+  }
+  {  // Degenerate: zero-slack windows (service must start exactly at open).
+    Rng gen(seed * 331 + 5);
+    csa::TideInstance inst = random_tide(gen, 2, 10);
+    for (csa::Stop& s : inst.stops) s.window_close = s.window_open;
+    expect_plans_identical(inst, "zero-slack");
+  }
+  {  // Degenerate: every stop is a key (greedy fill has nothing to do).
+    Rng gen(seed * 977 + 3);
+    csa::TideInstance inst = random_tide(gen, 10, 0);
+    expect_plans_identical(inst, "all-key");
+  }
+  {  // Degenerate: nothing is reachable inside its window.
+    Rng gen(seed * 741 + 7);
+    csa::TideInstance inst = random_tide(gen, 2, 8);
+    for (csa::Stop& s : inst.stops) {
+      s.window_open = 0.0;
+      s.window_close = 0.0;  // closed before any positive travel time
+      s.position = {500.0 + gen.uniform(0.0, 100.0), 500.0};
+    }
+    Rng probe(1);
+    const csa::Plan p = csa::CsaPlanner().plan(inst, probe);
+    expect_plans_identical(inst, "all-infeasible");
+    EXPECT_TRUE(p.visits.empty());
+  }
+  {  // Exact integer arithmetic on a symmetric collinear grid: insertion
+     // deltas and cost-benefit scores tie EXACTLY, so this pins down the
+     // deterministic tie-breaking (smallest position / smallest stop index)
+     // shared by both implementations.
+    Rng gen(seed * 59 + 1);
+    csa::TideInstance inst;
+    inst.start_position = {0.0, 0.0};
+    inst.start_time = 0.0;
+    inst.speed = 1.0;
+    const int n = 3 + static_cast<int>(gen.uniform(0.0, 6.0));
+    for (int i = 0; i < n; ++i) {
+      csa::Stop s;
+      s.node = static_cast<net::NodeId>(i);
+      const double side = (i % 2 == 0) ? 1.0 : -1.0;
+      s.position = {side * 10.0 * (1 + i / 2), 0.0};
+      s.window_open = static_cast<double>(20 * (i % 3));
+      s.window_close = s.window_open + 400.0;
+      s.service_time = 5.0;
+      s.is_key = (i == 0);
+      s.utility = s.is_key ? 0.0 : 4.0;  // equal utilities => exact ties
+      inst.stops.push_back(s);
+    }
+    expect_plans_identical(inst, "integer-grid");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAndDegenerate, PlanEquivalence,
+                         ::testing::Range(0, 50));
+
+// The slack suffix array must answer exactly what the naive tail walk
+// answers, for every stop at every position, at every route size along a
+// growing route: same feasibility verdict, same absorbed-to-zero
+// classification, and the same delta up to rounding.
+TEST(RouteStateProperty, TryInsertMatchesNaiveWalkEverywhere) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng gen(seed * 127 + 9);
+    const csa::TideInstance inst = random_tide(gen, 2, 10);
+    csa::RouteState fast(inst);
+    csa::reference::NaiveRouteState naive(inst);
+    for (std::size_t round = 0; round < inst.stops.size(); ++round) {
+      for (std::size_t stop = 0; stop < inst.stops.size(); ++stop) {
+        for (std::size_t pos = 0; pos <= fast.order().size(); ++pos) {
+          const auto f = fast.try_insert(stop, pos);
+          const auto n = naive.try_insert(stop, pos);
+          ASSERT_EQ(f.has_value(), n.has_value())
+              << "seed " << seed << " stop " << stop << " pos " << pos;
+          if (f.has_value()) {
+            ASSERT_EQ(*f == 0.0, *n == 0.0)
+                << "seed " << seed << " stop " << stop << " pos " << pos;
+            ASSERT_NEAR(*f, *n, 1e-7)
+                << "seed " << seed << " stop " << stop << " pos " << pos;
+          }
+        }
+      }
+      // Grow both routes identically: append the first insertable stop.
+      bool grown = false;
+      for (std::size_t stop = 0; stop < inst.stops.size() && !grown; ++stop) {
+        if (std::find(fast.order().begin(), fast.order().end(), stop) !=
+            fast.order().end()) {
+          continue;
+        }
+        const auto best = fast.best_insertion(stop);
+        const auto ref = naive.best_insertion(stop);
+        ASSERT_EQ(best.has_value(), ref.has_value());
+        if (!best.has_value()) continue;
+        ASSERT_EQ(best->first, ref->first);
+        fast.insert(stop, best->first);
+        naive.insert(stop, best->first);
+        grown = true;
+      }
+      if (!grown) break;
+    }
+    ASSERT_EQ(fast.order(), naive.order()) << "seed " << seed;
+    EXPECT_EQ(fast.completion(), naive.completion()) << "seed " << seed;
+  }
 }
 
 // Every plan any planner returns must re-evaluate as feasible with the

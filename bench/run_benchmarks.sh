@@ -1,26 +1,34 @@
 #!/usr/bin/env bash
-# Records the planner-scalability trajectory (Table II) as google-benchmark
-# JSON so successive PRs can compare numbers.  Usage:
+# Records the committed benchmark trajectories as google-benchmark JSON so
+# successive PRs can compare numbers:
 #
-#   bench/run_benchmarks.sh [build-dir] [output-json]
+#   * BENCH_table2.json — planner scalability (Table II)
+#   * BENCH_sim.json    — event kernel + incremental world updates
 #
-# Defaults: build-dir = build, output = BENCH_table2.json at the repo root.
-# The committed BENCH_table2.json is the current trajectory point; see the
-# "Table II" section of EXPERIMENTS.md for how to read it.
+# Usage:
+#
+#   bench/run_benchmarks.sh [build-dir]
+#
+# Default build-dir = build; outputs land at the repo root.  See the
+# benchmark sections of EXPERIMENTS.md for how to read them.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-out="${2:-$repo_root/BENCH_table2.json}"
-bin="$build_dir/bench/table2_runtime"
 
-if [[ ! -x "$bin" ]]; then
-  echo "error: $bin not built (cmake --build $build_dir --target table2_runtime)" >&2
-  exit 1
-fi
+run_one() {
+  local bin="$build_dir/bench/$1"
+  local out="$repo_root/$2"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $build_dir --target $1)" >&2
+    exit 1
+  fi
+  "$bin" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
+  echo "wrote $out"
+}
 
-"$bin" \
-  --benchmark_out="$out" \
-  --benchmark_out_format=json \
-  --benchmark_counters_tabular=true
-echo "wrote $out"
+run_one table2_runtime BENCH_table2.json
+run_one sim_kernel BENCH_sim.json

@@ -1,0 +1,134 @@
+// Event-kernel and world-update performance: the cost of death cascades
+// under the incremental (Fast) updater versus the full-rebuild Reference
+// path, the kernel's schedule/cancel churn rate, and an end-to-end fig5
+// exhaustion trial under both modes.
+//
+// Reproduce with bench/run_benchmarks.sh, which records the JSON trajectory
+// in BENCH_sim.json (see EXPERIMENTS.md).  The headline criterion: the Fast
+// world processes a full starvation collapse at N=400 at least 5x faster
+// than Reference — deaths cost O(affected subtree), not O(N log N) plus a
+// reschedule of every survivor.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "analysis/scenario.hpp"
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace wrsn;
+
+net::Network cascade_network(std::size_t n) {
+  net::TopologyConfig topo;
+  topo.node_count = n;
+  // Hold density at the calibrated default (100 nodes on 400 m x 400 m).
+  const double side = 40.0 * std::sqrt(double(n));
+  topo.region = {{0.0, 0.0}, {side, side}};
+  topo.comm_range = 65.0;
+  Rng rng(42);
+  return net::generate_topology(topo, rng);
+}
+
+// A full starvation collapse: nobody charges, all N nodes request, escalate,
+// and die one by one — every death triggers a routing update and (Reference)
+// a reschedule of every survivor.  World construction is excluded from the
+// timed region; the measured work is the event loop from first tick to a
+// dead network.
+void BM_WorldDeathCascade(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool reference = state.range(1) != 0;
+  const net::Network network = cascade_network(n);
+
+  sim::WorldParams params;
+  params.update_mode = reference ? sim::WorldUpdateMode::Reference
+                                 : sim::WorldUpdateMode::Fast;
+  std::uint64_t executed = 0;
+  sim::WorldUpdateStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::World world(sim, network, params, Rng(7));
+    state.ResumeTiming();
+    sim.run_all();
+    benchmark::DoNotOptimize(world.alive_count());
+    executed = sim.executed();
+    stats = world.update_stats();
+  }
+  state.counters["events"] = double(executed);
+  state.counters["deaths"] = double(n);
+  state.counters["repairs"] = double(stats.repairs);
+  state.counters["rebuilds"] = double(stats.rebuilds);
+  state.counters["reschedules"] = double(stats.reschedules);
+}
+BENCHMARK(BM_WorldDeathCascade)
+    ->ArgNames({"nodes", "reference"})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({200, 0})
+    ->Args({200, 1})
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Kernel churn: steady-state schedule/cancel pressure with `range` live
+// events, the pattern the world generates when drains shift (cancel the
+// superseded event, schedule the replacement).  Exercises the slab free
+// list, the 4-ary heap, and tombstone compaction; steady state allocates
+// nothing.
+void BM_KernelScheduleCancelChurn(benchmark::State& state) {
+  const auto live = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  sim.reserve(live);
+  std::vector<sim::EventId> ids(live);
+  for (std::size_t i = 0; i < live; ++i) {
+    ids[i] = sim.schedule_at(1e12 + double(i), [] {});
+  }
+  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+  double t = 0.0;
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t victim = (lcg >> 33) % live;
+    sim.cancel(ids[victim]);
+    t += 1.0;
+    ids[victim] = sim.schedule_at(1e12 + t, [] {});
+    benchmark::DoNotOptimize(ids[victim]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_KernelScheduleCancelChurn)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
+
+// End-to-end: one fig5 exhaustion trial (default 100-node deployment,
+// 4-day horizon, CSA attacker) under each update mode.  The world update is
+// only part of a trial (planning and detection share the bill), so the
+// end-to-end gain is smaller than the cascade microbenchmark's.
+void BM_Fig5Trial(benchmark::State& state) {
+  const bool reference = state.range(0) != 0;
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.world.update_mode = reference ? sim::WorldUpdateMode::Reference
+                                    : sim::WorldUpdateMode::Fast;
+  cfg.seed = 42;
+  std::size_t alive = 0;
+  for (auto _ : state) {
+    const analysis::ScenarioResult result =
+        analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+    benchmark::DoNotOptimize(result.alive_at_end);
+    alive = result.alive_at_end;
+  }
+  state.counters["alive_at_end"] = double(alive);
+}
+BENCHMARK(BM_Fig5Trial)
+    ->ArgName("reference")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

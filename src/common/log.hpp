@@ -45,4 +45,16 @@ class LogLine {
 
 inline LogLine log(LogLevel level) { return LogLine(level); }
 
+/// True when records at `level` would be emitted under the current filter.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
 }  // namespace wrsn
+
+/// Hot-path logging: checks the level BEFORE constructing the LogLine (and
+/// its ostringstream member), so filtered records cost one branch.  `level`
+/// is a bare LogLevel enumerator: WRSN_LOG(Debug) << "node " << id;
+/// The if/else shape keeps the macro safe inside unbraced if statements.
+#define WRSN_LOG(level)                                   \
+  if (!::wrsn::log_enabled(::wrsn::LogLevel::level)) {    \
+  } else                                                  \
+    ::wrsn::log(::wrsn::LogLevel::level)

@@ -203,21 +203,22 @@ TideInstance AttackAgent::build_instance() const {
 
   // Pending requests: hard-deadline stops.  Key nodes become spoof targets;
   // the rest become genuine-utility stops.
-  for (const sim::PendingRequest& req : world_.pending_requests()) {
-    if (!world_.alive(req.node) || !in_territory(req.node)) continue;
-    if (params_.spoof_mode == SpoofMode::NoService && is_key(req.node)) {
+  for (const net::NodeId node : world_.pending_nodes()) {
+    if (!in_territory(node)) continue;
+    if (params_.spoof_mode == SpoofMode::NoService && is_key(node)) {
       continue;  // naive variant: starve key nodes outright
     }
+    const sim::PendingRequest req = world_.pending_request(node);
     Stop stop;
-    stop.node = req.node;
-    stop.position = world_.network().node(req.node).position;
+    stop.node = node;
+    stop.position = world_.network().node(node).position;
     stop.window_open = now;
     stop.window_close =
         std::max(now, req.escalation_deadline - params_.window_margin);
     stop.service_time =
-        world_.planned_session_duration(believed_deficit(req.node));
-    stop.is_key = is_key(req.node);
-    stop.utility = stop.is_key ? 0.0 : believed_deficit(req.node);
+        world_.planned_session_duration(believed_deficit(node));
+    stop.is_key = is_key(node);
+    stop.utility = stop.is_key ? 0.0 : believed_deficit(node);
     instance.stops.push_back(stop);
   }
 
@@ -519,9 +520,9 @@ void AttackAgent::end_session(std::uint64_t version) {
   record.radiated = source * duration;
   world_.trace().sessions.push_back(record);
 
-  log(LogLevel::Debug) << (session_spoofed_ ? "SPOOFED" : "genuine")
-                       << " session on node " << node << " delivered "
-                       << delivered << " J of " << expected << " J expected";
+  WRSN_LOG(Debug) << (session_spoofed_ ? "SPOOFED" : "genuine")
+                  << " session on node " << node << " delivered "
+                  << delivered << " J of " << expected << " J expected";
 
   target_ = net::kInvalidNode;
   state_ = State::Idle;

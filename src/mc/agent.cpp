@@ -93,37 +93,39 @@ void ChargerAgent::plan_next() {
 std::optional<net::NodeId> ChargerAgent::pick_target() {
   if (params_.policy == SchedulePolicy::Tour) return pick_tour_target();
 
-  const auto pending = world_.pending_requests();
+  // pending_nodes() is the world's maintained index (alive nodes with an
+  // outstanding request): no per-decision scan or allocation.
+  const std::vector<net::NodeId>& pending = world_.pending_nodes();
   if (pending.empty()) return std::nullopt;
 
   const Seconds now = world_.simulator().now();
   const geom::Vec2 pos = mc_.position(now);
 
-  const sim::PendingRequest* best = nullptr;
+  net::NodeId best = net::kInvalidNode;
   double best_score = std::numeric_limits<double>::infinity();
-  for (const sim::PendingRequest& req : pending) {
-    if (!world_.alive(req.node) || !in_territory(req.node)) continue;
+  for (const net::NodeId node : pending) {
+    if (!in_territory(node)) continue;
     double score = 0.0;
     switch (params_.policy) {
       case SchedulePolicy::Njnp:
-        score = geom::distance(pos, world_.network().node(req.node).position);
+        score = geom::distance(pos, world_.network().node(node).position);
         break;
       case SchedulePolicy::Edf:
-        score = req.escalation_deadline;
+        score = world_.pending_request(node).escalation_deadline;
         break;
       case SchedulePolicy::Fcfs:
-        score = req.requested_at;
+        score = world_.pending_request(node).requested_at;
         break;
       case SchedulePolicy::Tour:
         break;  // handled above
     }
     if (score < best_score) {
       best_score = score;
-      best = &req;
+      best = node;
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return best->node;
+  if (best == net::kInvalidNode) return std::nullopt;
+  return best;
 }
 
 std::optional<net::NodeId> ChargerAgent::pick_tour_target() {
@@ -136,13 +138,13 @@ std::optional<net::NodeId> ChargerAgent::pick_tour_target() {
     if (world_.alive(next) && world_.has_pending_request(next)) return next;
   }
 
-  // Collect the batch candidates.
+  // Collect the batch candidates from the maintained pending index.
   std::vector<net::NodeId> batch;
   Seconds oldest = now;
-  for (const sim::PendingRequest& req : world_.pending_requests()) {
-    if (!world_.alive(req.node) || !in_territory(req.node)) continue;
-    batch.push_back(req.node);
-    oldest = std::min(oldest, req.requested_at);
+  for (const net::NodeId node : world_.pending_nodes()) {
+    if (!in_territory(node)) continue;
+    batch.push_back(node);
+    oldest = std::min(oldest, world_.pending_request(node).requested_at);
   }
   if (batch.empty()) return std::nullopt;
 
@@ -321,10 +323,10 @@ void ChargerAgent::end_session(std::uint64_t version, bool truncated) {
   world_.trace().sessions.push_back(record);
 
   ++sessions_completed_;
-  log(LogLevel::Debug) << "genuine session on node " << node << " ["
-                       << session_start_ << ", " << now << ") delivered "
-                       << record.delivered << " J"
-                       << (truncated ? " (truncated)" : "");
+  WRSN_LOG(Debug) << "genuine session on node " << node << " ["
+                  << session_start_ << ", " << now << ") delivered "
+                  << record.delivered << " J"
+                  << (truncated ? " (truncated)" : "");
 
   target_ = net::kInvalidNode;
   state_ = State::Idle;

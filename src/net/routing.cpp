@@ -1,7 +1,7 @@
 #include "net/routing.hpp"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "common/check.hpp"
 
@@ -14,23 +14,47 @@ bool alive_or_all(const std::vector<bool>& alive, NodeId id) {
   return alive.empty() || alive[id];
 }
 
+using FrontierEntry = std::pair<double, NodeId>;  // (cost, node), min-heap
+
+void frontier_push(std::vector<FrontierEntry>& heap, FrontierEntry entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+FrontierEntry frontier_pop(std::vector<FrontierEntry>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  const FrontierEntry entry = heap.back();
+  heap.pop_back();
+  return entry;
+}
+
 }  // namespace
 
-RoutingTree build_routing_tree(const Network& network,
-                               const std::vector<bool>& alive,
-                               const RoutingParams& params) {
+void RoutingScratch::reserve(std::size_t n, std::size_t edges) {
+  heap.reserve(edges + n + 1);
+  settled.reserve(n);
+  affected.reserve(n);
+  affected_ids.reserve(n);
+  repaired_order.reserve(n);
+  merged_order.reserve(n);
+}
+
+void rebuild_routing_tree(const Network& network,
+                          const std::vector<bool>& alive,
+                          const RoutingParams& params, RoutingTree& tree,
+                          RoutingScratch& scratch) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(alive.empty() || alive.size() == n, "alive mask size mismatch");
   WRSN_REQUIRE(params.hop_cost >= 0.0, "negative hop cost");
 
-  RoutingTree tree;
   tree.parent.assign(n, kInvalidNode);
   tree.reachable.assign(n, false);
   tree.uplink_distance.assign(n, 0.0);
   tree.path_cost.assign(n, kInf);
+  tree.settle_order.clear();
 
-  using Entry = std::pair<double, NodeId>;  // (cost, node), min-heap
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<FrontierEntry>& heap = scratch.heap;
+  heap.clear();
 
   // Seed with direct sink uplinks.
   for (const NodeId id : network.sink_neighbors()) {
@@ -40,39 +64,178 @@ RoutingTree build_routing_tree(const Network& network,
     if (cost < tree.path_cost[id]) {
       tree.path_cost[id] = cost;
       tree.uplink_distance[id] = d;
-      heap.emplace(cost, id);
+      frontier_push(heap, {cost, id});
     }
   }
 
-  std::vector<bool> settled(n, false);
+  scratch.settled.assign(n, false);
   while (!heap.empty()) {
-    const auto [cost, u] = heap.top();
-    heap.pop();
-    if (settled[u] || cost > tree.path_cost[u]) continue;
-    settled[u] = true;
+    const auto [cost, u] = frontier_pop(heap);
+    if (scratch.settled[u] || cost > tree.path_cost[u]) continue;
+    scratch.settled[u] = true;
     tree.reachable[u] = true;
     tree.settle_order.push_back(u);
     for (const NodeId v : network.neighbors(u)) {
-      if (!alive_or_all(alive, v) || settled[v]) continue;
+      if (!alive_or_all(alive, v) || scratch.settled[v]) continue;
       const Meters d = network.distance(u, v);
       const double next = cost + params.hop_cost + d * d;
       if (next < tree.path_cost[v]) {
         tree.path_cost[v] = next;
         tree.parent[v] = u;
         tree.uplink_distance[v] = d;
-        heap.emplace(next, v);
+        frontier_push(heap, {next, v});
       }
     }
   }
+}
+
+RoutingTree build_routing_tree(const Network& network,
+                               const std::vector<bool>& alive,
+                               const RoutingParams& params) {
+  RoutingTree tree;
+  RoutingScratch scratch;
+  rebuild_routing_tree(network, alive, params, tree, scratch);
   return tree;
 }
 
-TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
-                           const std::vector<bool>& alive) {
+bool repair_routing_after_death(const Network& network,
+                                const std::vector<bool>& alive,
+                                const RoutingParams& params, NodeId dead,
+                                RoutingTree& tree, RoutingScratch& scratch,
+                                double max_affected_fraction) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(tree.parent.size() == n, "tree does not match network");
+  WRSN_REQUIRE(alive.size() == n, "repair requires an explicit alive mask");
+  WRSN_REQUIRE(dead < n && !alive[dead], "dead node must be cleared in mask");
+
+  if (!tree.reachable[dead]) {
+    // The dead node routed nothing; no other node's path can change.
+    tree.parent[dead] = kInvalidNode;
+    tree.uplink_distance[dead] = 0.0;
+    tree.path_cost[dead] = kInf;
+    return true;
+  }
+
+  // 1. Affected set = the dead node's routing subtree.  settle_order is a
+  // parent-before-child topological order, so one forward pass finds it.
+  scratch.affected.assign(n, 0);
+  scratch.affected[dead] = 1;
+  scratch.affected_ids.clear();
+  for (const NodeId u : tree.settle_order) {
+    if (u == dead) continue;
+    const NodeId p = tree.parent[u];
+    if (p != kInvalidNode && scratch.affected[p] != 0) {
+      scratch.affected[u] = 1;
+      scratch.affected_ids.push_back(u);
+    }
+  }
+  const std::size_t reachable_count = tree.settle_order.size();
+  if (double(scratch.affected_ids.size() + 1) >
+      max_affected_fraction * double(reachable_count)) {
+    return false;  // big blast radius: a full rebuild is cheaper
+  }
+
+  // 2. Detach the subtree (and the dead node) back to the unreachable state.
+  tree.reachable[dead] = false;
+  tree.parent[dead] = kInvalidNode;
+  tree.uplink_distance[dead] = 0.0;
+  tree.path_cost[dead] = kInf;
+  for (const NodeId u : scratch.affected_ids) {
+    tree.reachable[u] = false;
+    tree.parent[u] = kInvalidNode;
+    tree.uplink_distance[u] = 0.0;
+    tree.path_cost[u] = kInf;
+  }
+
+  // 3. Seed each subtree node from the surviving frontier: its best direct
+  // sink uplink or unaffected settled neighbour.  Paths through unaffected
+  // nodes cannot improve (removing a node never shortens a path), so the
+  // repair Dijkstra only needs to relax edges inside the affected set.
+  std::vector<FrontierEntry>& heap = scratch.heap;
+  heap.clear();
+  for (const NodeId u : scratch.affected_ids) {
+    double best = kInf;
+    NodeId best_parent = kInvalidNode;
+    Meters best_distance = 0.0;
+    if (network.sink_reachable(u)) {
+      const Meters d = network.distance_to_sink(u);
+      best = params.hop_cost + d * d;
+      best_distance = d;
+    }
+    for (const NodeId v : network.neighbors(u)) {
+      if (!alive[v] || scratch.affected[v] != 0 || !tree.reachable[v]) {
+        continue;
+      }
+      const Meters d = network.distance(u, v);
+      const double cost = tree.path_cost[v] + params.hop_cost + d * d;
+      if (cost < best) {
+        best = cost;
+        best_parent = v;
+        best_distance = d;
+      }
+    }
+    if (best < kInf) {
+      tree.path_cost[u] = best;
+      tree.parent[u] = best_parent;
+      tree.uplink_distance[u] = best_distance;
+      frontier_push(heap, {best, u});
+    }
+  }
+
+  // 4. Dijkstra restricted to the affected set; `reachable` doubles as the
+  // settled mark (unaffected nodes are settled by construction).
+  scratch.repaired_order.clear();
+  while (!heap.empty()) {
+    const auto [cost, u] = frontier_pop(heap);
+    if (tree.reachable[u] || cost > tree.path_cost[u]) continue;
+    tree.reachable[u] = true;
+    scratch.repaired_order.push_back(u);
+    for (const NodeId v : network.neighbors(u)) {
+      if (!alive[v] || scratch.affected[v] == 0 || tree.reachable[v]) {
+        continue;
+      }
+      const Meters d = network.distance(u, v);
+      const double next = cost + params.hop_cost + d * d;
+      if (next < tree.path_cost[v]) {
+        tree.path_cost[v] = next;
+        tree.parent[v] = u;
+        tree.uplink_distance[v] = d;
+        frontier_push(heap, {next, v});
+      }
+    }
+  }
+
+  // 5. Merge the settle order: survivors keep their relative order (their
+  // costs are untouched) and repaired nodes — re-settled in ascending
+  // (cost, id) order, the same total order a full Dijkstra pops in — are
+  // spliced in by (cost, id).  Subtree nodes that stayed unreachable are
+  // simply dropped, exactly as a full rebuild would.
+  const auto less_by_cost = [&tree](NodeId a, NodeId b) {
+    if (tree.path_cost[a] != tree.path_cost[b]) {
+      return tree.path_cost[a] < tree.path_cost[b];
+    }
+    return a < b;
+  };
+  scratch.merged_order.clear();
+  auto it = scratch.repaired_order.begin();
+  const auto end = scratch.repaired_order.end();
+  for (const NodeId u : tree.settle_order) {
+    if (u == dead || scratch.affected[u] != 0) continue;
+    while (it != end && less_by_cost(*it, u)) {
+      scratch.merged_order.push_back(*it++);
+    }
+    scratch.merged_order.push_back(u);
+  }
+  while (it != end) scratch.merged_order.push_back(*it++);
+  tree.settle_order.swap(scratch.merged_order);
+  return true;
+}
+
+void recompute_loads(const Network& network, const RoutingTree& tree,
+                     const std::vector<bool>& alive, TrafficLoads& loads) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(tree.parent.size() == n, "tree does not match network");
 
-  TrafficLoads loads;
   loads.tx_bps.assign(n, 0.0);
   loads.rx_bps.assign(n, 0.0);
 
@@ -89,25 +252,39 @@ TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
       loads.tx_bps[p] += loads.tx_bps[u];
     }
   }
+}
+
+TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
+                           const std::vector<bool>& alive) {
+  TrafficLoads loads;
+  recompute_loads(network, tree, alive, loads);
   return loads;
 }
 
-std::vector<Watts> compute_drain_rates(const Network& network,
-                                       const RoutingTree& tree,
-                                       const TrafficLoads& loads,
-                                       const DrainParams& params) {
+void recompute_drain_rates(const Network& network, const RoutingTree& tree,
+                           const TrafficLoads& loads,
+                           const DrainParams& params,
+                           std::vector<Watts>& drain) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(loads.tx_bps.size() == n, "loads do not match network");
   WRSN_REQUIRE(params.sensing_power >= 0.0, "negative sensing power");
 
   const energy::RadioModel radio(params.radio);
-  std::vector<Watts> drain(n, 0.0);
+  drain.assign(n, 0.0);
   for (NodeId id = 0; id < n; ++id) {
     drain[id] = params.sensing_power;
     if (!tree.reachable[id]) continue;
     drain[id] += radio.tx_power(loads.tx_bps[id], tree.uplink_distance[id]);
     drain[id] += radio.rx_power(loads.rx_bps[id]);
   }
+}
+
+std::vector<Watts> compute_drain_rates(const Network& network,
+                                       const RoutingTree& tree,
+                                       const TrafficLoads& loads,
+                                       const DrainParams& params) {
+  std::vector<Watts> drain;
+  recompute_drain_rates(network, tree, loads, params, drain);
   return drain;
 }
 

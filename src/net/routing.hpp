@@ -6,8 +6,19 @@
 // each node's transmit/receive rates, which combined with the first-order
 // radio model and the sensing floor give the per-node battery drain rate —
 // the quantity the attacker's time-window calculations are built on.
+//
+// Two API tiers:
+//   * value-returning helpers (build_routing_tree, compute_loads,
+//     compute_drain_rates) allocate fresh results — fine for one-shot use;
+//   * in-place variants (rebuild_routing_tree, recompute_loads,
+//     recompute_drain_rates) refill caller-owned buffers through a reusable
+//     RoutingScratch, so steady-state rebuilds allocate nothing, and
+//     repair_routing_after_death patches an existing tree after a single
+//     node death by re-running Dijkstra only over the dead node's routing
+//     subtree (the only region whose shortest paths can change).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -38,10 +49,45 @@ struct RoutingTree {
   std::vector<double> path_cost;
 };
 
+/// Reusable working memory for routing rebuilds and repairs.  Keeping one of
+/// these per World means zero allocations per rebuild after warmup.
+struct RoutingScratch {
+  std::vector<std::pair<double, NodeId>> heap;  ///< Dijkstra frontier
+  std::vector<bool> settled;                    ///< full-rebuild settle marks
+  std::vector<char> affected;                   ///< repair: subtree mask
+  std::vector<NodeId> affected_ids;             ///< repair: subtree members
+  std::vector<NodeId> repaired_order;           ///< repair: re-settle order
+  std::vector<NodeId> merged_order;             ///< repair: merged settle order
+
+  /// Pre-sizes every buffer for a network of `n` nodes with `edges` adjacency
+  /// entries (directed count), so later rebuilds never allocate.
+  void reserve(std::size_t n, std::size_t edges);
+};
+
 /// Builds the routing tree over nodes with `alive[id]` set (empty = all).
 RoutingTree build_routing_tree(const Network& network,
                                const std::vector<bool>& alive = {},
                                const RoutingParams& params = {});
+
+/// In-place full rebuild of `tree` (same result as build_routing_tree);
+/// reuses the capacity of `tree`'s vectors and `scratch`.
+void rebuild_routing_tree(const Network& network,
+                          const std::vector<bool>& alive,
+                          const RoutingParams& params, RoutingTree& tree,
+                          RoutingScratch& scratch);
+
+/// Patches `tree` in place after node `dead` (already cleared in `alive`)
+/// died, by re-running Dijkstra over the dead node's routing subtree seeded
+/// from the surviving frontier.  Produces the same tree a full rebuild would
+/// (identical parents, costs, and settle order, up to exact-cost ties).
+/// Returns false without touching `tree` when the affected subtree exceeds
+/// `max_affected_fraction` of the reachable nodes — the caller should fall
+/// back to rebuild_routing_tree, which is cheaper at that size.
+bool repair_routing_after_death(const Network& network,
+                                const std::vector<bool>& alive,
+                                const RoutingParams& params, NodeId dead,
+                                RoutingTree& tree, RoutingScratch& scratch,
+                                double max_affected_fraction = 0.25);
 
 /// Per-node steady-state traffic after aggregation up the tree [bit/s].
 struct TrafficLoads {
@@ -53,6 +99,10 @@ struct TrafficLoads {
 /// carry no traffic (their data has nowhere to go).
 TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
                            const std::vector<bool>& alive = {});
+
+/// In-place variant of compute_loads; reuses `loads`' capacity.
+void recompute_loads(const Network& network, const RoutingTree& tree,
+                     const std::vector<bool>& alive, TrafficLoads& loads);
 
 /// Drain-rate model parameters.
 struct DrainParams {
@@ -67,5 +117,11 @@ std::vector<Watts> compute_drain_rates(const Network& network,
                                        const RoutingTree& tree,
                                        const TrafficLoads& loads,
                                        const DrainParams& params = {});
+
+/// In-place variant of compute_drain_rates; reuses `drain`'s capacity.
+void recompute_drain_rates(const Network& network, const RoutingTree& tree,
+                           const TrafficLoads& loads,
+                           const DrainParams& params,
+                           std::vector<Watts>& drain);
 
 }  // namespace wrsn::net

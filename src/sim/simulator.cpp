@@ -1,39 +1,73 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace wrsn::sim {
 
-EventId Simulator::schedule_at(Seconds at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Seconds at, EventCallback fn) {
   WRSN_REQUIRE(at >= now_, "cannot schedule into the past");
   WRSN_REQUIRE(static_cast<bool>(fn), "null event callback");
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    WRSN_REQUIRE(slots_.size() < 0xffffffffull, "event slab exhausted");
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[idx];
+  WRSN_ASSERT(!slot.scheduled);
+  slot.fn = std::move(fn);
+  slot.scheduled = true;
+
+  heap_push(HeapEntry{at, next_seq_++, idx, slot.gen});
+  ++live_;
+  return make_id(idx, slot.gen);
 }
 
-EventId Simulator::schedule_in(Seconds delay, std::function<void()> fn) {
+EventId Simulator::schedule_in(Seconds delay, EventCallback fn) {
   WRSN_REQUIRE(delay >= 0.0, "negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
-  if (live_.erase(id) == 0) return false;  // fired, cancelled, or unknown
-  cancelled_.insert(id);
+  const std::uint64_t low = id & 0xffffffffull;
+  if (low == 0) return false;  // kInvalidEvent
+  const auto idx = static_cast<std::uint32_t>(low - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return false;  // never scheduled
+  Slot& slot = slots_[idx];
+  if (!slot.scheduled || slot.gen != gen) return false;  // fired or cancelled
+
+  release_slot(idx);  // generation bump turns the heap entry into a tombstone
+  --live_;
+  ++stale_;
+  if (stale_ * 2 > heap_.size()) compact();
   return true;
 }
 
 bool Simulator::pop_and_run() {
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(entry.id) > 0) continue;
-    WRSN_ASSERT(entry.time >= now_);
-    live_.erase(entry.id);
-    now_ = entry.time;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    heap_pop_front();
+    if (entry_stale(top)) {
+      --stale_;
+      continue;
+    }
+    WRSN_ASSERT(top.time >= now_);
+    // Move the callback out and free the slot *before* invoking, so the
+    // callback can schedule new events (possibly into this very slot) and
+    // a cancel of the fired id reports false instead of hitting a reuse.
+    EventCallback fn = std::move(slots_[top.slot].fn);
+    release_slot(top.slot);
+    --live_;
+    now_ = top.time;
     ++executed_;
-    entry.fn();
+    fn();
     return true;
   }
   return false;
@@ -41,13 +75,14 @@ bool Simulator::pop_and_run() {
 
 void Simulator::run_until(Seconds until) {
   WRSN_REQUIRE(until >= now_, "cannot run backwards");
-  while (!queue_.empty()) {
-    // Peek past cancelled entries to find the next live event time.
-    if (cancelled_.erase(queue_.top().id) > 0) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    // Peek past tombstones to find the next live event time.
+    if (entry_stale(heap_.front())) {
+      heap_pop_front();
+      --stale_;
       continue;
     }
-    if (queue_.top().time > until) break;
+    if (heap_.front().time > until) break;
     pop_and_run();
   }
   now_ = until;
@@ -59,5 +94,72 @@ void Simulator::run_all() {
 }
 
 bool Simulator::step() { return pop_and_run(); }
+
+void Simulator::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  free_.reserve(capacity);
+  // Compaction keeps tombstones at no more than half the heap, so twice the
+  // live capacity (plus one for the in-flight push) is a steady-state bound.
+  heap_.reserve(2 * capacity + 1);
+}
+
+void Simulator::heap_push(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_pop_front() {
+  WRSN_ASSERT(!heap_.empty());
+  if (heap_.size() > 1) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Simulator::sift_up(std::size_t i) {
+  const HeapEntry item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(item, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry item = heap_[i];
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void Simulator::compact() {
+  std::size_t keep = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (!entry_stale(entry)) heap_[keep++] = entry;
+  }
+  heap_.resize(keep);
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+  stale_ = 0;
+}
 
 }  // namespace wrsn::sim

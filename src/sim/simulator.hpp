@@ -2,14 +2,30 @@
 //
 // A minimal, deterministic event loop: events are (time, sequence) ordered,
 // so same-time events fire in scheduling order and runs are exactly
-// reproducible.  Cancellation is by id; cancelled events are dropped lazily
-// when they reach the top of the heap.
+// reproducible.
+//
+// Storage layout (the death-cascade hot path schedules and cancels a handful
+// of events per affected node, so this is allocation- and hash-free):
+//   * Event records live in a slab of reusable slots; an EventId encodes
+//     (slot index, generation).  Cancellation bumps the slot generation —
+//     O(1), no hashing — and any heap entry carrying the old generation is a
+//     tombstone that is dropped lazily.
+//   * The ready queue is a 4-ary implicit heap of POD entries keyed by
+//     (time, seq); callbacks stay in the slab, so heap moves copy 24 bytes.
+//   * When more than half the heap is tombstones, the heap is compacted in
+//     place (filter + heapify), bounding memory and pop cost.
+//   * Callbacks are type-erased into EventCallback, which stores small
+//     closures inline (no per-event heap allocation; larger ones fall back
+//     to the heap transparently).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -18,6 +34,112 @@ namespace wrsn::sim {
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Move-only type-erased `void()` callable with inline storage for small
+/// closures.  Event callbacks capture a few words (object pointer, node id,
+/// version), so the common case never touches the allocator.
+class EventCallback {
+ public:
+  /// Inline storage size [bytes]; closures up to this size are stored
+  /// in place, larger ones are boxed on the heap.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::function<void()>> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// std::function interop: an empty std::function yields an empty callback
+  /// (so null-callback preconditions keep working for legacy callers).
+  EventCallback(std::function<void()> fn) {  // NOLINT(google-explicit-constructor)
+    if (fn) emplace(std::move(fn));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineCapacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = boxed_ops<D>();
+    }
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+        [](void* dst, void* src) {
+          D* from = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*from));
+          from->~D();
+        },
+        [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* boxed_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+        [](void* dst, void* src) {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
+    return &ops;
+  }
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 /// Deterministic single-threaded event loop.
 class Simulator {
@@ -30,14 +152,16 @@ class Simulator {
   Seconds now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (>= now); returns a cancellable id.
-  EventId schedule_at(Seconds at, std::function<void()> fn);
+  /// Ids are never reused: a slot that is recycled gets a fresh generation,
+  /// so stale ids from fired or cancelled events can never hit a newer event.
+  EventId schedule_at(Seconds at, EventCallback fn);
 
   /// Schedules `fn` after `delay` seconds (>= 0).
-  EventId schedule_in(Seconds delay, std::function<void()> fn);
+  EventId schedule_in(Seconds delay, EventCallback fn);
 
-  /// Cancels a pending event; returns false — with no state change — if the
-  /// id already fired, was already cancelled, or was never scheduled (safe
-  /// to call either way).
+  /// Cancels a pending event in O(1); returns false — with no state change —
+  /// if the id already fired, was already cancelled, or was never scheduled
+  /// (safe to call either way).
   bool cancel(EventId id);
 
   /// Runs events with time <= `until`, then advances the clock to `until`.
@@ -53,32 +177,77 @@ class Simulator {
   std::uint64_t executed() const { return executed_; }
 
   /// Number of live (scheduled, not yet fired or cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_; }
+
+  /// Pre-sizes the slab, heap, and free list so a workload with at most
+  /// `capacity` concurrently pending events never allocates after this call.
+  void reserve(std::size_t capacity);
+
+  // Introspection for tests and benches.
+  /// Heap entries including tombstones of cancelled events.
+  std::size_t heap_size() const { return heap_.size(); }
+  /// Tombstones currently in the heap (always <= heap_size() / 2 + 1 after
+  /// a cancel, thanks to compaction).
+  std::size_t stale_entries() const { return stale_; }
+  /// Number of slab slots ever allocated (peak concurrent events).
+  std::size_t slab_size() const { return slots_.size(); }
 
  private:
-  struct Entry {
+  struct Slot {
+    EventCallback fn;
+    std::uint32_t gen = 0;
+    bool scheduled = false;
+  };
+
+  /// POD heap entry; the generation detects tombstones without hashing.
+  struct HeapEntry {
     Seconds time;
     std::uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
-    bool operator>(const Entry& rhs) const {
-      if (time != rhs.time) return time > rhs.time;
-      return seq > rhs.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  bool entry_stale(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  /// Returns the slot to the free list and bumps its generation, killing
+  /// every outstanding id and heap tombstone that still references it.
+  void release_slot(std::uint32_t idx) {
+    Slot& slot = slots_[idx];
+    slot.fn.reset();
+    slot.scheduled = false;
+    ++slot.gen;
+    free_.push_back(idx);
+  }
+
+  void heap_push(const HeapEntry& entry);
+  void heap_pop_front();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Drops all tombstones and re-heapifies in place.
+  void compact();
 
   bool pop_and_run();
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  /// Ids scheduled but not yet fired or cancelled.  Guards `cancel` against
-  /// dead or unknown ids, so `cancelled_` (the lazy-deletion tombstones)
-  /// only ever holds ids still sitting in the heap.
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  std::size_t stale_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace wrsn::sim

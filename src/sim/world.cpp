@@ -16,6 +16,14 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // floating-point drift between the scheduled time and the extrapolated level.
 constexpr Joules kLevelEpsilon = 1e-6;
 
+// Above this fraction of reachable nodes in the dead node's routing subtree,
+// a full in-place rebuild beats the repair.  The repair's restricted
+// Dijkstra skips every settled survivor, so it stays cheaper than a rebuild
+// until the subtree covers most of the tree (profiling the N=400 cascade
+// bench put the crossover above one half; rebuilds there cost ~40 % of the
+// cascade at a 0.25 threshold).
+constexpr double kRepairRebuildFraction = 0.6;
+
 }  // namespace
 
 void WorldParams::validate() const {
@@ -56,8 +64,9 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
       rng_(std::move(rng)) {
   params_.validate();
 
+  const std::size_t n = network_.size();
   Rng init_rng = rng_.fork("init-levels");
-  states_.reserve(network_.size());
+  states_.reserve(n);
   for (const net::SensorSpec& spec : network_.nodes()) {
     const double frac =
         init_rng.uniform(params_.initial_level_min, params_.initial_level_max);
@@ -67,6 +76,19 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
     states_.back().believed = frac * spec.battery_capacity;
   }
   alive_count_ = states_.size();
+  alive_mask_.assign(n, true);
+  pending_ids_.reserve(n);
+  dirty_ids_.reserve(n);
+
+  // Pre-size the kernel slab/heap, the routing scratch, and the persistent
+  // buffers so the steady-state death path never allocates.
+  std::size_t edges = 0;
+  for (net::NodeId id = 0; id < n; ++id) {
+    edges += network_.neighbors(id).size();
+  }
+  scratch_.reserve(n, edges);
+  sim_.reserve(5 * n + 64);
+  drains_.reserve(n);
 
   // Background hardware failures: each node draws an exponential lifetime.
   if (params_.hardware_mtbf > 0.0) {
@@ -74,30 +96,12 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
     for (net::NodeId id = 0; id < states_.size(); ++id) {
       const Seconds at =
           sim_.now() + failure_rng.exponential(1.0 / params_.hardware_mtbf);
-      sim_.schedule_at(at, [this, id] { fire_hardware_failure(id); });
+      states_[id].hardware_event =
+          sim_.schedule_at(at, [this, id] { fire_hardware_failure(id); });
     }
   }
 
   recompute_routing();
-}
-
-void World::fire_hardware_failure(net::NodeId id) {
-  NodeState& s = state(id);
-  if (!s.alive) return;
-  resync(id);
-  s.battery.discharge(s.battery.level());  // component fault: node bricks
-  s.alive = false;
-  s.charge = 0.0;
-  --alive_count_;
-  ++s.death_version;
-  ++s.request_version;
-  ++s.emergency_version;
-  ++s.escalation_version;
-  trace_.deaths.push_back({sim_.now(), id, s.pending});
-  log(LogLevel::Debug) << "node " << id << " hardware failure at t="
-                       << sim_.now();
-  recompute_routing();
-  for (const auto& listener : death_listeners_) listener(id);
 }
 
 World::NodeState& World::state(net::NodeId id) {
@@ -162,24 +166,23 @@ bool World::has_pending_request(net::NodeId id) const {
   return state(id).pending;
 }
 
+PendingRequest World::pending_request(net::NodeId id) const {
+  const NodeState& s = state(id);
+  WRSN_REQUIRE(s.alive && s.pending, "node has no pending request");
+  return {id, s.requested_at, s.escalation_deadline, s.pending_emergency};
+}
+
 std::vector<PendingRequest> World::pending_requests() const {
   std::vector<PendingRequest> pending;
-  for (net::NodeId id = 0; id < states_.size(); ++id) {
-    const NodeState& s = states_[id];
-    if (s.alive && s.pending) {
-      pending.push_back(
-          {id, s.requested_at, s.escalation_deadline, s.pending_emergency});
-    }
+  pending.reserve(pending_ids_.size());
+  for (const net::NodeId id : pending_ids_) {
+    pending.push_back(pending_request(id));
   }
   return pending;
 }
 
 std::size_t World::sink_connected_count() const {
-  std::vector<bool> mask(states_.size());
-  for (net::NodeId id = 0; id < states_.size(); ++id) {
-    mask[id] = states_[id].alive;
-  }
-  return net::count_sink_connected(network_, mask);
+  return net::count_sink_connected(network_, alive_mask_);
 }
 
 Watts World::nominal_dc_power() const {
@@ -225,7 +228,11 @@ void World::note_service_started(net::NodeId id) {
   if (s.pending) {
     s.pending = false;
     s.pending_emergency = false;
-    ++s.escalation_version;  // cancel the escalation timer
+    pending_erase(id);
+    if (s.escalation_event != kInvalidEvent) {
+      sim_.cancel(s.escalation_event);
+      s.escalation_event = kInvalidEvent;
+    }
   }
 }
 
@@ -288,42 +295,71 @@ void World::reschedule(net::NodeId id) {
   if (!s.alive) return;
   WRSN_ASSERT(s.sync_time == sim_.now());
 
-  // Death event.
-  const std::uint64_t death_ver = ++s.death_version;
+  // Death event.  Superseded events are cancelled at the kernel — O(1), and
+  // the heap never accumulates version-dead tombstones.
+  if (s.death_event != kInvalidEvent) {
+    sim_.cancel(s.death_event);
+    s.death_event = kInvalidEvent;
+  }
   const Watts net = net_drain(s);
   if (net > 0.0) {
     const Seconds at = sim_.now() + s.battery.level() / net;
-    sim_.schedule_at(at, [this, id, death_ver] { fire_death(id, death_ver); });
+    s.death_event = sim_.schedule_at(at, [this, id] { fire_death(id); });
   }
 
   // Request-arming event (believed-level crossing).
-  const std::uint64_t req_ver = ++s.request_version;
+  if (s.request_event != kInvalidEvent) {
+    sim_.cancel(s.request_event);
+    s.request_event = kInvalidEvent;
+  }
   const Seconds req_at = predicted_request(id);
   if (req_at < kInf) {
-    sim_.schedule_at(req_at,
-                     [this, id, req_ver] { fire_request(id, req_ver); });
+    s.request_event =
+        sim_.schedule_at(req_at, [this, id] { fire_request(id); });
   }
 
   // Hardware low-voltage comparator (true-level crossing).
   if (params_.emergency_enabled) {
-    const std::uint64_t em_ver = ++s.emergency_version;
+    if (s.emergency_event != kInvalidEvent) {
+      sim_.cancel(s.emergency_event);
+      s.emergency_event = kInvalidEvent;
+    }
     const Joules em_level = params_.emergency_fraction * s.battery.capacity();
     if (net > 0.0 && s.battery.level() > em_level) {
       const Seconds at = sim_.now() + (s.battery.level() - em_level) / net;
-      sim_.schedule_at(at,
-                       [this, id, em_ver] { fire_emergency(id, em_ver); });
+      s.emergency_event =
+          sim_.schedule_at(at, [this, id] { fire_emergency(id); });
     } else if (s.battery.level() <= em_level && !s.pending && !s.in_service) {
       // The comparator output is level-triggered: it (re)asserts as soon as
       // the node may speak again, even straight out of a service cooldown.
-      sim_.schedule_at(std::max(sim_.now(), s.cooldown_until),
-                       [this, id, em_ver] { fire_emergency(id, em_ver); });
+      s.emergency_event =
+          sim_.schedule_at(std::max(sim_.now(), s.cooldown_until),
+                           [this, id] { fire_emergency(id); });
     }
   }
 }
 
-void World::fire_death(net::NodeId id, std::uint64_t version) {
+void World::retire_node(net::NodeId id) {
   NodeState& s = state(id);
-  if (!s.alive || version != s.death_version) return;
+  s.alive = false;
+  s.charge = 0.0;
+  alive_mask_[id] = false;
+  --alive_count_;
+  if (s.pending) pending_erase(id);
+  // Cancel every event the node still owns; a dead node never fires again.
+  for (EventId* ev : {&s.death_event, &s.request_event, &s.emergency_event,
+                      &s.escalation_event, &s.hardware_event}) {
+    if (*ev != kInvalidEvent) {
+      sim_.cancel(*ev);
+      *ev = kInvalidEvent;
+    }
+  }
+}
+
+void World::fire_death(net::NodeId id) {
+  NodeState& s = state(id);
+  s.death_event = kInvalidEvent;  // this event just fired
+  if (!s.alive) return;
   resync(id);
   if (s.battery.level() > kLevelEpsilon) {
     // Rates changed between scheduling and firing; reschedule instead.
@@ -331,27 +367,32 @@ void World::fire_death(net::NodeId id, std::uint64_t version) {
     return;
   }
 
-  s.alive = false;
-  s.charge = 0.0;
-  --alive_count_;
-  ++s.death_version;
-  ++s.request_version;
-  ++s.emergency_version;
-  ++s.escalation_version;
-
+  retire_node(id);
   trace_.deaths.push_back({sim_.now(), id, s.pending});
-  log(LogLevel::Debug) << "node " << id << " died at t=" << sim_.now()
-                       << (s.pending ? " (request outstanding)" : "");
+  WRSN_LOG(Debug) << "node " << id << " died at t=" << sim_.now()
+                  << (s.pending ? " (request outstanding)" : "");
 
-  recompute_routing();
+  on_topology_change(id);
   for (const auto& listener : death_listeners_) listener(id);
 }
 
-void World::fire_request(net::NodeId id, std::uint64_t version) {
+void World::fire_hardware_failure(net::NodeId id) {
   NodeState& s = state(id);
-  if (!s.alive || s.pending || s.in_service || version != s.request_version) {
-    return;
-  }
+  s.hardware_event = kInvalidEvent;  // this event just fired
+  if (!s.alive) return;
+  resync(id);
+  s.battery.discharge(s.battery.level());  // component fault: node bricks
+  retire_node(id);
+  trace_.deaths.push_back({sim_.now(), id, s.pending});
+  WRSN_LOG(Debug) << "node " << id << " hardware failure at t=" << sim_.now();
+  on_topology_change(id);
+  for (const auto& listener : death_listeners_) listener(id);
+}
+
+void World::fire_request(net::NodeId id) {
+  NodeState& s = state(id);
+  s.request_event = kInvalidEvent;  // this event just fired
+  if (!s.alive || s.pending || s.in_service) return;
   if (sim_.now() < s.cooldown_until) return;
   resync(id);
   const Joules threshold = params_.request_threshold * s.battery.capacity();
@@ -362,15 +403,15 @@ void World::fire_request(net::NodeId id, std::uint64_t version) {
   issue_request(id, /*emergency=*/false);
 }
 
-void World::fire_emergency(net::NodeId id, std::uint64_t version) {
+void World::fire_emergency(net::NodeId id) {
   NodeState& s = state(id);
-  if (!s.alive || s.in_service || version != s.emergency_version) return;
+  s.emergency_event = kInvalidEvent;  // this event just fired
+  if (!s.alive || s.in_service) return;
   if (sim_.now() < s.cooldown_until) {
     // Re-arm after the rate-limit gap: the comparator output is level-
     // triggered, so it re-asserts as soon as the node may speak again.
-    const std::uint64_t em_ver = s.emergency_version;
-    sim_.schedule_at(s.cooldown_until,
-                     [this, id, em_ver] { fire_emergency(id, em_ver); });
+    s.emergency_event = sim_.schedule_at(
+        s.cooldown_until, [this, id] { fire_emergency(id); });
     return;
   }
   resync(id);
@@ -383,13 +424,18 @@ void World::fire_emergency(net::NodeId id, std::uint64_t version) {
     // Upgrade the outstanding request to an emergency: tighten escalation.
     if (!s.pending_emergency) {
       s.pending_emergency = true;
-      s.escalation_deadline =
-          std::min(s.escalation_deadline,
-                   sim_.now() + params_.emergency_patience);
-      const std::uint64_t esc_ver = ++s.escalation_version;
-      sim_.schedule_at(s.escalation_deadline, [this, id, esc_ver] {
-        fire_escalation(id, esc_ver);
-      });
+      // Only tighten when the emergency deadline is actually earlier; the
+      // original deadline may already be in the past (escalation fired long
+      // ago on a starved request), and must not be rescheduled.
+      const Seconds tightened = sim_.now() + params_.emergency_patience;
+      if (tightened < s.escalation_deadline) {
+        s.escalation_deadline = tightened;
+        if (s.escalation_event != kInvalidEvent) {
+          sim_.cancel(s.escalation_event);
+        }
+        s.escalation_event = sim_.schedule_at(
+            s.escalation_deadline, [this, id] { fire_escalation(id); });
+      }
       trace_.requests.push_back(
           {sim_.now(), id, s.battery.level(), /*emergency=*/true});
       for (const auto& listener : request_listeners_) listener(id);
@@ -404,28 +450,146 @@ void World::issue_request(net::NodeId id, bool emergency) {
   s.pending = true;
   s.pending_emergency = emergency;
   s.requested_at = sim_.now();
+  pending_insert(id);
   const Seconds patience =
       emergency ? params_.emergency_patience : params_.patience;
   s.escalation_deadline = sim_.now() + patience;
   trace_.requests.push_back({sim_.now(), id, s.battery.level(), emergency});
 
-  const std::uint64_t esc_ver = ++s.escalation_version;
-  sim_.schedule_at(s.escalation_deadline,
-                   [this, id, esc_ver] { fire_escalation(id, esc_ver); });
+  if (s.escalation_event != kInvalidEvent) {
+    sim_.cancel(s.escalation_event);
+  }
+  s.escalation_event = sim_.schedule_at(
+      s.escalation_deadline, [this, id] { fire_escalation(id); });
 
   for (const auto& listener : request_listeners_) listener(id);
 }
 
-void World::fire_escalation(net::NodeId id, std::uint64_t version) {
+void World::fire_escalation(net::NodeId id) {
   NodeState& s = state(id);
-  if (!s.alive || !s.pending || version != s.escalation_version) return;
+  s.escalation_event = kInvalidEvent;  // this event just fired
+  if (!s.alive || !s.pending) return;
   trace_.escalations.push_back({sim_.now(), id});
-  log(LogLevel::Debug) << "escalation for node " << id
-                       << " at t=" << sim_.now();
+  WRSN_LOG(Debug) << "escalation for node " << id << " at t=" << sim_.now();
   for (const auto& listener : escalation_listeners_) listener(id);
 }
 
+void World::pending_insert(net::NodeId id) {
+  const auto it =
+      std::lower_bound(pending_ids_.begin(), pending_ids_.end(), id);
+  WRSN_ASSERT(it == pending_ids_.end() || *it != id);
+  pending_ids_.insert(it, id);
+}
+
+void World::pending_erase(net::NodeId id) {
+  const auto it =
+      std::lower_bound(pending_ids_.begin(), pending_ids_.end(), id);
+  WRSN_ASSERT(it != pending_ids_.end() && *it == id);
+  pending_ids_.erase(it);
+}
+
 void World::recompute_routing() {
+  if (params_.update_mode == WorldUpdateMode::Reference) {
+    recompute_routing_reference();
+    return;
+  }
+  net::rebuild_routing_tree(network_, alive_mask_, params_.routing, routing_,
+                            scratch_);
+  refresh_loads_and_drains();
+  apply_drain_changes();
+}
+
+void World::on_topology_change(net::NodeId dead) {
+  if (params_.update_mode == WorldUpdateMode::Reference) {
+    recompute_routing_reference();
+    return;
+  }
+  if (net::repair_routing_after_death(network_, alive_mask_, params_.routing,
+                                      dead, routing_, scratch_,
+                                      kRepairRebuildFraction)) {
+    ++update_stats_.repairs;
+    refresh_loads_and_drains_after_repair(dead);
+    apply_drain_changes(dirty_ids_);
+  } else {
+    // Large blast radius: the repair declined; rebuild in place instead.
+    net::rebuild_routing_tree(network_, alive_mask_, params_.routing, routing_,
+                              scratch_);
+    ++update_stats_.rebuilds;
+    refresh_loads_and_drains();
+    apply_drain_changes();
+  }
+}
+
+void World::refresh_loads_and_drains() {
+  std::swap(loads_, prev_loads_);
+  net::recompute_loads(network_, routing_, alive_mask_, loads_);
+  net::recompute_drain_rates(network_, routing_, loads_, params_.drain,
+                             drains_);
+}
+
+void World::refresh_loads_and_drains_after_repair(net::NodeId dead) {
+  std::swap(loads_, prev_loads_);
+  net::recompute_loads(network_, routing_, alive_mask_, loads_);
+
+  // Recompute the drain only where its inputs may have changed: the repaired
+  // set (scratch_.affected, whose tree fields moved) plus any node whose
+  // aggregated loads differ from the previous update.  Unchanged inputs give
+  // bitwise-unchanged outputs, so this matches the full recompute exactly.
+  // A stale affected mask (repair short-circuited) only marks extra nodes
+  // dirty, which recomputes — never changes — their values.
+  const energy::RadioModel radio(params_.drain.radio);
+  const std::size_t n = states_.size();
+  const bool prev_valid =
+      prev_loads_.tx_bps.size() == n && prev_loads_.rx_bps.size() == n;
+  dirty_ids_.clear();
+  for (net::NodeId id = 0; id < n; ++id) {
+    const bool dirty = !prev_valid || id == dead ||
+                       scratch_.affected[id] != 0 ||
+                       loads_.tx_bps[id] != prev_loads_.tx_bps[id] ||
+                       loads_.rx_bps[id] != prev_loads_.rx_bps[id];
+    if (!dirty) continue;
+    dirty_ids_.push_back(id);
+    Watts drain = params_.drain.sensing_power;
+    if (routing_.reachable[id]) {
+      drain += radio.tx_power(loads_.tx_bps[id], routing_.uplink_distance[id]);
+      drain += radio.rx_power(loads_.rx_bps[id]);
+    }
+    drains_[id] = drain;
+  }
+}
+
+void World::apply_drain_changes() {
+  // Only nodes whose recomputed drain differs get touched.  The comparison
+  // is exact (bitwise): unaffected nodes' loads are summed in the same order
+  // as a full rebuild (settle-order merge preserves it), so their drains come
+  // out bit-identical and their pending events remain valid as-is.
+  for (net::NodeId id = 0; id < states_.size(); ++id) {
+    NodeState& s = states_[id];
+    if (!s.alive) continue;
+    if (s.drain == drains_[id]) continue;
+    resync(id);
+    s.drain = drains_[id];
+    reschedule(id);
+    ++update_stats_.reschedules;
+  }
+}
+
+void World::apply_drain_changes(const std::vector<net::NodeId>& candidates) {
+  for (const net::NodeId id : candidates) {
+    NodeState& s = states_[id];
+    if (!s.alive) continue;
+    if (s.drain == drains_[id]) continue;
+    resync(id);
+    s.drain = drains_[id];
+    reschedule(id);
+    ++update_stats_.reschedules;
+  }
+}
+
+void World::recompute_routing_reference() {
+  // The seed code path, retained as the executable spec for the incremental
+  // updater: fresh mask, full Dijkstra into fresh vectors, and an
+  // unconditional resync+reschedule of every alive node.
   std::vector<bool> mask(states_.size());
   for (net::NodeId id = 0; id < states_.size(); ++id) {
     mask[id] = states_[id].alive;
@@ -441,7 +605,9 @@ void World::recompute_routing() {
     resync(id);
     s.drain = drains[id];
     reschedule(id);
+    ++update_stats_.reschedules;
   }
+  ++update_stats_.rebuilds;
 }
 
 }  // namespace wrsn::sim

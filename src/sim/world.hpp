@@ -3,10 +3,26 @@
 // Energy is accounted lazily: each node stores its battery level at the last
 // synchronization point plus constant drain/charge rates; levels at `now` are
 // linear extrapolations, and deaths/threshold crossings are scheduled as
-// analytic events (no ticking).  A node death invalidates the routing tree,
-// so the world recomputes routes, loads, and drain rates and reschedules all
-// pending node events with version counters (the standard invalidate-by-
-// version idiom for mutable-deadline event queues).
+// analytic events (no ticking).  A node death invalidates the routing tree;
+// how the world reacts is governed by WorldParams::update_mode:
+//
+//   * Fast (default): the routing tree is PATCHED via an affected-subtree
+//     Dijkstra repair (falling back to a full in-place rebuild when the
+//     blast radius is large), loads and drains are refilled into persistent
+//     buffers (zero allocations after warmup), and only nodes whose drain
+//     rate actually changed are resynced and rescheduled.  Nodes outside
+//     the dead node's routing subtree and ancestor chain see bitwise
+//     identical drains, so their pending events remain exact and untouched —
+//     per-death cost is O(affected), not O(N log N).
+//   * Reference: the seed behaviour, kept as the executable spec — full
+//     Dijkstra rebuild into fresh vectors and resync+reschedule of every
+//     alive node.  The world-equivalence test suite pins Fast to Reference
+//     (identical traces and end metrics) across randomized scenarios.
+//
+// Stale events are CANCELLED at the kernel (O(1) generation bump), not
+// invalidated by version counters, so superseded events never linger in the
+// event heap.  Invariant: every NodeState event-id field either is
+// kInvalidEvent or names the single live kernel event of that type.
 //
 // Charging-service protocol (the contract both the benign charger and the
 // attacker operate under), and the believed-level mechanism the attack
@@ -41,6 +57,12 @@
 #include "wpt/charging_model.hpp"
 
 namespace wrsn::sim {
+
+/// How the world reacts to topology changes (deaths); see the header note.
+enum class WorldUpdateMode {
+  Fast,       ///< incremental repair + drain-diff rescheduling (default)
+  Reference,  ///< full rebuild + reschedule-everyone: the executable spec
+};
 
 /// Tunable protocol and physics parameters of the world.
 struct WorldParams {
@@ -84,11 +106,24 @@ struct WorldParams {
   /// which is also the noise the attack hides its kills in.
   Seconds hardware_mtbf = 0.0;
 
+  /// Death-reaction strategy; Fast and Reference produce identical traces
+  /// (the world-equivalence suite asserts it), Fast is O(affected) per death.
+  WorldUpdateMode update_mode = WorldUpdateMode::Fast;
+
   wpt::ChargingModelParams charging;
   net::RoutingParams routing;
   net::DrainParams drain;
 
   void validate() const;
+};
+
+/// Counters describing how the world has reacted to topology changes;
+/// exposed for benchmarks and diagnostics (Fast mode should mostly repair,
+/// and reschedule far fewer nodes than Reference's everyone-every-death).
+struct WorldUpdateStats {
+  std::uint64_t repairs = 0;    ///< subtree repairs taken
+  std::uint64_t rebuilds = 0;   ///< full rebuilds (fallback or Reference)
+  std::uint64_t reschedules = 0;  ///< nodes resynced+rescheduled by updates
 };
 
 /// A pending charging request as seen by the charging service.
@@ -133,11 +168,21 @@ class World {
   /// +inf if it never will at current rates.
   Seconds predicted_request(net::NodeId id) const;
   bool has_pending_request(net::NodeId id) const;
+  /// Alive nodes with an outstanding request, ascending node id.  Backed by
+  /// a maintained index: O(pending), no scan, no allocation.
+  const std::vector<net::NodeId>& pending_nodes() const {
+    return pending_ids_;
+  }
+  /// The outstanding request of `id`; requires has_pending_request(id).
+  PendingRequest pending_request(net::NodeId id) const;
+  /// Materialized copy of the pending set (allocates; prefer pending_nodes()
+  /// + pending_request() on hot paths).
   std::vector<PendingRequest> pending_requests() const;
   const net::RoutingTree& routing() const { return routing_; }
   const net::TrafficLoads& loads() const { return loads_; }
   /// Alive nodes currently connected to the sink.
   std::size_t sink_connected_count() const;
+  const WorldUpdateStats& update_stats() const { return update_stats_; }
 
   // --- charging-service API (benign charger and attacker both use this) -----
   /// Nominal harvest rate of a docked genuine session [W].
@@ -194,10 +239,13 @@ class World {
     Seconds requested_at = 0.0;
     Seconds escalation_deadline = 0.0;
     Seconds cooldown_until = 0.0;  ///< min-request-gap guard
-    std::uint64_t death_version = 0;
-    std::uint64_t request_version = 0;
-    std::uint64_t emergency_version = 0;
-    std::uint64_t escalation_version = 0;
+    /// Live kernel events owned by this node (kInvalidEvent when none).
+    /// Superseded events are cancelled at the kernel, never left to fire.
+    EventId death_event = kInvalidEvent;
+    EventId request_event = kInvalidEvent;
+    EventId emergency_event = kInvalidEvent;
+    EventId escalation_event = kInvalidEvent;
+    EventId hardware_event = kInvalidEvent;
 
     explicit NodeState(energy::Battery b) : battery(std::move(b)) {}
   };
@@ -210,17 +258,42 @@ class World {
 
   /// Folds elapsed time into the battery and resets the sync point.
   void resync(net::NodeId id);
-  /// (Re)schedules the death, request-arming, and emergency events.
+  /// (Re)schedules the death, request-arming, and emergency events,
+  /// cancelling the superseded ones.
   void reschedule(net::NodeId id);
-  void fire_death(net::NodeId id, std::uint64_t version);
+  void fire_death(net::NodeId id);
   void fire_hardware_failure(net::NodeId id);
-  void fire_request(net::NodeId id, std::uint64_t version);
-  void fire_emergency(net::NodeId id, std::uint64_t version);
-  void fire_escalation(net::NodeId id, std::uint64_t version);
+  void fire_request(net::NodeId id);
+  void fire_emergency(net::NodeId id);
+  void fire_escalation(net::NodeId id);
   void issue_request(net::NodeId id, bool emergency);
-  /// Rebuilds routing/loads/drains after a topology change and reschedules
-  /// every alive node.
+  /// Marks the node dead in every live-state index and cancels its events.
+  void retire_node(net::NodeId id);
+  /// Full routing/loads/drains rebuild (mode-dispatching); used at
+  /// construction and as the Fast-mode fallback.
   void recompute_routing();
+  /// Reacts to the death of `dead`: Fast repairs the routing subtree and
+  /// reschedules only drain-changed nodes; Reference rebuilds everything.
+  void on_topology_change(net::NodeId dead);
+  /// Refills loads_/drains_ from routing_ into the persistent buffers.
+  void refresh_loads_and_drains();
+  /// Like refresh_loads_and_drains, but recomputes drains only for nodes
+  /// whose inputs changed (repaired set + load deltas vs the previous
+  /// update).  Bitwise-identical to the full refresh: drain is a pure
+  /// function of (reachable, uplink, tx, rx), and outside the repaired set
+  /// those tree fields are untouched by the repair.
+  /// Collects the recomputed ids into dirty_ids_ for apply_drain_changes.
+  void refresh_loads_and_drains_after_repair(net::NodeId dead);
+  /// Resyncs + reschedules exactly the alive nodes whose drain changed,
+  /// scanning every node (used after a full rebuild).
+  void apply_drain_changes();
+  /// Same, but visits only the given candidate ids (the post-repair dirty
+  /// set) — any node absent from it has a bitwise-unchanged drain.
+  void apply_drain_changes(const std::vector<net::NodeId>& candidates);
+  /// The seed code path: fresh vectors, full Dijkstra, reschedule everyone.
+  void recompute_routing_reference();
+  void pending_insert(net::NodeId id);
+  void pending_erase(net::NodeId id);
 
   Simulator& sim_;
   net::Network network_;
@@ -229,8 +302,20 @@ class World {
   Rng rng_;
   std::vector<NodeState> states_;
   std::size_t alive_count_ = 0;
+  /// Persistent alive mask, updated at each death — never rebuilt per call.
+  std::vector<bool> alive_mask_;
   net::RoutingTree routing_;
   net::TrafficLoads loads_;
+  /// Loads from before the latest update (diffed to skip drain recomputes).
+  net::TrafficLoads prev_loads_;
+  /// Persistent drain-rate buffer (diffed against NodeState::drain).
+  std::vector<Watts> drains_;
+  net::RoutingScratch scratch_;
+  /// Alive nodes with an outstanding request, sorted ascending by id.
+  std::vector<net::NodeId> pending_ids_;
+  /// Nodes whose drain was recomputed by the latest post-repair refresh.
+  std::vector<net::NodeId> dirty_ids_;
+  WorldUpdateStats update_stats_;
   Trace trace_;
   std::vector<std::function<void(net::NodeId)>> request_listeners_;
   std::vector<std::function<void(net::NodeId)>> death_listeners_;

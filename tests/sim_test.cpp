@@ -3,6 +3,7 @@
 // routing recomputation, and hardware failures.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -62,18 +63,78 @@ TEST(Simulator, CancelOfDeadOrUnknownIdReturnsFalse) {
   Simulator sim;
   const EventId id = sim.schedule_at(1.0, [] {});
   sim.run_all();
-  EXPECT_FALSE(sim.cancel(id));                 // already fired
-  EXPECT_FALSE(sim.cancel(kInvalidEvent));      // never a real id
-  EXPECT_FALSE(sim.cancel(id + 1'000'000));     // never scheduled
-  // A never-scheduled id must leave no tombstone that could swallow a
-  // future event with the same id.
-  const EventId future = id + 1;
-  EXPECT_FALSE(sim.cancel(future));
+  EXPECT_FALSE(sim.cancel(id));             // already fired
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));  // never a real id
+  EXPECT_FALSE(sim.cancel(~EventId{0}));    // never scheduled
+  // Cancel-after-fire with slot reuse: the next schedule may land in the
+  // fired event's slab slot, but the generation embedded in the id changed,
+  // so the stale id can neither collide with nor cancel the new event.
   int fired = 0;
   const EventId next = sim.schedule_in(1.0, [&] { ++fired; });
-  EXPECT_EQ(next, future);  // ids are sequential; the cancel above targeted it
+  EXPECT_NE(next, id);
+  EXPECT_FALSE(sim.cancel(id));  // stale id; must not touch the new event
+  EXPECT_EQ(sim.pending(), 1u);
   sim.run_all();
   EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilWithCancelledHeadAdvancesClock) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(5.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  // The heap head is a tombstone; run_until must skip it and still advance
+  // the clock to the boundary.
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+  EXPECT_EQ(sim.executed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CallbackCanRescheduleIntoItsOwnSlot) {
+  // The kernel releases the firing event's slot before invoking its
+  // callback, so a callback may schedule into the very slot it fired from.
+  // Its own (now stale) id must not be able to cancel the new occupant.
+  Simulator sim;
+  EventId first = kInvalidEvent;
+  int second_fired = 0;
+  first = sim.schedule_at(1.0, [&] {
+    const EventId next = sim.schedule_in(1.0, [&] { ++second_fired; });
+    EXPECT_NE(next, first);
+    EXPECT_FALSE(sim.cancel(first));  // the firing event is already dead
+  });
+  sim.run_all();
+  EXPECT_EQ(second_fired, 1);
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(Simulator, CompactionBoundsStaleHeapEntries) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1'000; ++i) {
+    ids.push_back(sim.schedule_at(1.0 + i, [] {}));
+  }
+  // Cancel 90 %: compaction must keep tombstones at no more than half the
+  // heap at every step, and the survivors must all still fire.
+  for (int i = 0; i < 1'000; ++i) {
+    if (i % 10 == 0) continue;
+    sim.cancel(ids[i]);
+    EXPECT_LE(sim.stale_entries() * 2, sim.heap_size());
+  }
+  EXPECT_EQ(sim.pending(), 100u);
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 100u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.stale_entries(), 0u);
+}
+
+TEST(Simulator, ReserveDoesNotDisturbPendingEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.reserve(10'000);
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
 }
 
 TEST(Simulator, CancelLeavesNoResidueInPendingCount) {
@@ -442,6 +503,59 @@ TEST(World, PlannedSessionHelpersAreConsistent) {
   const Joules deficit = 480.0;
   const Seconds duration = world.planned_session_duration(deficit);
   EXPECT_NEAR(world.expected_session_gain(duration), deficit, 1e-9);
+}
+
+TEST(World, HardwareFailureRecomputesRoutingBeforeDeathListeners) {
+  // Regression: a death listener plans against the post-death topology, so
+  // routing AND drain rates must be updated before listeners run.  Sweep a
+  // few seeds so both death orders (relay first, leaf first) are covered.
+  bool relay_case_seen = false;
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    Simulator sim;
+    WorldParams params = small_params();
+    params.hardware_mtbf = 400.0;
+    World world(sim, line2(), params, Rng(seed));
+    world.add_death_listener([&](NodeId id) {
+      EXPECT_FALSE(world.alive(id));
+      EXPECT_FALSE(world.routing().reachable[id]);
+      if (id == 0 && world.alive(1)) {
+        // Node 1 lost its relay: by listener time it must already be
+        // unreachable and paying only the sensing floor.
+        EXPECT_FALSE(world.routing().reachable[1]);
+        EXPECT_EQ(world.drain_rate(1), params.drain.sensing_power);
+        relay_case_seen = true;
+      }
+    });
+    sim.run_until(3000.0);
+    EXPECT_EQ(world.alive_count(), 0u);
+  }
+  EXPECT_TRUE(relay_case_seen);
+}
+
+TEST(World, PendingIndexTracksRequestsServiceAndDeaths) {
+  Simulator sim;
+  World world(sim, line2(), small_params(), Rng(1));
+  EXPECT_TRUE(world.pending_nodes().empty());
+  sim.run_until(750.0);  // believed level crosses 30 % at ~700 s
+  const std::vector<NodeId>& pending = world.pending_nodes();
+  ASSERT_FALSE(pending.empty());
+  EXPECT_TRUE(std::is_sorted(pending.begin(), pending.end()));
+  EXPECT_EQ(pending.size(), world.pending_requests().size());
+  for (const NodeId id : pending) {
+    EXPECT_TRUE(world.alive(id));
+    EXPECT_TRUE(world.has_pending_request(id));
+    EXPECT_EQ(world.pending_request(id).node, id);
+  }
+  // Service removes a node from the index immediately.
+  const NodeId served = pending.front();
+  world.note_service_started(served);
+  EXPECT_FALSE(world.has_pending_request(served));
+  for (const NodeId id : world.pending_nodes()) EXPECT_NE(id, served);
+  world.note_service_ended(served, 0.0, 0.0);
+  // Deaths evict any outstanding entries.
+  sim.run_until(1500.0);
+  EXPECT_EQ(world.alive_count(), 0u);
+  EXPECT_TRUE(world.pending_nodes().empty());
 }
 
 TEST(World, GainFactorStatistics) {

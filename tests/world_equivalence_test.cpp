@@ -1,0 +1,128 @@
+// Property suite pinning the Fast world updater to the Reference one.
+//
+// WorldUpdateMode::Fast patches the routing tree after a death (subtree
+// repair), refreshes loads/drains into persistent buffers, and reschedules
+// only the nodes whose drain rate changed.  WorldUpdateMode::Reference is
+// the seed behaviour: full rebuild plus an unconditional resync+reschedule
+// of every alive node.  The two must be observationally identical: same
+// requests, sessions, deaths, and escalations (same nodes, same flags, same
+// order), with event times agreeing to well under a millisecond (Reference
+// resyncs every node at every death, folding floating-point error slightly
+// differently, so bitwise-equal times are not attainable by design).
+//
+// Scenarios sweep attack and benign charger modes, the emergency-comparator
+// defense, background hardware failures, deployment shapes, and sizes —
+// every topology-churn source the simulator has.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "analysis/scenario.hpp"
+
+namespace wrsn::analysis {
+namespace {
+
+constexpr Seconds kTimeTol = 1e-5;
+constexpr Joules kEnergyTol = 1e-3;
+constexpr double kRfTol = 1e-9;
+
+void expect_traces_equal(const sim::Trace& fast, const sim::Trace& ref,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+
+  ASSERT_EQ(fast.requests.size(), ref.requests.size());
+  for (std::size_t i = 0; i < ref.requests.size(); ++i) {
+    SCOPED_TRACE("request #" + std::to_string(i));
+    EXPECT_EQ(fast.requests[i].node, ref.requests[i].node);
+    EXPECT_EQ(fast.requests[i].emergency, ref.requests[i].emergency);
+    EXPECT_NEAR(fast.requests[i].time, ref.requests[i].time, kTimeTol);
+    EXPECT_NEAR(fast.requests[i].level_at_request,
+                ref.requests[i].level_at_request, kEnergyTol);
+  }
+
+  ASSERT_EQ(fast.sessions.size(), ref.sessions.size());
+  for (std::size_t i = 0; i < ref.sessions.size(); ++i) {
+    SCOPED_TRACE("session #" + std::to_string(i));
+    EXPECT_EQ(fast.sessions[i].node, ref.sessions[i].node);
+    EXPECT_EQ(fast.sessions[i].kind, ref.sessions[i].kind);
+    EXPECT_NEAR(fast.sessions[i].start, ref.sessions[i].start, kTimeTol);
+    EXPECT_NEAR(fast.sessions[i].end, ref.sessions[i].end, kTimeTol);
+    EXPECT_NEAR(fast.sessions[i].expected_gain, ref.sessions[i].expected_gain,
+                kEnergyTol);
+    EXPECT_NEAR(fast.sessions[i].delivered, ref.sessions[i].delivered,
+                kEnergyTol);
+    EXPECT_NEAR(fast.sessions[i].rf_observed, ref.sessions[i].rf_observed,
+                kRfTol);
+  }
+
+  ASSERT_EQ(fast.deaths.size(), ref.deaths.size());
+  for (std::size_t i = 0; i < ref.deaths.size(); ++i) {
+    SCOPED_TRACE("death #" + std::to_string(i));
+    EXPECT_EQ(fast.deaths[i].node, ref.deaths[i].node);
+    EXPECT_EQ(fast.deaths[i].request_outstanding,
+              ref.deaths[i].request_outstanding);
+    EXPECT_NEAR(fast.deaths[i].time, ref.deaths[i].time, kTimeTol);
+  }
+
+  ASSERT_EQ(fast.escalations.size(), ref.escalations.size());
+  for (std::size_t i = 0; i < ref.escalations.size(); ++i) {
+    SCOPED_TRACE("escalation #" + std::to_string(i));
+    EXPECT_EQ(fast.escalations[i].node, ref.escalations[i].node);
+    EXPECT_NEAR(fast.escalations[i].time, ref.escalations[i].time, kTimeTol);
+  }
+}
+
+/// Builds scenario #index of the randomized sweep.  Region area scales with
+/// node count to hold density at the calibrated default (100 nodes on
+/// 400 m x 400 m with 65 m radios).
+ScenarioConfig scenario_for(std::uint64_t index) {
+  ScenarioConfig cfg = default_scenario();
+
+  const std::size_t sizes[] = {25, 36, 49};
+  const std::size_t n = sizes[index % 3];
+  const double side = 40.0 * std::sqrt(double(n));
+  cfg.topology.node_count = n;
+  cfg.topology.region = {{0.0, 0.0}, {side, side}};
+  cfg.topology.deployment = (index % 5 == 0) ? net::Deployment::Clustered
+                                             : net::Deployment::Uniform;
+
+  // Mix in every topology-churn source across the sweep.
+  cfg.world.emergency_enabled = (index % 3 == 0);
+  cfg.world.hardware_mtbf = (index % 2 == 0) ? 10.0 * 86'400.0 : 0.0;
+
+  cfg.horizon = 1.5 * 86'400.0;
+  cfg.seed = 0x5DEECE66Dull * (index + 1) + 11;
+  return cfg;
+}
+
+class WorldEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldEquivalence, FastMatchesReference) {
+  const std::uint64_t index = GetParam();
+  ScenarioConfig cfg = scenario_for(index);
+  const ChargerMode mode =
+      (index % 2 == 0) ? ChargerMode::Attack : ChargerMode::Benign;
+
+  cfg.world.update_mode = sim::WorldUpdateMode::Fast;
+  const ScenarioResult fast = run_scenario(cfg, mode);
+  cfg.world.update_mode = sim::WorldUpdateMode::Reference;
+  const ScenarioResult ref = run_scenario(cfg, mode);
+
+  const std::string label =
+      "scenario " + std::to_string(index) +
+      (mode == ChargerMode::Attack ? " (attack)" : " (benign)");
+  expect_traces_equal(fast.trace, ref.trace, label);
+  EXPECT_EQ(fast.alive_at_end, ref.alive_at_end);
+  EXPECT_EQ(fast.sink_connected_at_end, ref.sink_connected_at_end);
+  EXPECT_EQ(fast.keys, ref.keys);
+  EXPECT_EQ(fast.plans_computed, ref.plans_computed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WorldEquivalence,
+                         ::testing::Range(std::uint64_t{0},
+                                          std::uint64_t{100}));
+
+}  // namespace
+}  // namespace wrsn::analysis

@@ -13,11 +13,13 @@
 // numbers are bit-identical at any thread count.
 #include <iostream>
 
+#include "analysis/metrics_io.hpp"
 #include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 #include "core/planners.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 
 namespace {
@@ -66,7 +68,8 @@ int main() {
     }
   }
 
-  runner::RunStats sweep_stats;
+  analysis::PhasedStats perf;
+  obs::MetricRegistry metrics;
   const std::vector<analysis::ScenarioResult> results = runner::run_trials(
       std::span<const Trial>(trials),
       [](const Trial& trial, Rng&) {
@@ -74,7 +77,7 @@ int main() {
             sized_config(trial.n, static_cast<std::uint64_t>(trial.seed)),
             analysis::ChargerMode::Attack, trial.planner);
       },
-      {.label = "fig5"}, &sweep_stats);
+      {.label = "fig5", .metrics = &metrics}, perf.phase("sweep"));
 
   analysis::Table table(
       "Fig. 5: key-node exhaustion (mean +- 95% CI over " +
@@ -126,7 +129,6 @@ int main() {
     }
   }
 
-  runner::RunStats ablation_stats;
   const std::vector<analysis::ScenarioResult> ablation_results =
       runner::run_trials(
           std::span<const AblationTrial>(ablation_trials),
@@ -136,7 +138,7 @@ int main() {
             cfg.attack.key_selection.rule = trial.rule;
             return analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
           },
-          {.label = "fig5b"}, &ablation_stats);
+          {.label = "fig5b", .metrics = &metrics}, perf.phase("ablation"));
 
   analysis::Table ablation(
       "Fig. 5b: key-node selection rule ablation (CSA, N=100)");
@@ -165,7 +167,8 @@ int main() {
   }
   ablation.print(std::cout);
 
-  analysis::merge_stats(sweep_stats, ablation_stats);
-  analysis::print_perf(std::cout, sweep_stats);
+  analysis::print_metrics_tables(metrics, std::cout);
+  analysis::maybe_export_metrics(metrics, std::cout);
+  analysis::print_perf(std::cout, perf);
   return 0;
 }

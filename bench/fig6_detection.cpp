@@ -12,10 +12,12 @@
 #include <map>
 #include <set>
 
+#include "analysis/metrics_io.hpp"
 #include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
+#include "obs/metrics.hpp"
 #include "runner/runner.hpp"
 
 namespace {
@@ -54,7 +56,8 @@ int main() {
     }
   }
 
-  runner::RunStats suite_stats;
+  analysis::PhasedStats perf;
+  obs::MetricRegistry metrics;
   const std::vector<analysis::ScenarioResult> results = runner::run_trials(
       std::span<const Trial>(trials),
       [&chargers](const Trial& trial, Rng&) {
@@ -67,7 +70,7 @@ int main() {
                                           ? analysis::ChargerMode::Benign
                                           : analysis::ChargerMode::Attack);
       },
-      {.label = "fig6"}, &suite_stats);
+      {.label = "fig6", .metrics = &metrics}, perf.phase("suites"));
 
   std::size_t next = 0;
   for (const bool hardened : {false, true}) {
@@ -122,7 +125,6 @@ int main() {
     analysis::ScenarioResult benign;
     analysis::ScenarioResult attack;
   };
-  runner::RunStats sweep_stats;
   const std::vector<TracePair> pairs = runner::run_trials(
       std::span<const PairTrial>(pair_trials),
       [](const PairTrial& trial, Rng&) {
@@ -132,7 +134,7 @@ int main() {
             analysis::run_scenario(cfg, analysis::ChargerMode::Benign),
             analysis::run_scenario(cfg, analysis::ChargerMode::Attack)};
       },
-      {.label = "fig6b"}, &sweep_stats);
+      {.label = "fig6b", .metrics = &metrics}, perf.phase("threshold-sweep"));
 
   analysis::Table sweep(
       "Fig. 6b: death-rate monitor threshold sweep (deaths per 24 h window)");
@@ -170,7 +172,8 @@ int main() {
   }
   sweep.print(std::cout);
 
-  analysis::merge_stats(suite_stats, sweep_stats);
-  analysis::print_perf(std::cout, suite_stats);
+  analysis::print_metrics_tables(metrics, std::cout);
+  analysis::maybe_export_metrics(metrics, std::cout);
+  analysis::print_perf(std::cout, perf);
   return 0;
 }

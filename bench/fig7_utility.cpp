@@ -36,7 +36,7 @@ int main() {
     for (int seed = 1; seed <= kSeeds; ++seed) key_trials.push_back({keys, seed});
   }
 
-  runner::RunStats key_stats;
+  analysis::PhasedStats perf;
   const std::vector<analysis::ScenarioResult> key_results = runner::run_trials(
       std::span<const KeyTrial>(key_trials),
       [](const KeyTrial& trial, Rng&) {
@@ -45,7 +45,7 @@ int main() {
         cfg.attack.key_selection.max_count = trial.keys;
         return analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
       },
-      {.label = "fig7a"}, &key_stats);
+      {.label = "fig7a"}, perf.phase("key-sweep"));
 
   analysis::Table key_table(
       "Fig. 7a: cover utility and exhaustion vs number of key targets (CSA)");
@@ -87,7 +87,6 @@ int main() {
     }
   }
 
-  runner::RunStats window_stats;
   const std::vector<analysis::ScenarioResult> window_results =
       runner::run_trials(
           std::span<const WindowTrial>(window_trials),
@@ -98,7 +97,7 @@ int main() {
             return analysis::run_scenario(cfg, analysis::ChargerMode::Attack,
                                           trial.planner);
           },
-          {.label = "fig7b"}, &window_stats);
+          {.label = "fig7b"}, perf.phase("window-sweep"));
 
   analysis::Table window_table(
       "Fig. 7b: window tightness sweep (patience scale), CSA vs "
@@ -129,7 +128,6 @@ int main() {
   }
   window_table.print(std::cout);
 
-  analysis::merge_stats(key_stats, window_stats);
-  analysis::print_perf(std::cout, key_stats);
+  analysis::print_perf(std::cout, perf);
   return 0;
 }

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Records the committed benchmark trajectories as google-benchmark JSON so
-# successive PRs can compare numbers:
+# Records the committed benchmark trajectories so successive PRs can compare
+# numbers:
 #
-#   * BENCH_table2.json — planner scalability (Table II)
-#   * BENCH_sim.json    — event kernel + incremental world updates
+#   * BENCH_table2.json — planner scalability (Table II), google-benchmark
+#   * BENCH_sim.json    — event kernel + incremental world updates +
+#                         obs-overhead rows (BM_Fig5TrialObs), google-benchmark
+#   * BENCH_fig5.json   — fig5 sweep metrics from the obs JSON exporter
+#                         (schema wrsn-metrics-v1, bench/metrics_schema.json);
+#                         the "deterministic" section is bit-identical at any
+#                         WRSN_THREADS
 #
 # Usage:
 #
@@ -16,13 +21,17 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
+require_bin() {
+  if [[ ! -x "$1" ]]; then
+    echo "error: $1 not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+}
+
 run_one() {
   local bin="$build_dir/bench/$1"
   local out="$repo_root/$2"
-  if [[ ! -x "$bin" ]]; then
-    echo "error: $bin not built (cmake --build $build_dir --target $1)" >&2
-    exit 1
-  fi
+  require_bin "$bin"
   "$bin" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
@@ -30,5 +39,19 @@ run_one() {
   echo "wrote $out"
 }
 
+# Fig benches export their MetricRegistry when WRSN_METRICS_JSON is set.
+run_metrics() {
+  local bin="$build_dir/bench/$1"
+  local out="$repo_root/$2"
+  require_bin "$bin"
+  WRSN_METRICS_JSON="$out" "$bin"
+  echo "wrote $out"
+  if command -v python3 > /dev/null; then
+    python3 "$repo_root/bench/validate_metrics.py" "$out" \
+      "$repo_root/bench/metrics_schema.json"
+  fi
+}
+
 run_one table2_runtime BENCH_table2.json
 run_one sim_kernel BENCH_sim.json
+run_metrics fig5_exhaustion BENCH_fig5.json

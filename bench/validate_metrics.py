@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate a wrsn-metrics-v1 JSON export.
+
+Usage:
+    validate_metrics.py METRICS_JSON SCHEMA_JSON [--table STDOUT_CAPTURE]
+
+Checks the export against bench/metrics_schema.json with a small built-in
+validator (the CI image carries no jsonschema package), then applies
+histogram invariants the schema language cannot express (counts length,
+count total, ascending bounds).  With --table, additionally parses the
+"== Metrics ==" and "== Timing metrics ==" tables from a captured bench/CLI
+stdout and diffs every row against the JSON values: the tables and the JSON
+are generated from the same registry, so any divergence is an exporter bug.
+"""
+
+import json
+import re
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def resolve_ref(schema_root, ref):
+    if not ref.startswith("#/"):
+        raise ValidationError(f"unsupported $ref: {ref}")
+    node = schema_root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def check(instance, schema, schema_root, path):
+    """Minimal JSON-Schema subset: type, const, required, properties,
+    additionalProperties, items, oneOf, minimum, $ref."""
+    if "$ref" in schema:
+        check(instance, resolve_ref(schema_root, schema["$ref"]),
+              schema_root, path)
+        return
+    if "oneOf" in schema:
+        errors = []
+        for option in schema["oneOf"]:
+            try:
+                check(instance, option, schema_root, path)
+                break
+            except ValidationError as err:
+                errors.append(str(err))
+        else:
+            raise ValidationError(
+                f"{path}: matches no oneOf alternative ({'; '.join(errors)})")
+        return
+    if "const" in schema:
+        if instance != schema["const"]:
+            raise ValidationError(
+                f"{path}: expected {schema['const']!r}, got {instance!r}")
+        return
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(instance, dict):
+            raise ValidationError(f"{path}: expected object")
+        for name in schema.get("required", []):
+            if name not in instance:
+                raise ValidationError(f"{path}: missing required key {name!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                check(value, props[key], schema_root, f"{path}.{key}")
+            elif extra is False:
+                raise ValidationError(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                check(value, extra, schema_root, f"{path}.{key}")
+    elif expected == "array":
+        if not isinstance(instance, list):
+            raise ValidationError(f"{path}: expected array")
+        items = schema.get("items")
+        if items is not None:
+            for i, value in enumerate(instance):
+                check(value, items, schema_root, f"{path}[{i}]")
+    elif expected == "number":
+        if not isinstance(instance, (int, float)) or isinstance(instance, bool):
+            raise ValidationError(f"{path}: expected number, got {instance!r}")
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise ValidationError(
+                f"{path}: {instance} below minimum {schema['minimum']}")
+    elif expected is not None:
+        raise ValidationError(f"{path}: unsupported schema type {expected!r}")
+
+
+def check_histogram_invariants(name, hist):
+    bounds, counts = hist["bounds"], hist["counts"]
+    if len(counts) != len(bounds) + 1:
+        raise ValidationError(
+            f"{name}: counts has {len(counts)} entries for "
+            f"{len(bounds)} bounds (want bounds+1, incl. overflow)")
+    if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+        raise ValidationError(f"{name}: bounds not strictly ascending")
+    if sum(counts) != hist["count"]:
+        raise ValidationError(
+            f"{name}: bucket counts sum to {sum(counts)}, count={hist['count']}")
+    if hist["count"] > 0 and not hist["min"] <= hist["max"]:
+        raise ValidationError(f"{name}: min > max")
+
+
+def iter_metrics(doc):
+    for section in ("deterministic", "timing"):
+        for name, value in doc.get(section, {}).items():
+            yield name, value
+
+
+TABLE_ROW = re.compile(r"^(\S+)( \(timing\))?\s{2,}(histogram|counter|gauge-max)"
+                       r"\s{2,}(\S+)\s{2,}(\S+)\s{2,}(\S+)\s{2,}(\S+)\s{2,}(\S+)\s*$")
+
+
+def parse_metrics_table(text):
+    """Returns {metric: (kind, value, count)} parsed from the '== Metrics =='
+    and '== Timing metrics ==' tables (deterministic and wall-clock rows are
+    printed as separately aligned tables)."""
+    rows = {}
+    in_table = False
+    for line in text.splitlines():
+        if line.startswith("== "):
+            in_table = (line.startswith("== Metrics") or
+                        line.startswith("== Timing metrics"))
+            continue
+        if not in_table:
+            continue
+        match = TABLE_ROW.match(line)
+        if match:
+            name, _, kind, value, count = match.groups()[:5]
+            rows[name] = (kind, float(value), None if count == "-" else int(count))
+    return rows
+
+
+def diff_table(doc, table_text):
+    rows = parse_metrics_table(table_text)
+    if not rows:
+        raise ValidationError("no '== Metrics ==' table rows found in capture")
+    mismatches = []
+    for name, value in iter_metrics(doc):
+        if name not in rows:
+            mismatches.append(f"{name}: in JSON but not in table")
+            continue
+        kind, table_value, table_count = rows[name]
+        if isinstance(value, dict):  # histogram: table shows sum + count
+            if table_count != value["count"]:
+                mismatches.append(
+                    f"{name}: table count {table_count} != JSON {value['count']}")
+            json_value = value["sum"]
+        else:
+            json_value = value
+        # Table cells are %.3f-rounded; accept half-ulp of that rounding.
+        tolerance = 5e-4 + 1e-9 * abs(json_value)
+        if abs(table_value - json_value) > tolerance:
+            mismatches.append(
+                f"{name}: table value {table_value} != JSON {json_value}")
+    if mismatches:
+        raise ValidationError("table/JSON divergence:\n  " +
+                              "\n  ".join(mismatches))
+    return len(rows)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    metrics_path, schema_path = argv[1], argv[2]
+    table_path = None
+    if len(argv) >= 5 and argv[3] == "--table":
+        table_path = argv[4]
+
+    with open(metrics_path) as fh:
+        doc = json.load(fh)
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+
+    try:
+        check(doc, schema, schema, "$")
+        for name, value in iter_metrics(doc):
+            if isinstance(value, dict):
+                check_histogram_invariants(name, value)
+        if table_path is not None:
+            with open(table_path) as fh:
+                compared = diff_table(doc, fh.read())
+            print(f"{metrics_path}: schema OK, {compared} table rows match")
+        else:
+            print(f"{metrics_path}: schema OK")
+    except ValidationError as err:
+        print(f"{metrics_path}: INVALID: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

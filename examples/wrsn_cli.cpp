@@ -11,9 +11,11 @@
 #include <string>
 
 #include "analysis/config_io.hpp"
+#include "analysis/metrics_io.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/table.hpp"
 #include "analysis/trace_io.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -27,6 +29,8 @@ void usage() {
       "  --seed <S>            RNG seed override\n"
       "  --export <prefix>     write <prefix>_{sessions,requests,deaths,"
       "escalations}.csv\n"
+      "  --metrics <file.json> collect obs metrics during the run; print the\n"
+      "                        table and write the wrsn-metrics-v1 JSON\n"
       "  --help                this text\n";
 }
 
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string mode = "attack";
   std::string export_prefix;
+  std::string metrics_path;
   std::size_t fleet = 1;
   std::size_t compromised = SIZE_MAX;
   bool compromised_set = false;
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
       seed_set = true;
     } else if (arg == "--export") {
       export_prefix = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -83,17 +90,23 @@ int main(int argc, char** argv) {
                             : analysis::load_config_file(config_path);
     if (seed_set) cfg.seed = seed;
 
+    obs::MetricRegistry metrics;
     analysis::ScenarioResult result;
-    if (fleet > 1 || compromised_set) {
-      if (mode == "benign") compromised = SIZE_MAX;
-      result = analysis::run_fleet_scenario(cfg, fleet, compromised);
-    } else if (mode == "benign") {
-      result = analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
-    } else if (mode == "attack") {
-      result = analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
-    } else {
-      std::cerr << "unknown mode '" << mode << "'\n";
-      return 2;
+    {
+      // Collect metrics only when asked: the scoped install makes every
+      // instrumented layer under run_scenario write into `metrics`.
+      obs::ScopedRegistry obs_scope(metrics_path.empty() ? nullptr : &metrics);
+      if (fleet > 1 || compromised_set) {
+        if (mode == "benign") compromised = SIZE_MAX;
+        result = analysis::run_fleet_scenario(cfg, fleet, compromised);
+      } else if (mode == "benign") {
+        result = analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+      } else if (mode == "attack") {
+        result = analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+      } else {
+        std::cerr << "unknown mode '" << mode << "'\n";
+        return 2;
+      }
     }
 
     const csa::AttackReport& r = result.report;
@@ -130,6 +143,11 @@ int main(int argc, char** argv) {
     if (!export_prefix.empty()) {
       analysis::export_trace(export_prefix, result.trace);
       std::cout << "\ntrace exported to " << export_prefix << "_*.csv\n";
+    }
+    if (!metrics_path.empty()) {
+      analysis::print_metrics_tables(metrics, std::cout);
+      analysis::write_metrics_json(metrics, metrics_path);
+      std::cout << "metrics JSON written to " << metrics_path << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

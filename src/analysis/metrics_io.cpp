@@ -1,0 +1,71 @@
+#include "analysis/metrics_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace wrsn::analysis {
+
+namespace {
+
+Table rows_table(const obs::MetricRegistry& registry, bool timing,
+                 const std::string& title) {
+  Table table(title);
+  table.headers({"metric", "kind", "value", "count", "mean", "min", "max"});
+  for (const obs::MetricRow& row : registry.rows()) {
+    if (row.timing != timing) continue;
+    std::string name(row.name);
+    if (row.timing) name += " (timing)";
+    if (row.hist != nullptr) {
+      const obs::Histogram& h = *row.hist;
+      const double mean = h.count() > 0 ? h.sum() / double(h.count()) : 0.0;
+      table.row({name, "histogram", fmt(h.sum(), 3),
+                 std::to_string(h.count()), fmt(mean, 3), fmt(h.min(), 3),
+                 fmt(h.max(), 3)});
+    } else {
+      const char* kind =
+          row.kind == obs::MetricKind::kGaugeMax ? "gauge-max" : "counter";
+      table.row({name, kind, fmt(row.value, 3), "-", "-", "-", "-"});
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+Table metrics_table(const obs::MetricRegistry& registry,
+                    const std::string& title) {
+  return rows_table(registry, /*timing=*/false, title);
+}
+
+Table timing_metrics_table(const obs::MetricRegistry& registry,
+                           const std::string& title) {
+  return rows_table(registry, /*timing=*/true, title);
+}
+
+void print_metrics_tables(const obs::MetricRegistry& registry,
+                          std::ostream& os) {
+  metrics_table(registry).print(os);
+  timing_metrics_table(registry).print(os);
+}
+
+void write_metrics_json(const obs::MetricRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out(path);
+  WRSN_REQUIRE(out.good(), "cannot open metrics JSON output file");
+  out << obs::to_json(registry);
+  WRSN_REQUIRE(out.good(), "failed writing metrics JSON");
+}
+
+bool maybe_export_metrics(const obs::MetricRegistry& registry,
+                          std::ostream& log) {
+  const char* path = std::getenv("WRSN_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return false;
+  write_metrics_json(registry, path);
+  log << "metrics JSON written to " << path << "\n";
+  return true;
+}
+
+}  // namespace wrsn::analysis

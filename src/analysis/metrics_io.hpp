@@ -1,0 +1,45 @@
+// Table rendering and file export for obs::MetricRegistry.
+//
+// The table and the JSON export are generated from the same registry rows,
+// so a bench's printed metrics and its `BENCH_*.json` artifact always agree
+// value for value (the CI smoke job diffs the two).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace wrsn::analysis {
+
+/// One row per non-timing metric: scalars show their value; histograms
+/// show count, sum, mean, min, max.  Deterministic by construction — the
+/// values AND the column widths depend only on simulated work, so the
+/// printed block is safe to diff byte-for-byte across thread counts.
+Table metrics_table(const obs::MetricRegistry& registry,
+                    const std::string& title = "Metrics");
+
+/// Wall-clock timer metrics only, suffixed "(timing)", as a separately
+/// aligned table: keeping them out of `metrics_table` is what keeps that
+/// table's column widths run-independent.
+Table timing_metrics_table(const obs::MetricRegistry& registry,
+                           const std::string& title = "Timing metrics");
+
+/// Prints the deterministic table followed by the timing table (the layout
+/// benches and the CLI emit; bench/validate_metrics.py parses both).
+void print_metrics_tables(const obs::MetricRegistry& registry,
+                          std::ostream& os);
+
+/// Writes the `wrsn-metrics-v1` JSON export to `path`.
+void write_metrics_json(const obs::MetricRegistry& registry,
+                        const std::string& path);
+
+/// When the `WRSN_METRICS_JSON` environment variable names a path, writes
+/// the JSON export there (logging the destination to `log`) and returns
+/// true.  Benches call this after their run so CI and scripts can collect
+/// metrics without bench-specific flags.
+bool maybe_export_metrics(const obs::MetricRegistry& registry,
+                          std::ostream& log);
+
+}  // namespace wrsn::analysis

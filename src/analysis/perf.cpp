@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace wrsn::analysis {
 
-Table perf_table(const runner::RunStats& stats, const std::string& title) {
-  Table table(title);
-  table.headers({"trials", "threads", "wall [s]", "trial total [s]",
-                 "trial mean [ms]", "trial min [ms]", "trial max [ms]",
-                 "trials/s", "speedup"});
+namespace {
+
+std::vector<std::string> stats_cells(const runner::RunStats& stats,
+                                     const std::string& threads_cell) {
   double min_s = 0.0, max_s = 0.0;
   if (!stats.trial_seconds.empty()) {
     const auto [lo, hi] = std::minmax_element(stats.trial_seconds.begin(),
@@ -17,12 +18,24 @@ Table perf_table(const runner::RunStats& stats, const std::string& title) {
     max_s = *hi;
   }
   const double total = stats.trial_seconds_total();
-  const double mean =
-      stats.trials > 0 ? total / double(stats.trials) : 0.0;
-  table.row({std::to_string(stats.trials), std::to_string(stats.threads),
-             fmt(stats.wall_seconds, 3), fmt(total, 3), fmt(mean * 1e3, 1),
-             fmt(min_s * 1e3, 1), fmt(max_s * 1e3, 1),
-             fmt(stats.throughput(), 1), fmt(stats.speedup(), 2)});
+  const double mean = stats.trials > 0 ? total / double(stats.trials) : 0.0;
+  return {std::to_string(stats.trials), threads_cell,
+          fmt(stats.wall_seconds, 3), fmt(total, 3),   fmt(mean * 1e3, 1),
+          fmt(min_s * 1e3, 1),        fmt(max_s * 1e3, 1),
+          fmt(stats.throughput(), 1), fmt(stats.speedup(), 2)};
+}
+
+const std::vector<std::string> kStatsHeaders = {
+    "trials",          "threads",        "wall [s]",
+    "trial total [s]", "trial mean [ms]", "trial min [ms]",
+    "trial max [ms]",  "trials/s",        "speedup"};
+
+}  // namespace
+
+Table perf_table(const runner::RunStats& stats, const std::string& title) {
+  Table table(title);
+  table.headers(kStatsHeaders);
+  table.row(stats_cells(stats, std::to_string(stats.threads)));
   return table;
 }
 
@@ -31,13 +44,63 @@ void print_perf(std::ostream& os, const runner::RunStats& stats,
   perf_table(stats, title).print(os);
 }
 
-void merge_stats(runner::RunStats& into, const runner::RunStats& extra) {
-  into.trials += extra.trials;
-  into.threads = std::max(into.threads, extra.threads);
-  into.wall_seconds += extra.wall_seconds;
-  into.trial_seconds.insert(into.trial_seconds.end(),
-                            extra.trial_seconds.begin(),
-                            extra.trial_seconds.end());
+runner::RunStats* PhasedStats::phase(std::string name) {
+  Entry& entry = phases_.emplace_back();
+  entry.name = std::move(name);
+  return &entry.stats;
+}
+
+const runner::RunStats& PhasedStats::phase_stats(std::size_t i) const {
+  WRSN_REQUIRE(i < phases_.size(), "phase index out of range");
+  return phases_[i].stats;
+}
+
+const std::string& PhasedStats::phase_name(std::size_t i) const {
+  WRSN_REQUIRE(i < phases_.size(), "phase index out of range");
+  return phases_[i].name;
+}
+
+runner::RunStats PhasedStats::combined() const {
+  runner::RunStats out;
+  out.threads = phases_.empty() ? 1 : phases_.front().stats.threads;
+  for (const Entry& entry : phases_) {
+    out.trials += entry.stats.trials;
+    out.wall_seconds += entry.stats.wall_seconds;
+    out.trial_seconds.insert(out.trial_seconds.end(),
+                             entry.stats.trial_seconds.begin(),
+                             entry.stats.trial_seconds.end());
+    if (entry.stats.threads != out.threads) out.threads = 0;  // mixed
+  }
+  return out;
+}
+
+Table PhasedStats::table(const std::string& title) const {
+  Table table(title);
+  std::vector<std::string> headers = kStatsHeaders;
+  headers.insert(headers.begin(), "phase");
+  table.headers(std::move(headers));
+
+  const auto add_row = [&table](const std::string& name,
+                                const runner::RunStats& stats,
+                                const std::string& threads_cell) {
+    std::vector<std::string> cells = stats_cells(stats, threads_cell);
+    cells.insert(cells.begin(), name);
+    table.row(std::move(cells));
+  };
+  for (const Entry& entry : phases_) {
+    add_row(entry.name, entry.stats, std::to_string(entry.stats.threads));
+  }
+  if (phases_.size() > 1) {
+    const runner::RunStats total = combined();
+    add_row("combined", total,
+            total.threads == 0 ? "mixed" : std::to_string(total.threads));
+  }
+  return table;
+}
+
+void print_perf(std::ostream& os, const PhasedStats& stats,
+                const std::string& title) {
+  stats.table(title).print(os);
 }
 
 }  // namespace wrsn::analysis

@@ -1,8 +1,10 @@
-// Perf-trace emission for the experiment runner: turns a runner::RunStats
-// into a Table row so every bench's output doubles as a throughput trace.
+// Perf-trace emission for the experiment runner: turns runner::RunStats
+// into Table rows so every bench's output doubles as a throughput trace.
 #pragma once
 
+#include <deque>
 #include <ostream>
+#include <string>
 
 #include "analysis/table.hpp"
 #include "runner/runner.hpp"
@@ -13,12 +15,47 @@ namespace wrsn::analysis {
 /// per-trial time distribution (total/mean/min/max), throughput, speedup.
 Table perf_table(const runner::RunStats& stats, const std::string& title);
 
-/// Convenience: prints `perf_table` for the combined stats of a bench run.
+/// Convenience: prints `perf_table` for the stats of a single-phase bench.
 void print_perf(std::ostream& os, const runner::RunStats& stats,
                 const std::string& title = "Runner perf trace");
 
-/// Merges `extra` into `into` as if their trials ran in one call: trial
-/// times concatenate and wall times add (the calls ran back to back).
-void merge_stats(runner::RunStats& into, const runner::RunStats& extra);
+/// Per-phase accounting for a bench that makes several `run_trials` calls
+/// back to back.  Each phase keeps its own RunStats — so per-phase speedups
+/// stay honest when phases ran with different thread counts — and the
+/// combined row derives its speedup from Σ trial-seconds / Σ wall-seconds
+/// rather than from any single phase's thread count.  (The predecessor,
+/// `merge_stats`, collapsed phases into one RunStats with
+/// `threads = max(threads)`, which misreported the merged speedup and
+/// throughput whenever thread counts differed.)
+class PhasedStats {
+ public:
+  /// Registers a phase and returns its stats slot; pass the pointer straight
+  /// to `run_trials`.  Slots stay valid as more phases are added.
+  runner::RunStats* phase(std::string name);
+
+  std::size_t phase_count() const { return phases_.size(); }
+  const runner::RunStats& phase_stats(std::size_t i) const;
+  const std::string& phase_name(std::size_t i) const;
+
+  /// Combined view: trials summed, wall-seconds summed (phases run back to
+  /// back), trial times concatenated.  `threads` is the common per-phase
+  /// value, or 0 when phases used different thread counts (the table prints
+  /// "mixed"); `speedup()` on the result is Σ trial-seconds / Σ wall.
+  runner::RunStats combined() const;
+
+  /// One row per phase, plus a combined row when there are several.
+  Table table(const std::string& title) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    runner::RunStats stats;
+  };
+  std::deque<Entry> phases_;  // deque: `phase()` pointers stay valid
+};
+
+/// Convenience: prints `PhasedStats::table`.
+void print_perf(std::ostream& os, const PhasedStats& stats,
+                const std::string& title = "Runner perf trace");
 
 }  // namespace wrsn::analysis

@@ -50,16 +50,36 @@ Summary summarize(std::span<const double> values) {
   return summary;
 }
 
-double quantile(std::span<const double> values, double q) {
-  WRSN_REQUIRE(!values.empty(), "quantile of empty sample");
+namespace {
+
+/// Linear-interpolation quantile over an already-sorted sample.
+double quantile_from_sorted(std::span<const double> sorted, double q) {
   WRSN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of [0, 1]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   const double pos = q * double(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - double(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  WRSN_REQUIRE(!values.empty(), "quantile of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_from_sorted(sorted, q);
+}
+
+std::vector<double> sorted_quantiles(std::span<const double> values,
+                                     std::initializer_list<double> qs) {
+  WRSN_REQUIRE(!values.empty(), "quantile of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_from_sorted(sorted, q));
+  return out;
 }
 
 }  // namespace wrsn::analysis

@@ -1,7 +1,9 @@
 // Small statistics helpers for multi-seed experiment aggregation.
 #pragma once
 
+#include <initializer_list>
 #include <span>
+#include <vector>
 
 namespace wrsn::analysis {
 
@@ -27,5 +29,13 @@ Summary summarize(std::span<const double> values);
 
 /// Sample quantile (linear interpolation); q in [0, 1].
 double quantile(std::span<const double> values, double q);
+
+/// Evaluates several quantiles with a single copy + sort of the sample
+/// (`quantile` re-sorts per call, which benches requesting several
+/// quantiles per row pay repeatedly).  Returns one value per entry of `qs`,
+/// in order; each q must be in [0, 1] (q = 0 is the minimum, q = 1 the
+/// maximum).
+std::vector<double> sorted_quantiles(std::span<const double> values,
+                                     std::initializer_list<double> qs);
 
 }  // namespace wrsn::analysis

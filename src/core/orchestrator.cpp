@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "core/theory.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::csa {
 namespace {
@@ -45,6 +46,14 @@ AttackAgent::AttackAgent(sim::World& world, const AttackParams& params,
   params_.validate();
   territory_.insert(params_.territory.begin(), params_.territory.end());
   emitter_.emplace(world_.charging_model(), params_.spoofing);
+}
+
+AttackAgent::~AttackAgent() {
+  WRSN_OBS_ADD(kCsaReplans, double(plans_computed_));
+  WRSN_OBS_ADD(kCsaTravelMemoHits, double(memo_hits_));
+  WRSN_OBS_ADD(kCsaTravelMemoMisses, double(memo_misses_));
+  WRSN_OBS_ADD(kMcSessions, double(sessions_ended_));
+  WRSN_OBS_ADD(kMcSessionsSpoofed, double(spoofed_sessions_ended_));
 }
 
 void AttackAgent::start() {
@@ -253,6 +262,9 @@ TideInstance AttackAgent::build_instance() const {
 }
 
 void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
+  // memo_hits_/memo_misses_ are plain member tallies flushed once by the
+  // destructor: the memo lambda runs O(stops²) per replan, far too hot for
+  // a registry write per lookup.
   instance.set_travel_matrix(TravelMatrix::build(
       instance, [this](const Stop& a, const Stop& b) -> Meters {
         if (a.node == net::kInvalidNode || b.node == net::kInvalidNode) {
@@ -263,7 +275,12 @@ void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
         const std::uint64_t key =
             (static_cast<std::uint64_t>(lo) << 32) | hi;
         const auto [it, inserted] = stop_pair_distance_.try_emplace(key, 0.0);
-        if (inserted) it->second = geom::distance(a.position, b.position);
+        if (inserted) {
+          ++memo_misses_;
+          it->second = geom::distance(a.position, b.position);
+        } else {
+          ++memo_hits_;
+        }
         return it->second;
       }));
 }
@@ -519,6 +536,9 @@ void AttackAgent::end_session(std::uint64_t version) {
   record.nearest_probe_distance = session_probe_distance_;
   record.radiated = source * duration;
   world_.trace().sessions.push_back(record);
+  ++sessions_ended_;
+  if (session_spoofed_) ++spoofed_sessions_ended_;
+  WRSN_OBS_OBSERVE(kMcSessionEnergyJ, delivered);
 
   WRSN_LOG(Debug) << (session_spoofed_ ? "SPOOFED" : "genuine")
                   << " session on node " << node << " delivered "

@@ -97,6 +97,11 @@ class AttackAgent {
   AttackAgent(const AttackAgent&) = delete;
   AttackAgent& operator=(const AttackAgent&) = delete;
 
+  /// Flushes the agent's accumulated tallies (replans, travel-memo hits,
+  /// session counts) to the installed obs registry in one shot — the
+  /// per-replan and per-session paths are too hot for a write each.
+  ~AttackAgent();
+
   /// Selects key targets from the current routing state, subscribes to world
   /// events, and begins operating.  Call exactly once before running.
   void start();
@@ -179,6 +184,14 @@ class AttackAgent {
   std::uint64_t genuine_sessions_ = 0;
   std::uint64_t spoofed_sessions_ = 0;
   std::uint64_t plans_computed_ = 0;
+
+  // Observability tallies, flushed by the destructor.  The session pair
+  // counts completed sessions (the *_sessions_ counters above tick at
+  // session start, so an in-flight session at the horizon would skew them).
+  mutable std::uint64_t memo_hits_ = 0;
+  mutable std::uint64_t memo_misses_ = 0;
+  std::uint64_t sessions_ended_ = 0;
+  std::uint64_t spoofed_sessions_ended_ = 0;
 };
 
 }  // namespace wrsn::csa

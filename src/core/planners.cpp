@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "core/route_state.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::csa {
 namespace {
@@ -15,7 +16,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// Phase 1: EDF-ordered key insertion, each at its cheapest feasible
 /// position.  Keys that cannot be placed are skipped (counted as missed).
 /// O(K * route) with the slack-based RouteState.
-void insert_keys_edf(const TideInstance& instance, RouteState& route) {
+void insert_keys_edf(const TideInstance& instance, RouteState& route,
+                     std::uint64_t& insertions_tried) {
   std::vector<std::size_t> keys;
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
     if (instance.stops[i].is_key) keys.push_back(i);
@@ -23,6 +25,7 @@ void insert_keys_edf(const TideInstance& instance, RouteState& route) {
   std::sort(keys.begin(), keys.end(), [&](std::size_t a, std::size_t b) {
     return instance.stops[a].window_close < instance.stops[b].window_close;
   });
+  insertions_tried += keys.size();
   for (const std::size_t key : keys) {
     if (const auto best = route.best_insertion(key)) {
       route.insert(key, best->first);
@@ -45,7 +48,10 @@ void insert_keys_edf(const TideInstance& instance, RouteState& route) {
 ///      utility) and a round rescoren only a handful of entries;
 ///   2. each candidate caches its last best (pos, delta) stamped with the
 ///      route version and is re-evaluated only when consulted stale.
-void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
+void fill_utility_greedy(const TideInstance& instance, RouteState& route,
+                         std::uint64_t& insertions_tried,
+                         std::uint64_t& cache_hits_out,
+                         std::uint64_t& cache_misses_out) {
   struct Candidate {
     std::size_t stop = 0;
     std::uint64_t version = 0;  ///< route version of the cached evaluation
@@ -82,6 +88,10 @@ void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
               return ua != ub ? ua > ub : a.stop < b.stop;
             });
 
+  // Local inner-loop tallies: a write into the caller's accumulators per
+  // scan step (let alone a registry write) would dominate the CELF loop.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   while (true) {
     double best_score = -kInf;
     Candidate* best = nullptr;
@@ -90,6 +100,7 @@ void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
       const double bound = instance.stops[c.stop].utility;
       if (best != nullptr && bound < best_score) break;  // CELF cutoff
       if (!c.scored || c.version != route.version()) {
+        ++cache_misses;
         const auto bi = route.best_insertion(c.stop);
         c.scored = true;
         c.version = route.version();
@@ -99,6 +110,8 @@ void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
           c.delta = bi->second;
           c.score = bound / std::max(c.delta, 1.0);
         }
+      } else {
+        ++cache_hits;
       }
       if (!c.feasible) continue;
       if (best == nullptr || c.score > best_score ||
@@ -111,16 +124,27 @@ void fill_utility_greedy(const TideInstance& instance, RouteState& route) {
     route.insert(best->stop, best->pos);
     best->inserted = true;
   }
+  cache_hits_out += cache_hits;
+  cache_misses_out += cache_misses;
+  insertions_tried += cache_misses;  // every miss scores one insertion
 }
 
 }  // namespace
 
+CsaPlanner::~CsaPlanner() {
+  WRSN_OBS_ADD(kCsaInsertionsTried, double(insertions_tried_));
+  WRSN_OBS_ADD(kCsaCacheHits, double(cache_hits_));
+  WRSN_OBS_ADD(kCsaCacheMisses, double(cache_misses_));
+}
+
 Plan CsaPlanner::plan(const TideInstance& instance, Rng& rng) const {
   (void)rng;
+  WRSN_OBS_SPAN(kCsaPlanNs);
   instance.validate();
   RouteState route(instance);
-  insert_keys_edf(instance, route);
-  fill_utility_greedy(instance, route);
+  insert_keys_edf(instance, route, insertions_tried_);
+  fill_utility_greedy(instance, route, insertions_tried_, cache_hits_,
+                      cache_misses_);
   return route.to_plan();
 }
 
@@ -128,8 +152,15 @@ Plan UtilityFirstPlanner::plan(const TideInstance& instance, Rng& rng) const {
   (void)rng;
   instance.validate();
   RouteState route(instance);
-  fill_utility_greedy(instance, route);
-  insert_keys_edf(instance, route);
+  // The ablation planner is cold (bench-only); flush per call.
+  std::uint64_t insertions = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  fill_utility_greedy(instance, route, insertions, hits, misses);
+  insert_keys_edf(instance, route, insertions);
+  WRSN_OBS_ADD(kCsaInsertionsTried, double(insertions));
+  WRSN_OBS_ADD(kCsaCacheHits, double(hits));
+  WRSN_OBS_ADD(kCsaCacheMisses, double(misses));
   return route.to_plan();
 }
 

@@ -25,6 +25,7 @@
 // the plan-equivalence property test enforces on every run.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "common/rng.hpp"
@@ -44,8 +45,18 @@ class Planner {
 /// The paper's algorithm (EDF key skeleton + cost-benefit greedy filling).
 class CsaPlanner final : public Planner {
  public:
+  /// Flushes the accumulated planning tallies (insertions tried, candidate
+  /// cache hits/misses) to the installed obs registry in one shot — plan()
+  /// runs every replan, too often for registry writes per call.
+  ~CsaPlanner() override;
   std::string_view name() const override { return "CSA"; }
   Plan plan(const TideInstance& instance, Rng& rng) const override;
+
+ private:
+  // plan() is const (Planner interface); the tallies are observability only.
+  mutable std::uint64_t insertions_tried_ = 0;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 /// Nearest-stop-next attacker: always heads to the closest not-yet-expired

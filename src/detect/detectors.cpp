@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::detect {
 namespace {
@@ -20,14 +21,32 @@ double node_uniform(std::uint64_t seed, net::NodeId node,
   return rng.fork(purpose).fork(std::to_string(node)).uniform();
 }
 
-/// Deterministic per-(seed, session-index) gauge noise draw.
-double session_noise(const DetectorContext& ctx, std::size_t session_index,
-                     Joules capacity) {
+/// Deterministic per-(seed, node, per-node ordinal) gauge noise draw.  The
+/// ordinal counts the node's *own* sessions in trace order, so a node's
+/// noise stream is a pure function of its own session history — an
+/// unrelated session elsewhere in the trace cannot shift the draws and flip
+/// detection outcomes between otherwise-identical scenarios.  (The old key
+/// was the global session index, which did exactly that.)
+double session_noise(const DetectorContext& ctx, net::NodeId node,
+                     std::uint64_t ordinal, Joules capacity) {
   Rng rng(ctx.noise_seed);
   return rng.fork("soc-noise")
-      .fork(std::to_string(session_index))
+      .fork(std::to_string(node))
+      .fork(std::to_string(ordinal))
       .normal(0.0, ctx.soc_noise_fraction * capacity);
 }
+
+/// Tracks per-node session ordinals while walking a trace.  Every session
+/// of a node advances its ordinal — including ones a detector then skips —
+/// so the noise draw for a given (node, nth-session) pair is stable across
+/// detectors with different filters.
+class SessionOrdinals {
+ public:
+  std::uint64_t next(net::NodeId node) { return counts_[node]++; }
+
+ private:
+  std::map<net::NodeId, std::uint64_t> counts_;
+};
 
 bool node_audited(bool use_set, const std::set<net::NodeId>& audited,
                   double fraction, std::uint64_t seed, net::NodeId node) {
@@ -46,9 +65,16 @@ std::vector<SuiteResult> DetectorSuite::run(const sim::Trace& trace,
                                             const DetectorContext& ctx) const {
   std::vector<SuiteResult> results;
   results.reserve(detectors_.size());
+  WRSN_OBS_COUNT(kDetectSuiteRuns);
   for (const auto& detector : detectors_) {
-    results.push_back(
-        {std::string(detector->name()), detector->analyze(trace, ctx)});
+    std::optional<Detection> detection;
+    {
+      WRSN_OBS_SPAN_NAMED("detect." + std::string(detector->name()) +
+                          ".analyze_ns");
+      detection = detector->analyze(trace, ctx);
+    }
+    if (detection.has_value()) WRSN_OBS_COUNT(kDetectDetections);
+    results.push_back({std::string(detector->name()), std::move(detection)});
   }
   return results;
 }
@@ -153,16 +179,19 @@ std::optional<Detection> DeathRateDetector::analyze(
 std::optional<Detection> EnergyDeltaDetector::analyze(
     const sim::Trace& trace, const DetectorContext& ctx) const {
   WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
+  SessionOrdinals ordinals;
   for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
     const sim::SessionRecord& s = trace.sessions[i];
+    const std::uint64_t ordinal = ordinals.next(s.node);
     if (s.expected_gain < min_expected_) continue;
     if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
                       s.node)) {
       continue;
     }
+    WRSN_OBS_COUNT(kDetectSessionsAudited);
     const Joules capacity = ctx.network->node(s.node).battery_capacity;
     const Joules measured =
-        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+        std::max(0.0, s.delivered + session_noise(ctx, s.node, ordinal, capacity));
     if (measured / s.expected_gain < ratio_threshold_) {
       return Detection{s.end, s.node,
                        "metered harvest far below session expectation"};
@@ -178,16 +207,19 @@ std::optional<Detection> CusumShortfallDetector::analyze(
   // with standard deviation ~= the benign gain CV.
   const double sigma = std::max(1e-9, ctx.benign_gain_cv);
   std::map<net::NodeId, double> stat;
+  SessionOrdinals ordinals;
   for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
     const sim::SessionRecord& s = trace.sessions[i];
+    const std::uint64_t ordinal = ordinals.next(s.node);
     if (s.expected_gain <= 0.0) continue;
     if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
                       s.node)) {
       continue;
     }
+    WRSN_OBS_COUNT(kDetectSessionsAudited);
     const Joules capacity = ctx.network->node(s.node).battery_capacity;
     const Joules measured =
-        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+        std::max(0.0, s.delivered + session_noise(ctx, s.node, ordinal, capacity));
     const double ratio = measured / s.expected_gain;
     double& value = stat[s.node];
     value = std::max(0.0, value + (1.0 - ratio) / sigma - k_);
@@ -204,16 +236,19 @@ std::optional<Detection> FleetCusumDetector::analyze(
   WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
   const double sigma = std::max(1e-9, ctx.benign_gain_cv);
   double stat = 0.0;
+  SessionOrdinals ordinals;
   for (std::size_t i = 0; i < trace.sessions.size(); ++i) {
     const sim::SessionRecord& s = trace.sessions[i];
+    const std::uint64_t ordinal = ordinals.next(s.node);
     if (s.expected_gain <= 0.0) continue;
     if (!node_audited(use_set_, audited_, audit_fraction_, ctx.noise_seed,
                       s.node)) {
       continue;
     }
+    WRSN_OBS_COUNT(kDetectSessionsAudited);
     const Joules capacity = ctx.network->node(s.node).battery_capacity;
     const Joules measured =
-        std::max(0.0, s.delivered + session_noise(ctx, i, capacity));
+        std::max(0.0, s.delivered + session_noise(ctx, s.node, ordinal, capacity));
     const double ratio = measured / s.expected_gain;
     stat = std::max(0.0, stat + (1.0 - ratio) / sigma - k_);
     if (stat > h_) {

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "mc/tsp.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::mc {
 
@@ -23,6 +24,10 @@ ChargerAgent::ChargerAgent(sim::World& world, const AgentParams& params)
       territory_(params.territory.begin(), params.territory.end()),
       mc_(params.charger) {
   params_.validate();
+}
+
+ChargerAgent::~ChargerAgent() {
+  WRSN_OBS_ADD(kMcSessions, double(sessions_completed_));
 }
 
 void ChargerAgent::start() {
@@ -321,6 +326,7 @@ void ChargerAgent::end_session(std::uint64_t version, bool truncated) {
   record.nearest_probe_distance = probe_dist;
   record.radiated = source * duration;
   world_.trace().sessions.push_back(record);
+  WRSN_OBS_OBSERVE(kMcSessionEnergyJ, record.delivered);
 
   ++sessions_completed_;
   WRSN_LOG(Debug) << "genuine session on node " << node << " ["

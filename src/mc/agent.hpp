@@ -52,6 +52,10 @@ class ChargerAgent {
   ChargerAgent(const ChargerAgent&) = delete;
   ChargerAgent& operator=(const ChargerAgent&) = delete;
 
+  /// Flushes the completed-session tally to the installed obs registry in
+  /// one shot (the per-session path is hot under fleet scenarios).
+  ~ChargerAgent();
+
   /// Subscribes to world events and begins serving.  Call exactly once,
   /// before the simulation runs.
   void start();

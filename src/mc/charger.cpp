@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::mc {
 
@@ -21,6 +22,12 @@ void ChargerParams::validate() const {
 MobileCharger::MobileCharger(const ChargerParams& params)
     : params_(params), battery_(params.battery_capacity), pinned_pos_(params.depot) {
   params_.validate();
+}
+
+MobileCharger::~MobileCharger() {
+  WRSN_OBS_ADD(kMcTravelJ, ledger_.travel);
+  WRSN_OBS_ADD(kMcRadiatedGenuineJ, ledger_.radiated_genuine);
+  WRSN_OBS_ADD(kMcRadiatedSpoofedJ, ledger_.radiated_spoofed);
 }
 
 geom::Vec2 MobileCharger::position(Seconds now) const {

@@ -40,6 +40,14 @@ class MobileCharger {
  public:
   explicit MobileCharger(const ChargerParams& params);
 
+  MobileCharger(const MobileCharger&) = delete;
+  MobileCharger& operator=(const MobileCharger&) = delete;
+
+  /// Flushes the energy-ledger totals (travel, genuine/spoofed radiation)
+  /// to the installed obs registry in one shot; begin_travel and radiate
+  /// are called per leg and per session, too often for a write each.
+  ~MobileCharger();
+
   const ChargerParams& params() const { return params_; }
 
   /// Position at time `now` (interpolated while traveling).

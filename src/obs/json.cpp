@@ -1,0 +1,82 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wrsn::obs {
+
+namespace {
+
+void append_histogram(std::string& out, const Histogram& hist,
+                      const std::string& indent) {
+  out += "{\n";
+  out += indent + "  \"kind\": \"histogram\",\n";
+  out += indent + "  \"count\": " + json_number(double(hist.count())) + ",\n";
+  out += indent + "  \"sum\": " + json_number(hist.sum()) + ",\n";
+  out += indent + "  \"min\": " + json_number(hist.min()) + ",\n";
+  out += indent + "  \"max\": " + json_number(hist.max()) + ",\n";
+  out += indent + "  \"bounds\": [";
+  for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(hist.bounds()[i]);
+  }
+  out += "],\n";
+  out += indent + "  \"counts\": [";
+  for (std::size_t i = 0; i < hist.counts().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(double(hist.counts()[i]));
+  }
+  out += "]\n";
+  out += indent + "}";
+}
+
+void append_section(std::string& out, const std::vector<MetricRow>& rows,
+                    bool timing_section) {
+  bool first = true;
+  for (const MetricRow& row : rows) {
+    if (row.timing != timing_section) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"" + std::string(row.name) + "\": ";
+    if (row.hist != nullptr) {
+      append_histogram(out, *row.hist, "    ");
+    } else {
+      out += json_number(row.value);
+    }
+  }
+  if (!first) out += "\n";
+}
+
+}  // namespace
+
+std::string json_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string to_json(const MetricRegistry& registry,
+                    const JsonOptions& options) {
+  const std::vector<MetricRow> rows = registry.rows();
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"wrsn-metrics-v1\",\n";
+  out += "  \"deterministic\": {\n";
+  append_section(out, rows, /*timing_section=*/false);
+  out += "  }";
+  if (options.include_timing) {
+    out += ",\n  \"timing\": {\n";
+    append_section(out, rows, /*timing_section=*/true);
+    out += "  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace wrsn::obs

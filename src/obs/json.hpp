@@ -1,0 +1,34 @@
+// JSON export for MetricRegistry (schema "wrsn-metrics-v1").
+//
+// Layout:
+//   {
+//     "schema": "wrsn-metrics-v1",
+//     "deterministic": { "<name>": <number> | <histogram object>, ... },
+//     "timing":        { ... }
+//   }
+// Scalars (counters, gauges) are bare numbers; histograms are objects with
+// "kind", "count", "sum", "min", "max", "bounds", "counts".  The
+// "deterministic" section is a pure function of the simulated work and is
+// bit-identical across runs and thread counts; "timing" holds wall-clock
+// spans and varies run to run.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wrsn::obs {
+
+struct JsonOptions {
+  /// Emit the "timing" section (drop it for byte-comparable output).
+  bool include_timing = true;
+};
+
+std::string to_json(const MetricRegistry& registry,
+                    const JsonOptions& options = {});
+
+/// Deterministic number formatting: integers print without a decimal point,
+/// everything else round-trips via %.17g.
+std::string json_number(double value);
+
+}  // namespace wrsn::obs

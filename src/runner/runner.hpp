@@ -30,6 +30,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace wrsn::runner {
@@ -60,6 +61,13 @@ struct TrialOptions {
   std::uint64_t seed = 1;
   /// Fork label prefix; distinct labels give unrelated stream families.
   std::string_view label = "trial";
+  /// When set, every trial runs with its own shard `MetricRegistry`
+  /// installed as the thread-local current registry, and the shards are
+  /// merged into `*metrics` in submission order after the last trial — so
+  /// the merged registry is bit-identical at any thread count.  When null,
+  /// trials run with *no* registry installed (never the caller's), keeping
+  /// trial behavior independent of the calling thread's obs state.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 namespace detail {
@@ -92,10 +100,13 @@ auto run_trials(std::span<const Config> configs, Fn&& fn,
   std::vector<std::optional<Result>> slots(count);
   std::vector<std::exception_ptr> errors(count);
   std::vector<double> trial_seconds(count, 0.0);
+  std::vector<obs::MetricRegistry> shards(
+      options.metrics != nullptr ? count : 0);
   const auto started = std::chrono::steady_clock::now();
 
   const auto run_one = [&](std::size_t index) {
     const auto trial_started = std::chrono::steady_clock::now();
+    obs::ScopedRegistry obs_scope(shards.empty() ? nullptr : &shards[index]);
     try {
       Rng rng = base.fork(label + "/" + std::to_string(index));
       slots[index].emplace(fn(configs[index], rng));
@@ -115,6 +126,16 @@ auto run_trials(std::span<const Config> configs, Fn&& fn,
     pool.wait_idle();
   }
 
+  if (options.metrics != nullptr) {
+    // Submission-order fold: bit-identical regardless of worker scheduling.
+    for (std::size_t i = 0; i < count; ++i) {
+      options.metrics->merge(shards[i]);
+    }
+    options.metrics->add(obs::Metric::kRunnerTrials, double(count));
+    for (const double seconds : trial_seconds) {
+      options.metrics->observe(obs::Metric::kRunnerTrialNs, seconds * 1e9);
+    }
+  }
   if (stats != nullptr) {
     stats->trials = count;
     stats->threads = threads;

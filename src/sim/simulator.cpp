@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::sim {
+
+Simulator::~Simulator() {
+  // One-shot flush of the kernel tallies.  `next_seq_` increments on every
+  // schedule and `executed_` on every fire, so the hot paths pay only plain
+  // member updates; the registry sees the totals when the kernel dies
+  // (while the trial's ScopedRegistry is still installed).
+  WRSN_OBS_ADD(kSimEventsScheduled, double(next_seq_));
+  WRSN_OBS_ADD(kSimEventsFired, double(executed_));
+  WRSN_OBS_ADD(kSimEventsCancelled, double(cancelled_));
+  WRSN_OBS_ADD(kSimHeapCompactions, double(compactions_));
+  WRSN_OBS_GAUGE_MAX(kSimHeapPeak, double(heap_peak_));
+}
 
 EventId Simulator::schedule_at(Seconds at, EventCallback fn) {
   WRSN_REQUIRE(at >= now_, "cannot schedule into the past");
@@ -26,6 +39,7 @@ EventId Simulator::schedule_at(Seconds at, EventCallback fn) {
 
   heap_push(HeapEntry{at, next_seq_++, idx, slot.gen});
   ++live_;
+  heap_peak_ = std::max(heap_peak_, heap_.size());
   return make_id(idx, slot.gen);
 }
 
@@ -46,6 +60,7 @@ bool Simulator::cancel(EventId id) {
   release_slot(idx);  // generation bump turns the heap entry into a tombstone
   --live_;
   ++stale_;
+  ++cancelled_;
   if (stale_ * 2 > heap_.size()) compact();
   return true;
 }
@@ -149,6 +164,7 @@ void Simulator::sift_down(std::size_t i) {
 }
 
 void Simulator::compact() {
+  ++compactions_;
   std::size_t keep = 0;
   for (const HeapEntry& entry : heap_) {
     if (!entry_stale(entry)) heap_[keep++] = entry;

@@ -147,6 +147,10 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  /// Flushes the kernel tallies (events scheduled/fired/cancelled, heap
+  /// peak, compactions) to the installed obs registry in one shot — the
+  /// per-event paths are too hot for a registry write each.
+  ~Simulator();
 
   /// Current simulation time [s].
   Seconds now() const { return now_; }
@@ -243,6 +247,9 @@ class Simulator {
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t heap_peak_ = 0;
   std::size_t live_ = 0;
   std::size_t stale_ = 0;
   std::vector<Slot> slots_;

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::sim {
 namespace {
@@ -53,6 +54,15 @@ void WorldParams::validate() const {
   if (hardware_mtbf < 0.0) throw ConfigError("hardware_mtbf < 0");
   charging.validate();
   drain.radio.validate();
+}
+
+World::~World() {
+  WRSN_OBS_ADD(kWorldDeaths, double(deaths_tally_));
+  WRSN_OBS_ADD(kWorldRequests, double(requests_tally_));
+  WRSN_OBS_ADD(kWorldEscalations, double(escalations_tally_));
+  WRSN_OBS_ADD(kNetRoutingRepairs, double(update_stats_.repairs));
+  WRSN_OBS_ADD(kNetRoutingRebuilds, double(update_stats_.rebuilds));
+  WRSN_OBS_ADD(kNetDrainReschedules, double(update_stats_.reschedules));
 }
 
 World::World(Simulator& sim, net::Network network, const WorldParams& params,
@@ -368,6 +378,7 @@ void World::fire_death(net::NodeId id) {
   }
 
   retire_node(id);
+  ++deaths_tally_;
   trace_.deaths.push_back({sim_.now(), id, s.pending});
   WRSN_LOG(Debug) << "node " << id << " died at t=" << sim_.now()
                   << (s.pending ? " (request outstanding)" : "");
@@ -383,6 +394,7 @@ void World::fire_hardware_failure(net::NodeId id) {
   resync(id);
   s.battery.discharge(s.battery.level());  // component fault: node bricks
   retire_node(id);
+  ++deaths_tally_;
   trace_.deaths.push_back({sim_.now(), id, s.pending});
   WRSN_LOG(Debug) << "node " << id << " hardware failure at t=" << sim_.now();
   on_topology_change(id);
@@ -436,6 +448,7 @@ void World::fire_emergency(net::NodeId id) {
         s.escalation_event = sim_.schedule_at(
             s.escalation_deadline, [this, id] { fire_escalation(id); });
       }
+      ++requests_tally_;
       trace_.requests.push_back(
           {sim_.now(), id, s.battery.level(), /*emergency=*/true});
       for (const auto& listener : request_listeners_) listener(id);
@@ -454,6 +467,7 @@ void World::issue_request(net::NodeId id, bool emergency) {
   const Seconds patience =
       emergency ? params_.emergency_patience : params_.patience;
   s.escalation_deadline = sim_.now() + patience;
+  ++requests_tally_;
   trace_.requests.push_back({sim_.now(), id, s.battery.level(), emergency});
 
   if (s.escalation_event != kInvalidEvent) {
@@ -469,6 +483,7 @@ void World::fire_escalation(net::NodeId id) {
   NodeState& s = state(id);
   s.escalation_event = kInvalidEvent;  // this event just fired
   if (!s.alive || !s.pending) return;
+  ++escalations_tally_;
   trace_.escalations.push_back({sim_.now(), id});
   WRSN_LOG(Debug) << "escalation for node " << id << " at t=" << sim_.now();
   for (const auto& listener : escalation_listeners_) listener(id);
@@ -509,12 +524,17 @@ void World::on_topology_change(net::NodeId dead) {
                                       kRepairRebuildFraction)) {
     ++update_stats_.repairs;
     refresh_loads_and_drains_after_repair(dead);
+    WRSN_OBS_OBSERVE(kNetRepairAffectedFraction,
+                     states_.empty() ? 0.0
+                                     : double(dirty_ids_.size()) /
+                                           double(states_.size()));
     apply_drain_changes(dirty_ids_);
   } else {
     // Large blast radius: the repair declined; rebuild in place instead.
     net::rebuild_routing_tree(network_, alive_mask_, params_.routing, routing_,
                               scratch_);
     ++update_stats_.rebuilds;
+    WRSN_OBS_OBSERVE(kNetRepairAffectedFraction, 1.0);
     refresh_loads_and_drains();
     apply_drain_changes();
   }

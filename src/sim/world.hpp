@@ -144,6 +144,9 @@ class World {
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
+  /// Flushes the accumulated WorldUpdateStats (repairs, rebuilds, drain
+  /// reschedules) to the installed obs registry in one shot.
+  ~World();
 
   // --- static context -------------------------------------------------------
   const net::Network& network() const { return network_; }
@@ -317,6 +320,12 @@ class World {
   std::vector<net::NodeId> dirty_ids_;
   WorldUpdateStats update_stats_;
   Trace trace_;
+  // Observability tallies flushed by the destructor (the trace itself may
+  // be moved out by the caller before the World dies, so counts are kept
+  // separately; the per-event paths are too hot for a registry write each).
+  std::uint64_t deaths_tally_ = 0;
+  std::uint64_t requests_tally_ = 0;
+  std::uint64_t escalations_tally_ = 0;
   std::vector<std::function<void(net::NodeId)>> request_listeners_;
   std::vector<std::function<void(net::NodeId)>> death_listeners_;
   std::vector<std::function<void(net::NodeId)>> escalation_listeners_;

@@ -82,6 +82,34 @@ TEST(Stats, QuantileValidation) {
   EXPECT_THROW(quantile(v, 1.5), PreconditionError);
 }
 
+TEST(Stats, SortedQuantilesMatchesRepeatedQuantileCalls) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0, 9.0, 0.5};
+  const std::vector<double> qs =
+      sorted_quantiles(v, {0.0, 0.10, 0.25, 0.5, 0.75, 0.9, 1.0});
+  const std::vector<double> want{0.0, 0.10, 0.25, 0.5, 0.75, 0.9, 1.0};
+  ASSERT_EQ(qs.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(qs[i], quantile(v, want[i])) << "q=" << want[i];
+  }
+}
+
+TEST(Stats, SortedQuantilesBoundariesHitMinAndMax) {
+  const std::vector<double> v{7.0, -2.0, 3.5};
+  const std::vector<double> qs = sorted_quantiles(v, {0.0, 1.0});
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_DOUBLE_EQ(qs[0], -2.0);  // q=0 is exactly the sample minimum
+  EXPECT_DOUBLE_EQ(qs[1], 7.0);   // q=1 is exactly the sample maximum
+}
+
+TEST(Stats, SortedQuantilesSingleElementAndValidation) {
+  const std::vector<double> one{42.0};
+  const std::vector<double> qs = sorted_quantiles(one, {0.0, 0.5, 1.0});
+  for (const double q : qs) EXPECT_DOUBLE_EQ(q, 42.0);
+  EXPECT_THROW(sorted_quantiles({}, {0.5}), PreconditionError);
+  EXPECT_THROW(sorted_quantiles(one, {-0.1}), PreconditionError);
+  EXPECT_THROW(sorted_quantiles(one, {1.1}), PreconditionError);
+}
+
 TEST(Table, AlignsColumnsAndCountsRows) {
   Table t("demo");
   t.headers({"name", "value"});

@@ -381,5 +381,49 @@ TEST_P(EnergyDeltaThreshold, SpoofAlwaysCaughtAboveNoiseFloor) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, EnergyDeltaThreshold,
                          ::testing::Values(0.15, 0.2, 0.3, 0.4, 0.5));
 
+// Regression: the SoC-gauge noise draw for a session must be keyed by
+// (node, per-node session ordinal), not by the session's global index in
+// the trace.  A node's gauge cannot know how many sessions OTHER nodes had,
+// so inserting unrelated traffic earlier in the trace must not perturb its
+// noise stream.  Under the old global-index keying, prepending one benign
+// session on node 2 shifted every later draw and flipped borderline
+// verdicts; these traces are built borderline on purpose.
+TEST(MeteredNoise, UnrelatedEarlierSessionsDoNotPerturbVerdicts) {
+  Fixture f;
+  // Node 0: moderate shortfall sessions (CUSUM climbs ~2.0/session against
+  // h=4 and h=8, so the crossing time hinges on the exact noise draws),
+  // then one session sitting exactly at the EnergyDelta ratio threshold
+  // (the noise sign alone decides the verdict).
+  sim::Trace base;
+  for (int i = 0; i < 6; ++i) {
+    sim::SessionRecord s = f.benign_session(0, 1'000.0 * (i + 1));
+    s.delivered = 0.5 * s.expected_gain;
+    base.sessions.push_back(s);
+  }
+  sim::SessionRecord edge = f.benign_session(0, 10'000.0);
+  edge.delivered = 0.30 * edge.expected_gain;
+  base.sessions.push_back(edge);
+
+  sim::Trace prepended = base;
+  prepended.sessions.insert(prepended.sessions.begin(),
+                            f.benign_session(2, 10.0));
+
+  const EnergyDeltaDetector energy_delta;
+  const CusumShortfallDetector cusum;
+  const FleetCusumDetector fleet;
+  for (const Detector* detector :
+       {static_cast<const Detector*>(&energy_delta),
+        static_cast<const Detector*>(&cusum),
+        static_cast<const Detector*>(&fleet)}) {
+    const auto before = detector->analyze(base, f.ctx);
+    const auto after = detector->analyze(prepended, f.ctx);
+    ASSERT_EQ(before.has_value(), after.has_value()) << detector->name();
+    if (before.has_value()) {
+      EXPECT_DOUBLE_EQ(before->time, after->time) << detector->name();
+      EXPECT_EQ(before->node, after->node) << detector->name();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wrsn::detect

@@ -163,12 +163,46 @@ TEST(PerfTable, SummarizesStats) {
   EXPECT_DOUBLE_EQ(stats.speedup(), 1.5);
   const analysis::Table table = analysis::perf_table(stats, "perf");
   EXPECT_EQ(table.row_count(), 1u);
+}
 
-  RunStats other = stats;
-  analysis::merge_stats(stats, other);
-  EXPECT_EQ(stats.trials, 8u);
-  EXPECT_DOUBLE_EQ(stats.wall_seconds, 4.0);
-  EXPECT_EQ(stats.trial_seconds.size(), 8u);
+TEST(PerfTable, PhasedStatsKeepsPhasesAndCombinesHonestly) {
+  analysis::PhasedStats perf;
+  // Phase A: 4 trials of 1 s on 1 thread -> speedup 1.
+  RunStats* a = perf.phase("serial");
+  a->trials = 4;
+  a->threads = 1;
+  a->wall_seconds = 4.0;
+  a->trial_seconds = {1.0, 1.0, 1.0, 1.0};
+  // Phase B: 8 trials of 1 s on 8 threads -> speedup 8.
+  RunStats* b = perf.phase("parallel");
+  b->trials = 8;
+  b->threads = 8;
+  b->wall_seconds = 1.0;
+  b->trial_seconds = std::vector<double>(8, 1.0);
+
+  EXPECT_EQ(perf.phase_count(), 2u);
+  EXPECT_DOUBLE_EQ(perf.phase_stats(0).speedup(), 1.0);
+  EXPECT_DOUBLE_EQ(perf.phase_stats(1).speedup(), 8.0);
+
+  const RunStats combined = perf.combined();
+  EXPECT_EQ(combined.trials, 12u);
+  EXPECT_DOUBLE_EQ(combined.wall_seconds, 5.0);
+  EXPECT_EQ(combined.trial_seconds.size(), 12u);
+  // Sigma(trial-seconds) / Sigma(wall) = 12 / 5; the old merge_stats would
+  // have reported this row under threads = max(1, 8) = 8, implying the
+  // combined run scaled 8x when it spent 80 % of its wall clock serial.
+  EXPECT_DOUBLE_EQ(combined.speedup(), 2.4);
+  EXPECT_EQ(combined.threads, 0u);  // mixed thread counts
+
+  // Same thread count in all phases is reported as that count.
+  analysis::PhasedStats uniform;
+  *uniform.phase("x") = *a;
+  RunStats a2 = *a;
+  *uniform.phase("y") = std::move(a2);
+  EXPECT_EQ(uniform.combined().threads, 1u);
+
+  // Per-phase rows + combined row.
+  EXPECT_EQ(perf.table("perf").row_count(), 3u);
 }
 
 }  // namespace

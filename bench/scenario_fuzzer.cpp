@@ -1,0 +1,137 @@
+// scenario_fuzzer — randomized short missions under fault injection,
+// checked by differential, invariant, and liveness oracles (analysis/fuzz.hpp).
+//
+//   $ ./scenario_fuzzer --trials 2000 --seed 1
+//   $ WRSN_THREADS=8 ./scenario_fuzzer --trials 2000 --seed 1   # same digest
+//   $ ./scenario_fuzzer --repro 'faults.node_burst_mtbf=...;seed=42;...'
+//   $ ./scenario_fuzzer --self-test   # injected planner bug must be caught
+//
+// Every failing trial prints one `REPRO <line>` — replay it with --repro
+// here or with `wrsn_cli --repro` for the full mission report.  The final
+// `fuzz-digest` is bit-identical at any WRSN_THREADS; comparing digests
+// across thread counts pins the runner's determinism guarantee.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/fuzz.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: scenario_fuzzer [options]\n"
+      "  --trials <N>        number of randomized missions (default 2000)\n"
+      "  --seed <S>          campaign seed (default 1)\n"
+      "  --threads <T>       worker threads (default WRSN_THREADS / cores)\n"
+      "  --max-failures <K>  repro lines to print before truncating "
+      "(default 16)\n"
+      "  --repro <line>      replay one failing trial and print its "
+      "verdict\n"
+      "  --self-test         inject a planner bug; exits 0 only if the\n"
+      "                      differential oracle catches it\n"
+      "  --help              this text\n";
+}
+
+int replay(const std::string& line) {
+  const wrsn::analysis::FuzzOverrides overrides =
+      wrsn::analysis::parse_repro(line);
+  const wrsn::analysis::FuzzVerdict verdict =
+      wrsn::analysis::run_fuzz_trial(overrides);
+  std::cout << "repro: " << wrsn::analysis::format_repro(overrides) << "\n";
+  if (verdict.ok()) {
+    std::cout << "all oracles passed (digest " << verdict.digest << ")\n";
+    return 0;
+  }
+  for (const std::string& failure : verdict.failures) {
+    std::cout << "FAIL " << failure << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  std::size_t trials = 2000;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+  std::size_t max_failures = 16;
+  bool self_test = false;
+  std::string repro_line;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trials") {
+      trials = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--max-failures") {
+      max_failures = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--repro") {
+      repro_line = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!repro_line.empty()) return replay(repro_line);
+
+    if (self_test) {
+      // The oracles must catch a deliberately broken planner; a clean
+      // self-test run means the harness is blind, which is itself a failure.
+      const std::size_t self_trials = std::min<std::size_t>(trials, 50);
+      const analysis::FuzzReport report = analysis::run_fuzz_campaign(
+          self_trials, seed, threads, /*inject_divergence=*/true,
+          max_failures);
+      std::cout << "self-test: " << report.failed_trials << "/"
+                << report.trials << " trials caught the injected bug\n";
+      if (report.ok()) {
+        std::cerr << "self-test FAILED: oracles missed the injected "
+                     "planner bug\n";
+        return 1;
+      }
+      std::cout << "example REPRO " << report.repro_lines.front() << "\n";
+      std::cout << "example failure: " << report.first_failures.front()
+                << "\n";
+      return 0;
+    }
+
+    const analysis::FuzzReport report =
+        analysis::run_fuzz_campaign(trials, seed, threads,
+                                    /*inject_divergence=*/false, max_failures);
+    for (std::size_t i = 0; i < report.repro_lines.size(); ++i) {
+      std::cout << "REPRO " << report.repro_lines[i] << "\n";
+      std::cout << "  first failure: " << report.first_failures[i] << "\n";
+    }
+    if (report.failed_trials > report.repro_lines.size()) {
+      std::cout << "(+" << report.failed_trials - report.repro_lines.size()
+                << " more failing trials truncated)\n";
+    }
+    std::cout << "fuzz-trials " << report.trials << "\n";
+    std::cout << "fuzz-failures " << report.failed_trials << "\n";
+    std::cout << "fuzz-digest " << report.digest << "\n";
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -2,15 +2,19 @@
 //
 //   $ ./wrsn_cli [--config file.ini] [--mode benign|attack] [--fleet N]
 //                [--compromised K] [--export prefix] [--seed S]
+//                [--repro '<line>']
 //
 // Loads the calibrated defaults, applies the optional config file and flag
 // overrides, runs one mission, prints the report, and (with --export) dumps
-// the full trace as CSV for external analysis.
+// the full trace as CSV for external analysis.  --repro takes a failing
+// trial line printed by scenario_fuzzer and replays exactly that mission
+// (the line's `mode`/`seed` win over the matching flags).
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "analysis/config_io.hpp"
+#include "analysis/fuzz.hpp"
 #include "analysis/metrics_io.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/table.hpp"
@@ -31,6 +35,7 @@ void usage() {
       "escalations}.csv\n"
       "  --metrics <file.json> collect obs metrics during the run; print the\n"
       "                        table and write the wrsn-metrics-v1 JSON\n"
+      "  --repro <line>        replay a scenario_fuzzer repro line (k=v;k=v)\n"
       "  --help                this text\n";
 }
 
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
   std::string mode = "attack";
   std::string export_prefix;
   std::string metrics_path;
+  std::string repro_line;
   std::size_t fleet = 1;
   std::size_t compromised = SIZE_MAX;
   bool compromised_set = false;
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
       export_prefix = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--repro") {
+      repro_line = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -88,6 +96,14 @@ int main(int argc, char** argv) {
     analysis::ScenarioConfig cfg =
         config_path.empty() ? analysis::default_scenario()
                             : analysis::load_config_file(config_path);
+    if (!repro_line.empty()) {
+      analysis::FuzzOverrides overrides = analysis::parse_repro(repro_line);
+      if (const auto it = overrides.find("mode"); it != overrides.end()) {
+        mode = it->second;
+        overrides.erase(it);
+      }
+      cfg = analysis::apply_config(cfg, overrides);
+    }
     if (seed_set) cfg.seed = seed;
 
     obs::MetricRegistry metrics;

@@ -179,6 +179,14 @@ ScenarioConfig apply_config(
        [&](const std::string& k, const std::string& v) {
          cfg.world.drain.sensing_power = to_double(k, v);
        }},
+      {"world.initial_level_min",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.initial_level_min = to_double(k, v);
+       }},
+      {"world.initial_level_max",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.initial_level_max = to_double(k, v);
+       }},
       {"world.source_power",
        [&](const std::string& k, const std::string& v) {
          cfg.world.charging.source_power = to_double(k, v);
@@ -221,6 +229,67 @@ ScenarioConfig apply_config(
        [&](const std::string& k, const std::string& v) {
          cfg.attack.lookahead = to_double(k, v);
        }},
+      // faults
+      {"faults.mc_breakdown_mtbf",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.mc_breakdown_mtbf = to_double(k, v);
+       }},
+      {"faults.mc_repair_mean",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.mc_repair_mean = to_double(k, v);
+       }},
+      {"faults.mc_budget_loss",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.mc_budget_loss = to_double(k, v);
+       }},
+      {"faults.mc_permanent_at",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.mc_permanent_at = to_double(k, v);
+       }},
+      {"faults.node_burst_mtbf",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.node_burst_mtbf = to_double(k, v);
+       }},
+      {"faults.node_burst_size",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.node_burst_size = to_size(k, v);
+       }},
+      {"faults.phase_noise_mtbf",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.phase_noise_mtbf = to_double(k, v);
+       }},
+      {"faults.phase_noise_duration",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.phase_noise_duration = to_double(k, v);
+       }},
+      {"faults.phase_noise_scale",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.phase_noise_scale = to_double(k, v);
+       }},
+      {"faults.escalation_drop_prob",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.escalation_drop_prob = to_double(k, v);
+       }},
+      {"faults.escalation_delay_prob",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.escalation_delay_prob = to_double(k, v);
+       }},
+      {"faults.escalation_delay_max",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.escalation_delay_max = to_double(k, v);
+       }},
+      {"faults.battery_drift_mtbf",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.battery_drift_mtbf = to_double(k, v);
+       }},
+      {"faults.battery_drift_power",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.battery_drift_power = to_double(k, v);
+       }},
+      {"faults.battery_drift_duration",
+       [&](const std::string& k, const std::string& v) {
+         cfg.faults.battery_drift_duration = to_double(k, v);
+       }},
       // run
       {"horizon",
        [&](const std::string& k, const std::string& v) {
@@ -244,6 +313,10 @@ ScenarioConfig apply_config(
     }
     it->second(key, value);
   }
+  // Fault parameters carry cross-field constraints (e.g. drop + delay
+  // probabilities summing past 1), so the whole section validates at load
+  // time rather than at the first run_scenario call.
+  cfg.faults.validate();
   return cfg;
 }
 

@@ -1,9 +1,69 @@
 #include "analysis/scenario.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 #include "mc/fleet.hpp"
 
 namespace wrsn::analysis {
+namespace {
+
+/// Builds the fault injector for one mission (null when faults are off):
+/// compiles the schedule from its own fork of the scenario rng and wires
+/// the MC-level hooks to whichever agent drives the (possibly compromised)
+/// vehicle.  Fleet runs route MC faults to the compromised vehicle when
+/// present, else the first vehicle.
+std::unique_ptr<fault::FaultInjector> arm_faults(
+    const ScenarioConfig& config, sim::World& world, const Rng& rng,
+    mc::ChargerAgent* benign, csa::AttackAgent* attacker) {
+  if (!config.faults.any()) return nullptr;
+  fault::FaultPlan plan =
+      fault::FaultPlan::compile(config.faults, config.horizon,
+                                world.network().size(), rng.fork("faults"));
+  fault::FaultHooks hooks;
+  if (attacker != nullptr) {
+    hooks.mc_breakdown = [attacker](double loss, bool permanent) {
+      attacker->fault_breakdown(loss, permanent);
+    };
+    hooks.mc_repair = [attacker] { attacker->fault_repair(); };
+    hooks.phase_noise = [attacker](double scale) {
+      attacker->fault_phase_noise(scale);
+    };
+  } else if (benign != nullptr) {
+    hooks.mc_breakdown = [benign](double loss, bool permanent) {
+      benign->fault_breakdown(loss, permanent);
+    };
+    hooks.mc_repair = [benign] { benign->fault_repair(); };
+    // Phase noise degrades the spoofing payload; a benign fleet absorbs it.
+  }
+  auto injector = std::make_unique<fault::FaultInjector>(
+      world, std::move(plan), std::move(hooks), rng.fork("fault-exec"));
+  injector->arm();
+  return injector;
+}
+
+void finish_result(ScenarioResult& result, sim::World& world,
+                   const sim::Simulator& simulator,
+                   const fault::FaultInjector* injector) {
+  result.alive_at_end = world.alive_count();
+  result.sink_connected_at_end = world.sink_connected_count();
+  result.events_executed = simulator.executed();
+  if (injector != nullptr) result.fault_stats = injector->stats();
+  double min_frac = 1.0, max_frac = 0.0;
+  bool any_alive = false;
+  for (net::NodeId id = 0; id < world.network().size(); ++id) {
+    if (!world.alive(id)) continue;
+    any_alive = true;
+    const double frac = world.level_fraction(id);
+    min_frac = std::min(min_frac, frac);
+    max_frac = std::max(max_frac, frac);
+  }
+  result.min_final_level_fraction = any_alive ? min_frac : 0.0;
+  result.max_final_level_fraction = any_alive ? max_frac : 0.0;
+}
+
+}  // namespace
 
 ScenarioConfig default_scenario() {
   ScenarioConfig cfg;
@@ -105,6 +165,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
     result.keys = attacker->key_targets();
   }
 
+  const std::unique_ptr<fault::FaultInjector> injector =
+      arm_faults(config, world, rng, benign.get(), attacker.get());
+
   simulator.run_until(config.horizon);
 
   // The defender calibrates its death-rate bound to the fleet's known
@@ -131,8 +194,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
   result.detections = suite.run(world.trace(), ctx);
   result.report = csa::build_report(world.network(), world.trace(),
                                     result.keys, result.detections);
-  result.alive_at_end = world.alive_count();
-  result.sink_connected_at_end = world.sink_connected_count();
+  finish_result(result, world, simulator, injector.get());
   if (mode == ChargerMode::Benign) {
     result.ledger = benign->charger().ledger();
   } else {
@@ -192,6 +254,11 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
                                         config.attack.key_selection);
   }
 
+  const std::unique_ptr<fault::FaultInjector> injector = arm_faults(
+      config, world, rng,
+      benign_agents.empty() ? nullptr : benign_agents.front().get(),
+      attacker.get());
+
   simulator.run_until(config.horizon);
 
   // The defender calibrates its death-rate bound to the fleet's known
@@ -218,8 +285,7 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
   result.detections = suite.run(world.trace(), ctx);
   result.report = csa::build_report(world.network(), world.trace(),
                                     result.keys, result.detections);
-  result.alive_at_end = world.alive_count();
-  result.sink_connected_at_end = world.sink_connected_count();
+  finish_result(result, world, simulator, injector.get());
   if (attacker != nullptr) {
     result.ledger = attacker->charger().ledger();
     result.plans_computed = attacker->plans_computed();

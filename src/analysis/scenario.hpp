@@ -11,6 +11,7 @@
 #include "core/orchestrator.hpp"
 #include "core/report.hpp"
 #include "detect/detectors.hpp"
+#include "fault/fault.hpp"
 #include "mc/agent.hpp"
 #include "net/topology.hpp"
 #include "sim/world.hpp"
@@ -30,6 +31,10 @@ struct ScenarioConfig {
   /// Deploy the hardened detector suite (coulomb-counter defenses) instead
   /// of the standard one.
   bool hardened_detectors = false;
+  /// Deterministic fault injection ([faults] INI section); all kinds
+  /// disabled by default.  The schedule is compiled from rng.fork("faults"),
+  /// so it is identical across world update modes and planner choices.
+  fault::FaultParams faults;
 };
 
 /// Everything a bench needs from one simulated mission.
@@ -43,6 +48,15 @@ struct ScenarioResult {
   std::size_t sink_connected_at_end = 0;
   mc::EnergyLedger ledger;
   std::uint64_t plans_computed = 0;
+  /// Fault-injection tallies (all zero when faults are disabled).
+  fault::FaultStats fault_stats;
+  /// Kernel events executed over the whole mission — the fuzzer's liveness
+  /// oracle bounds this to catch event-loop spins.
+  std::uint64_t events_executed = 0;
+  /// Min/max true battery fraction over nodes still alive at the horizon
+  /// (0 when none survive) — the fuzzer's battery-bounds oracle.
+  double min_final_level_fraction = 0.0;
+  double max_final_level_fraction = 0.0;
 };
 
 /// Calibrated default configuration (see DESIGN.md for the derivation):

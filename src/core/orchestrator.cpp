@@ -143,6 +143,57 @@ void AttackAgent::on_death(net::NodeId id) {
   }
 }
 
+void AttackAgent::fault_breakdown(double budget_loss, bool permanent) {
+  WRSN_REQUIRE(budget_loss >= 0.0 && budget_loss <= 1.0,
+               "budget_loss must be in [0, 1]");
+  if (broken_) {
+    permanently_broken_ = permanently_broken_ || permanent;
+    return;
+  }
+  broken_ = true;
+  permanently_broken_ = permanent;
+  const Seconds now = world_.simulator().now();
+  switch (state_) {
+    case State::Traveling:
+    case State::ToDepot:
+      mc_.halt(now);
+      ++event_version_;  // invalidate the in-flight arrival event
+      target_ = net::kInvalidNode;
+      break;
+    case State::Charging:
+      // Truncate the session cleanly (spoofed or genuine); replan at the
+      // session tail no-ops on broken_.
+      end_session(++event_version_);
+      break;
+    case State::DepotCharging:
+      ++event_version_;  // invalidate the depot-completion event
+      break;
+    case State::Idle:
+    case State::Broken:
+      break;
+  }
+  mc_.damage(budget_loss * mc_.params().battery_capacity);
+  state_ = State::Broken;
+  WRSN_LOG(Debug) << "attacker vehicle breakdown at t=" << now
+                  << (permanent ? " (permanent)" : "");
+}
+
+void AttackAgent::fault_repair() {
+  if (!broken_ || permanently_broken_) return;
+  broken_ = false;
+  state_ = State::Idle;
+  WRSN_LOG(Debug) << "attacker vehicle repaired at t="
+                  << world_.simulator().now();
+  if (started_) replan();
+}
+
+void AttackAgent::fault_phase_noise(double scale) {
+  WRSN_REQUIRE(scale > 0.0, "phase noise scale must be > 0");
+  wpt::SpoofingParams degraded = params_.spoofing;
+  degraded.phase_jitter_sigma *= scale;
+  emitter_.emplace(world_.charging_model(), degraded);
+}
+
 bool AttackAgent::kill_paced_out(Seconds death_at) const {
   if (params_.pace_limit == 0) return false;
   // Simulate the defender's trailing window: after adding this kill, does
@@ -286,6 +337,7 @@ void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
 }
 
 void AttackAgent::replan() {
+  if (broken_) return;  // a broken vehicle plans nothing until repaired
   WRSN_ASSERT(state_ == State::Idle);
   const Seconds now = world_.simulator().now();
 

@@ -112,8 +112,24 @@ class AttackAgent {
   std::uint64_t spoofed_sessions() const { return spoofed_sessions_; }
   std::uint64_t plans_computed() const { return plans_computed_; }
 
+  // --- fault-injection hooks -------------------------------------------------
+  /// MC component fault: halts on the spot, truncates any active session,
+  /// drains `budget_loss` of the battery capacity, and stops planning until
+  /// repaired.  `permanent` means no repair will follow.  Idempotent while
+  /// already broken.
+  void fault_breakdown(double budget_loss, bool permanent);
+  /// Repair complete: resumes the campaign from the breakdown position.
+  /// No-op when not broken or when the breakdown was permanent.
+  void fault_repair();
+  bool broken() const { return broken_; }
+  /// Phase-calibration degradation: sets the spoofing emitter's phase
+  /// jitter to `scale` times the configured baseline (1.0 restores it).
+  /// Takes effect from the next spoofed session.
+  void fault_phase_noise(double scale);
+
  private:
-  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging };
+  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging,
+                     Broken };
 
   bool is_key(net::NodeId id) const {
     return key_set_.find(id) != key_set_.end();
@@ -168,6 +184,8 @@ class AttackAgent {
 
   State state_ = State::Idle;
   bool started_ = false;
+  bool broken_ = false;
+  bool permanently_broken_ = false;
   net::NodeId target_ = net::kInvalidNode;
   std::uint64_t event_version_ = 0;
 

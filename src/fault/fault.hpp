@@ -1,0 +1,152 @@
+// Deterministic fault-injection: typed fault schedules compiled from a
+// forked RNG.
+//
+// A `FaultPlan` is the full fault schedule of one trial — MC breakdown/repair
+// intervals, node hardware-failure bursts, spoofing phase-calibration noise
+// windows, battery self-discharge drifts — compiled up front by
+// `FaultPlan::compile` as a pure function of (FaultParams, horizon,
+// node_count, rng).  The plan is mode-independent: the Fast and Reference
+// world updaters receive bit-identical fault schedules, so the
+// world-equivalence and fuzzer differential oracles hold under faults too.
+// Execution (scheduling the plan into a live simulator and routing each
+// fault to the world or an agent hook) lives in fault/injector.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace wrsn::fault {
+
+/// Tunable fault model, loaded from the `[faults]` INI section.  Every rate
+/// is a mean time between faults [s]; 0 disables that fault kind.
+struct FaultParams {
+  /// MC component faults: the vehicle halts on the spot, aborts any session,
+  /// and loses `mc_budget_loss` of its battery capacity (the breakdown and
+  /// the tow/diagnosis drain its travel budget).
+  Seconds mc_breakdown_mtbf = 0.0;
+  /// Mean repair time after a breakdown [s].
+  Seconds mc_repair_mean = 3'600.0;
+  /// Battery-capacity fraction lost per breakdown.
+  double mc_budget_loss = 0.10;
+  /// When > 0, the MC dies permanently at this absolute time (no repair) —
+  /// the liveness-oracle scenario.  Overlaps with stochastic breakdown
+  /// intervals are normalized away deterministically.
+  Seconds mc_permanent_at = 0.0;
+
+  /// Correlated hardware-failure bursts (a bad batch, a lightning strike):
+  /// each burst bricks `node_burst_size` randomly chosen alive nodes at once.
+  Seconds node_burst_mtbf = 0.0;
+  std::size_t node_burst_size = 2;
+
+  /// Spoofing phase-calibration degradation windows: the attacker's carrier
+  /// phase jitter is multiplied by `phase_noise_scale` for
+  /// `phase_noise_duration` seconds (thermal drift, oscillator aging).
+  /// Benign runs absorb these (no emitter to degrade).
+  Seconds phase_noise_mtbf = 0.0;
+  Seconds phase_noise_duration = 1'800.0;
+  double phase_noise_scale = 25.0;
+
+  /// Emergency-escalation tampering at the base-station uplink: each
+  /// escalation report is independently dropped with `escalation_drop_prob`,
+  /// else delayed once by uniform(0, escalation_delay_max] with
+  /// `escalation_delay_prob`.
+  double escalation_drop_prob = 0.0;
+  double escalation_delay_prob = 0.0;
+  Seconds escalation_delay_max = 1'800.0;
+
+  /// Battery self-discharge drift: a randomly chosen node gains an unmetered
+  /// parasitic drain of `battery_drift_power` watts (aging cell, moisture
+  /// leakage).  The node's own SoC estimate does not see it — believed and
+  /// true level diverge, exactly the gap the attack exploits.  Duration 0
+  /// means permanent.
+  Seconds battery_drift_mtbf = 0.0;
+  Watts battery_drift_power = 5e-3;
+  Seconds battery_drift_duration = 0.0;
+
+  /// True when any fault kind is enabled (compiling a plan can do work).
+  bool any() const;
+  /// Throws ConfigError on out-of-range values (negative rates/durations,
+  /// probabilities outside [0, 1], drop + delay > 1, ...).
+  void validate() const;
+};
+
+/// Non-breakdown fault kinds scheduled as point events.
+enum class FaultKind : std::uint8_t {
+  NodeBurst,     ///< brick `count` random alive nodes
+  PhaseNoise,    ///< scale spoofing phase jitter for `duration` seconds
+  BatteryDrift,  ///< parasitic drain of `magnitude` W on one random node
+};
+
+/// One scheduled point fault.
+struct FaultEvent {
+  Seconds time = 0.0;
+  FaultKind kind = FaultKind::NodeBurst;
+  Seconds duration = 0.0;    ///< PhaseNoise / BatteryDrift window length
+  std::size_t count = 0;     ///< NodeBurst victim count
+  double magnitude = 0.0;    ///< PhaseNoise scale / BatteryDrift watts
+};
+
+/// One MC outage; `end` is +inf for a permanent breakdown.
+struct Outage {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+/// Per-kind injection tallies; `absorbed` counts faults that found no
+/// target (no hook installed, victim already dead, duplicate victim).
+struct FaultStats {
+  std::uint64_t mc_breakdowns = 0;
+  std::uint64_t mc_repairs = 0;
+  std::uint64_t node_burst_kills = 0;
+  std::uint64_t phase_noise_windows = 0;
+  std::uint64_t escalations_dropped = 0;
+  std::uint64_t escalations_delayed = 0;
+  std::uint64_t drift_nodes = 0;
+  std::uint64_t absorbed = 0;
+
+  std::uint64_t injected_total() const {
+    return mc_breakdowns + mc_repairs + node_burst_kills +
+           phase_noise_windows + escalations_dropped + escalations_delayed +
+           drift_nodes;
+  }
+};
+
+/// A compiled fault schedule: MC outages plus point events, both ascending
+/// in time.  Pure data — replayable, comparable, mode-independent.
+struct FaultPlan {
+  std::vector<Outage> mc_outages;
+  /// Battery-capacity fraction the MC loses per breakdown.
+  double mc_budget_loss = 0.0;
+  std::vector<FaultEvent> events;
+  /// Escalation tampering is decided per escalation at execution time (the
+  /// schedule cannot know when escalations fire); the compiled plan only
+  /// carries the probabilities.
+  double escalation_drop_prob = 0.0;
+  double escalation_delay_prob = 0.0;
+  Seconds escalation_delay_max = 0.0;
+
+  bool empty() const {
+    return mc_outages.empty() && events.empty() &&
+           escalation_drop_prob <= 0.0 && escalation_delay_prob <= 0.0;
+  }
+
+  /// Compiles the schedule for one trial.  Pure function of the arguments:
+  /// per-kind child streams are forked from `rng` by label, so adding draws
+  /// to one fault kind never perturbs another.  Throws ConfigError when
+  /// `params` fails validation.
+  static FaultPlan compile(const FaultParams& params, Seconds horizon,
+                           std::size_t node_count, Rng rng);
+
+  /// Merges overlapping/adjacent raw outages into disjoint ascending
+  /// intervals, then applies the permanent breakdown: intervals are
+  /// truncated at `permanent_at` (> 0) and a final infinite outage is
+  /// appended.  Deterministic: stable order, no RNG.  Exposed for tests.
+  static std::vector<Outage> normalize_outages(std::vector<Outage> raw,
+                                               Seconds permanent_at);
+};
+
+}  // namespace wrsn::fault

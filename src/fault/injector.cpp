@@ -1,0 +1,153 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace wrsn::fault {
+
+FaultInjector::FaultInjector(sim::World& world, FaultPlan plan,
+                             FaultHooks hooks, Rng rng)
+    : world_(world),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      burst_rng_(rng.fork("burst-exec")),
+      drift_rng_(rng.fork("drift-exec")),
+      escalation_rng_(rng.fork("escalation-exec")) {}
+
+FaultInjector::~FaultInjector() {
+  WRSN_OBS_ADD(kFaultMcBreakdowns, double(stats_.mc_breakdowns));
+  WRSN_OBS_ADD(kFaultMcRepairs, double(stats_.mc_repairs));
+  WRSN_OBS_ADD(kFaultNodeBurstKills, double(stats_.node_burst_kills));
+  WRSN_OBS_ADD(kFaultPhaseNoiseWindows, double(stats_.phase_noise_windows));
+  WRSN_OBS_ADD(kFaultEscalationsDropped,
+               double(stats_.escalations_dropped));
+  WRSN_OBS_ADD(kFaultEscalationsDelayed,
+               double(stats_.escalations_delayed));
+  WRSN_OBS_ADD(kFaultDriftNodes, double(stats_.drift_nodes));
+  WRSN_OBS_ADD(kFaultAbsorbed, double(stats_.absorbed));
+}
+
+void FaultInjector::arm() {
+  WRSN_REQUIRE(!armed_, "fault injector already armed");
+  armed_ = true;
+  sim::Simulator& sim = world_.simulator();
+  const Seconds now = sim.now();
+
+  for (const Outage& outage : plan_.mc_outages) {
+    const bool permanent = !std::isfinite(outage.end);
+    sim.schedule_at(std::max(now, outage.start), [this, permanent] {
+      if (hooks_.mc_breakdown) {
+        hooks_.mc_breakdown(plan_.mc_budget_loss, permanent);
+        ++stats_.mc_breakdowns;
+      } else {
+        ++stats_.absorbed;
+      }
+    });
+    if (!permanent) {
+      sim.schedule_at(std::max(now, outage.end), [this] {
+        if (hooks_.mc_repair) {
+          hooks_.mc_repair();
+          ++stats_.mc_repairs;
+        } else {
+          ++stats_.absorbed;
+        }
+      });
+    }
+  }
+
+  for (const FaultEvent& ev : plan_.events) {
+    sim.schedule_at(std::max(now, ev.time),
+                    [this, ev] { fire_event(ev); });
+  }
+
+  if (plan_.escalation_drop_prob > 0.0 || plan_.escalation_delay_prob > 0.0) {
+    world_.set_escalation_interceptor(
+        [this](net::NodeId id) { return intercept_escalation(id); });
+  }
+}
+
+void FaultInjector::fire_event(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::NodeBurst:
+      fire_node_burst(ev.count);
+      break;
+    case FaultKind::PhaseNoise: {
+      if (!hooks_.phase_noise) {
+        ++stats_.absorbed;
+        break;
+      }
+      hooks_.phase_noise(ev.magnitude);
+      ++stats_.phase_noise_windows;
+      world_.simulator().schedule_at(
+          world_.simulator().now() + ev.duration, [this] {
+            if (hooks_.phase_noise) hooks_.phase_noise(1.0);
+          });
+      break;
+    }
+    case FaultKind::BatteryDrift:
+      fire_battery_drift(ev.magnitude, ev.duration);
+      break;
+  }
+}
+
+void FaultInjector::fire_node_burst(std::size_t count) {
+  const std::size_t n = world_.network().size();
+  if (n == 0) {
+    ++stats_.absorbed;
+    return;
+  }
+  // Victims are drawn over ALL node ids (dead draws are absorbed), so the
+  // draw sequence never depends on the alive set — one fewer coupling to
+  // reason about when pinning Fast to Reference.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<net::NodeId>(
+        burst_rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (world_.inject_hardware_failure(id)) {
+      ++stats_.node_burst_kills;
+    } else {
+      ++stats_.absorbed;
+    }
+  }
+}
+
+void FaultInjector::fire_battery_drift(Watts power, Seconds duration) {
+  const std::size_t n = world_.network().size();
+  if (n == 0) {
+    ++stats_.absorbed;
+    return;
+  }
+  const auto id = static_cast<net::NodeId>(
+      drift_rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  if (!world_.set_self_discharge(id, power)) {
+    ++stats_.absorbed;
+    return;
+  }
+  ++stats_.drift_nodes;
+  WRSN_LOG(Debug) << "battery drift of " << power << " W on node " << id;
+  if (duration > 0.0) {
+    world_.simulator().schedule_at(
+        world_.simulator().now() + duration,
+        [this, id] { world_.set_self_discharge(id, 0.0); });
+  }
+}
+
+sim::EscalationDecision FaultInjector::intercept_escalation(net::NodeId id) {
+  (void)id;
+  const double u = escalation_rng_.uniform();
+  if (u < plan_.escalation_drop_prob) {
+    ++stats_.escalations_dropped;
+    return {sim::EscalationAction::Drop, 0.0};
+  }
+  if (u < plan_.escalation_drop_prob + plan_.escalation_delay_prob) {
+    ++stats_.escalations_delayed;
+    const Seconds delay =
+        escalation_rng_.uniform(0.0, plan_.escalation_delay_max);
+    return {sim::EscalationAction::Delay, delay};
+  }
+  return {sim::EscalationAction::Deliver, 0.0};
+}
+
+}  // namespace wrsn::fault

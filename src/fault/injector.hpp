@@ -1,0 +1,73 @@
+// Executes a compiled FaultPlan against a live world.
+//
+// The injector schedules every planned fault into the world's event kernel
+// and routes it at fire time: node faults go straight to the World's fault
+// API, MC faults and phase noise go through `FaultHooks` (std::function
+// hooks wired by the scenario layer to whichever charging agent drives the
+// vehicle — the fault library never depends on mc/ or core/).  A fault with
+// no installed hook or no live victim is ABSORBED, not an error: the same
+// plan must replay cleanly against any scenario.
+//
+// Determinism: victim selection and escalation-tampering decisions draw from
+// per-concern child streams forked from the injector's rng at construction.
+// Fault fire times come from the compiled plan (identical across world
+// update modes), and within one concern the draws happen in fire order —
+// which the world-equivalence guarantees keep identical across modes — so a
+// faulted Fast trace still matches its Reference twin.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "sim/world.hpp"
+
+namespace wrsn::fault {
+
+/// Agent-side fault surface; unset hooks absorb their faults.
+struct FaultHooks {
+  /// MC component fault: halt, abort any session, lose `budget_loss`
+  /// (fraction of battery capacity).  `permanent` means no repair follows.
+  std::function<void(double budget_loss, bool permanent)> mc_breakdown;
+  /// Repair complete: the vehicle resumes planning.
+  std::function<void()> mc_repair;
+  /// Phase-calibration degradation: set the spoofing phase jitter to
+  /// `scale` times its configured baseline (1.0 restores it).
+  std::function<void(double scale)> phase_noise;
+};
+
+/// Schedules a FaultPlan into the world's simulator and tallies outcomes.
+class FaultInjector {
+ public:
+  FaultInjector(sim::World& world, FaultPlan plan, FaultHooks hooks, Rng rng);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Flushes the fault tallies to the installed obs registry in one shot.
+  ~FaultInjector();
+
+  /// Schedules every planned fault (times clamped to >= now) and installs
+  /// the escalation interceptor when tampering is enabled.  Call exactly
+  /// once, before the simulation runs.
+  void arm();
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void fire_event(const FaultEvent& ev);
+  void fire_node_burst(std::size_t count);
+  void fire_battery_drift(Watts power, Seconds duration);
+  sim::EscalationDecision intercept_escalation(net::NodeId id);
+
+  sim::World& world_;
+  FaultPlan plan_;
+  FaultHooks hooks_;
+  Rng burst_rng_;
+  Rng drift_rng_;
+  Rng escalation_rng_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace wrsn::fault

@@ -65,7 +65,53 @@ void ChargerAgent::on_request(net::NodeId id) {
     case State::ToDepot:
     case State::DepotCharging:
       break;  // request stays pending; picked up at the next plan_next()
+    case State::Broken:
+      break;  // request stays pending until the vehicle is repaired
   }
+}
+
+void ChargerAgent::fault_breakdown(double budget_loss, bool permanent) {
+  WRSN_REQUIRE(budget_loss >= 0.0 && budget_loss <= 1.0,
+               "budget_loss must be in [0, 1]");
+  if (broken_) {
+    permanently_broken_ = permanently_broken_ || permanent;
+    return;
+  }
+  broken_ = true;
+  permanently_broken_ = permanent;
+  const Seconds now = world_.simulator().now();
+  switch (state_) {
+    case State::Traveling:
+    case State::ToDepot:
+      mc_.halt(now);
+      ++event_version_;  // invalidate the in-flight arrival event
+      target_ = net::kInvalidNode;
+      break;
+    case State::Charging:
+      // Truncate the session cleanly: the node is told service ended and
+      // credits only the expected gain of the shortened stay.  plan_next at
+      // the session tail no-ops on broken_.
+      end_session(++event_version_, /*truncated=*/true);
+      break;
+    case State::DepotCharging:
+      ++event_version_;  // invalidate the depot-completion event
+      break;
+    case State::Idle:
+    case State::Broken:
+      break;
+  }
+  mc_.damage(budget_loss * mc_.params().battery_capacity);
+  state_ = State::Broken;
+  WRSN_LOG(Debug) << "charger breakdown at t=" << now
+                  << (permanent ? " (permanent)" : "");
+}
+
+void ChargerAgent::fault_repair() {
+  if (!broken_ || permanently_broken_) return;
+  broken_ = false;
+  state_ = State::Idle;
+  WRSN_LOG(Debug) << "charger repaired at t=" << world_.simulator().now();
+  if (started_) plan_next();
 }
 
 void ChargerAgent::on_death(net::NodeId id) {
@@ -84,6 +130,7 @@ void ChargerAgent::on_death(net::NodeId id) {
 }
 
 void ChargerAgent::plan_next() {
+  if (broken_) return;  // a broken vehicle plans nothing until repaired
   WRSN_ASSERT(state_ == State::Idle);
 
   if (mc_.battery_fraction() < params_.battery_reserve_fraction) {

@@ -63,8 +63,20 @@ class ChargerAgent {
   const MobileCharger& charger() const { return mc_; }
   std::uint64_t sessions_completed() const { return sessions_completed_; }
 
+  // --- fault-injection hooks -------------------------------------------------
+  /// MC component fault: halts on the spot, truncates any active session,
+  /// drains `budget_loss` of the battery capacity, and stops planning until
+  /// repaired.  `permanent` means no repair will follow.  Idempotent while
+  /// already broken.
+  void fault_breakdown(double budget_loss, bool permanent);
+  /// Repair complete: resumes planning from the breakdown position.
+  /// No-op when not broken or when the breakdown was permanent.
+  void fault_repair();
+  bool broken() const { return broken_; }
+
  private:
-  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging };
+  enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging,
+                     Broken };
 
   bool in_territory(net::NodeId id) const {
     return territory_.empty() || territory_.count(id) > 0;
@@ -89,6 +101,8 @@ class ChargerAgent {
   MobileCharger mc_;
   State state_ = State::Idle;
   bool started_ = false;
+  bool broken_ = false;
+  bool permanently_broken_ = false;
 
   net::NodeId target_ = net::kInvalidNode;
   std::uint64_t event_version_ = 0;  ///< invalidates stale arrival/end events

@@ -94,6 +94,11 @@ Seconds MobileCharger::depot_recharge_time() const {
 
 void MobileCharger::recharge_full() { battery_ = params_.battery_capacity; }
 
+void MobileCharger::damage(Joules amount) {
+  WRSN_REQUIRE(amount >= 0.0, "negative damage");
+  spend(amount);
+}
+
 Seconds MobileCharger::travel_time(geom::Vec2 from, geom::Vec2 to) const {
   return geom::distance(from, to) / params_.speed;
 }

@@ -81,6 +81,11 @@ class MobileCharger {
   /// Refills the onboard battery (after a depot stay).
   void recharge_full();
 
+  /// Fault-injection: drains `amount` joules from the onboard battery
+  /// (clamped at 0) without a ledger entry — breakdown losses are not
+  /// auditable radiation or travel.
+  void damage(Joules amount);
+
   Joules battery_level() const { return battery_; }
   double battery_fraction() const { return battery_ / params_.battery_capacity; }
   const EnergyLedger& ledger() const { return ledger_; }

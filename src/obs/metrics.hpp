@@ -79,6 +79,15 @@ enum class Metric : std::uint16_t {
   // Runner (src/runner/runner.hpp).
   kRunnerTrials,
   kRunnerTrialNs,  ///< timing histogram: wall time per trial
+  // Fault injection (src/fault/injector.cpp).
+  kFaultMcBreakdowns,
+  kFaultMcRepairs,
+  kFaultNodeBurstKills,
+  kFaultPhaseNoiseWindows,
+  kFaultEscalationsDropped,
+  kFaultEscalationsDelayed,
+  kFaultDriftNodes,
+  kFaultAbsorbed,  ///< faults with no hook or no live victim
   kCount,
 };
 
@@ -153,6 +162,14 @@ inline constexpr std::array<MetricDef, kMetricCount> kDefTable{{
     counter("detect.detections"),
     counter("runner.trials"),
     timing_ns("runner.trial_ns"),
+    counter("fault.mc_breakdowns"),
+    counter("fault.mc_repairs"),
+    counter("fault.node_burst_kills"),
+    counter("fault.phase_noise_windows"),
+    counter("fault.escalations_dropped"),
+    counter("fault.escalations_delayed"),
+    counter("fault.drift_nodes"),
+    counter("fault.absorbed"),
 }};
 
 // Guard the positional layout against enum drift.
@@ -165,6 +182,10 @@ static_assert(kDefTable[std::size_t(Metric::kMcSessionEnergyJ)].name ==
               "mc.session_energy_j");
 static_assert(kDefTable[std::size_t(Metric::kRunnerTrialNs)].name ==
               "runner.trial_ns");
+static_assert(kDefTable[std::size_t(Metric::kFaultMcBreakdowns)].name ==
+              "fault.mc_breakdowns");
+static_assert(kDefTable[std::size_t(Metric::kFaultAbsorbed)].name ==
+              "fault.absorbed");
 
 }  // namespace detail
 

@@ -391,6 +391,12 @@ void World::fire_hardware_failure(net::NodeId id) {
   NodeState& s = state(id);
   s.hardware_event = kInvalidEvent;  // this event just fired
   if (!s.alive) return;
+  kill_node_hardware(id);
+}
+
+void World::kill_node_hardware(net::NodeId id) {
+  NodeState& s = state(id);
+  WRSN_ASSERT(s.alive);
   resync(id);
   s.battery.discharge(s.battery.level());  // component fault: node bricks
   retire_node(id);
@@ -399,6 +405,32 @@ void World::fire_hardware_failure(net::NodeId id) {
   WRSN_LOG(Debug) << "node " << id << " hardware failure at t=" << sim_.now();
   on_topology_change(id);
   for (const auto& listener : death_listeners_) listener(id);
+}
+
+bool World::inject_hardware_failure(net::NodeId id) {
+  NodeState& s = state(id);
+  if (!s.alive) return false;
+  kill_node_hardware(id);
+  return true;
+}
+
+bool World::set_self_discharge(net::NodeId id, Watts power) {
+  WRSN_REQUIRE(power >= 0.0, "negative self-discharge power");
+  NodeState& s = state(id);
+  if (!s.alive) return false;
+  resync(id);
+  s.self_discharge = power;
+  reschedule(id);
+  return true;
+}
+
+Watts World::self_discharge(net::NodeId id) const {
+  return state(id).self_discharge;
+}
+
+void World::set_escalation_interceptor(
+    std::function<EscalationDecision(net::NodeId)> interceptor) {
+  escalation_interceptor_ = std::move(interceptor);
 }
 
 void World::fire_request(net::NodeId id) {
@@ -462,6 +494,7 @@ void World::issue_request(net::NodeId id, bool emergency) {
   NodeState& s = state(id);
   s.pending = true;
   s.pending_emergency = emergency;
+  s.escalation_deferred = false;  // the delay-once budget is per request
   s.requested_at = sim_.now();
   pending_insert(id);
   const Seconds patience =
@@ -483,6 +516,23 @@ void World::fire_escalation(net::NodeId id) {
   NodeState& s = state(id);
   s.escalation_event = kInvalidEvent;  // this event just fired
   if (!s.alive || !s.pending) return;
+  if (escalation_interceptor_ && !s.escalation_deferred) {
+    const EscalationDecision decision = escalation_interceptor_(id);
+    if (decision.action == EscalationAction::Drop) {
+      // Uplink lost the report; the node never re-escalates this request.
+      return;
+    }
+    if (decision.action == EscalationAction::Delay) {
+      // Defer the report once.  The node's escalation_deadline is left
+      // untouched: the tamper lives in the base-station reporting path, not
+      // in the node's protocol state.  Never scheduled into the past.
+      s.escalation_deferred = true;
+      s.escalation_event =
+          sim_.schedule_at(sim_.now() + std::max(0.0, decision.delay),
+                           [this, id] { fire_escalation(id); });
+      return;
+    }
+  }
   ++escalations_tally_;
   trace_.escalations.push_back({sim_.now(), id});
   WRSN_LOG(Debug) << "escalation for node " << id << " at t=" << sim_.now();

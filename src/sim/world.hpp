@@ -126,6 +126,19 @@ struct WorldUpdateStats {
   std::uint64_t reschedules = 0;  ///< nodes resynced+rescheduled by updates
 };
 
+/// What the base-station uplink does with one escalation report
+/// (fault-injection surface; see set_escalation_interceptor).
+enum class EscalationAction : std::uint8_t {
+  Deliver,  ///< report the escalation normally
+  Drop,     ///< report lost: no trace record, no listener call, no retry
+  Delay,    ///< report deferred by `delay` seconds (at most once per request)
+};
+
+struct EscalationDecision {
+  EscalationAction action = EscalationAction::Deliver;
+  Seconds delay = 0.0;
+};
+
 /// A pending charging request as seen by the charging service.
 struct PendingRequest {
   net::NodeId node = net::kInvalidNode;
@@ -210,6 +223,26 @@ class World {
   /// arrived; the believed-vs-true surplus grows by the difference.
   void note_service_ended(net::NodeId id, Joules expected, Joules delivered);
 
+  // --- fault-injection API ---------------------------------------------------
+  /// Bricks an alive node immediately (injected component fault): same
+  /// death path as a background hardware failure.  Returns false (no-op)
+  /// when the node is already dead.
+  bool inject_hardware_failure(net::NodeId id);
+  /// Sets an unmetered parasitic drain on a node [W] (aging cell, moisture
+  /// leakage); 0 clears it.  The drain empties the TRUE battery but is
+  /// invisible to the node's own SoC estimate — believed and true level
+  /// drift apart, so the node dies earlier than it expects to request.
+  /// Returns false (no-op) when the node is dead.
+  bool set_self_discharge(net::NodeId id, Watts power);
+  /// Unmetered parasitic drain currently injected on the node [W].
+  Watts self_discharge(net::NodeId id) const;
+  /// Installs the escalation-tampering interceptor consulted when an
+  /// escalation is about to be reported (null restores normal delivery).
+  /// A request's report can be delayed at most once; a dropped report is
+  /// lost for good (the node never re-escalates the same request).
+  void set_escalation_interceptor(
+      std::function<EscalationDecision(net::NodeId)> interceptor);
+
   // --- event subscription ----------------------------------------------------
   /// Adds a charging-service request listener.  Multi-charger fleets
   /// register one listener per vehicle and filter by territory.
@@ -235,9 +268,15 @@ class World {
     /// meter the harvest itself).  Honest service keeps it near the truth;
     /// a spoofed session inflates it by the whole expected gain.
     Joules believed = 0.0;
+    /// Injected unmetered parasitic drain [W] (fault API); drains the true
+    /// battery but never the believed level.
+    Watts self_discharge = 0.0;
     bool alive = true;
     bool pending = false;
     bool pending_emergency = false;
+    /// The current request's escalation report has already been deferred
+    /// once by the tampering interceptor (delay at most once per request).
+    bool escalation_deferred = false;
     bool in_service = false;
     Seconds requested_at = 0.0;
     Seconds escalation_deadline = 0.0;
@@ -254,7 +293,7 @@ class World {
   };
 
   Watts net_drain(const NodeState& state) const {
-    return state.drain - state.charge;
+    return state.drain + state.self_discharge - state.charge;
   }
   NodeState& state(net::NodeId id);
   const NodeState& state(net::NodeId id) const;
@@ -266,6 +305,9 @@ class World {
   void reschedule(net::NodeId id);
   void fire_death(net::NodeId id);
   void fire_hardware_failure(net::NodeId id);
+  /// Shared hardware-death path (background failure and injected fault):
+  /// bricks the battery, retires the node, records the death, and reacts.
+  void kill_node_hardware(net::NodeId id);
   void fire_request(net::NodeId id);
   void fire_emergency(net::NodeId id);
   void fire_escalation(net::NodeId id);
@@ -326,6 +368,7 @@ class World {
   std::uint64_t deaths_tally_ = 0;
   std::uint64_t requests_tally_ = 0;
   std::uint64_t escalations_tally_ = 0;
+  std::function<EscalationDecision(net::NodeId)> escalation_interceptor_;
   std::vector<std::function<void(net::NodeId)>> request_listeners_;
   std::vector<std::function<void(net::NodeId)>> death_listeners_;
   std::vector<std::function<void(net::NodeId)>> escalation_listeners_;

@@ -98,6 +98,117 @@ TEST(Config, BadValuesThrow) {
   }
 }
 
+TEST(Config, FaultSectionRoundTrips) {
+  std::istringstream in(
+      "[faults]\n"
+      "faults.mc_breakdown_mtbf = 1800\n"
+      "faults.mc_repair_mean = 600\n"
+      "faults.mc_budget_loss = 0.1\n"
+      "faults.mc_permanent_at = 43200\n"
+      "faults.node_burst_mtbf = 3600\n"
+      "faults.node_burst_size = 3\n"
+      "faults.phase_noise_mtbf = 7200\n"
+      "faults.phase_noise_duration = 1200\n"
+      "faults.phase_noise_scale = 25\n"
+      "faults.escalation_drop_prob = 0.25\n"
+      "faults.escalation_delay_prob = 0.5\n"
+      "faults.escalation_delay_max = 900\n"
+      "faults.battery_drift_mtbf = 7200\n"
+      "faults.battery_drift_power = 0.004\n"
+      "faults.battery_drift_duration = 3600\n"
+      "seed = 4\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_DOUBLE_EQ(cfg.faults.mc_breakdown_mtbf, 1'800.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.mc_repair_mean, 600.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.mc_budget_loss, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.faults.mc_permanent_at, 43'200.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.node_burst_mtbf, 3'600.0);
+  EXPECT_EQ(cfg.faults.node_burst_size, 3u);
+  EXPECT_DOUBLE_EQ(cfg.faults.phase_noise_mtbf, 7'200.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.phase_noise_duration, 1'200.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.phase_noise_scale, 25.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.escalation_drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.faults.escalation_delay_prob, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.escalation_delay_max, 900.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.battery_drift_mtbf, 7'200.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.battery_drift_power, 0.004);
+  EXPECT_DOUBLE_EQ(cfg.faults.battery_drift_duration, 3'600.0);
+  EXPECT_TRUE(cfg.faults.any());
+}
+
+TEST(Config, FaultsDefaultDisabled) {
+  std::istringstream in("seed = 1\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_FALSE(cfg.faults.any());
+}
+
+TEST(Config, InvalidFaultValuesRejectedAtLoadTime) {
+  // apply_config runs FaultParams::validate, so cross-field constraints
+  // surface when the file is loaded, not when the mission starts.
+  {
+    std::istringstream in("faults.mc_breakdown_mtbf = -5\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in(
+        "faults.mc_breakdown_mtbf = 3600\n"
+        "faults.mc_repair_mean = 0\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in(
+        "faults.node_burst_mtbf = 3600\n"
+        "faults.node_burst_size = 0\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in(
+        "faults.phase_noise_mtbf = 3600\n"
+        "faults.phase_noise_duration = 600\n"
+        "faults.phase_noise_scale = 0.5\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in(
+        "faults.escalation_drop_prob = 0.7\n"
+        "faults.escalation_delay_prob = 0.7\n"
+        "faults.escalation_delay_max = 60\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("faults.escalation_drop_prob = 1.5\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+}
+
+TEST(Config, InitialLevelOverridesApply) {
+  std::istringstream in(
+      "world.initial_level_min = 0.35\n"
+      "world.initial_level_max = 0.55\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_DOUBLE_EQ(cfg.world.initial_level_min, 0.35);
+  EXPECT_DOUBLE_EQ(cfg.world.initial_level_max, 0.55);
+}
+
+TEST(Config, FaultedConfigRunsDeterministically) {
+  const char* text =
+      "topology.node_count = 30\n"
+      "topology.region_size = 220\n"
+      "horizon = 86400\n"
+      "seed = 8\n"
+      "[faults]\n"
+      "faults.mc_breakdown_mtbf = 14400\n"
+      "faults.mc_repair_mean = 1800\n"
+      "faults.escalation_delay_prob = 0.3\n"
+      "faults.escalation_delay_max = 600\n";
+  std::istringstream in_a(text), in_b(text);
+  const ScenarioResult a = run_scenario(load_config(in_a), ChargerMode::Benign);
+  const ScenarioResult b = run_scenario(load_config(in_b), ChargerMode::Benign);
+  EXPECT_EQ(a.trace.sessions.size(), b.trace.sessions.size());
+  EXPECT_EQ(a.fault_stats.mc_breakdowns, b.fault_stats.mc_breakdowns);
+  EXPECT_EQ(a.fault_stats.escalations_delayed, b.fault_stats.escalations_delayed);
+}
+
 TEST(Config, MissingFileThrows) {
   EXPECT_THROW(load_config_file("/nonexistent/config.ini"), ConfigError);
 }

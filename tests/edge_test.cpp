@@ -2,6 +2,7 @@
 // chargers, hostile parameterizations, audit placement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "analysis/scenario.hpp"
@@ -190,6 +191,56 @@ TEST(Edge, HugePatienceNeverEscalates) {
   const analysis::ScenarioResult result =
       analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
   EXPECT_EQ(result.report.escalations, 0u);
+}
+
+TEST(Edge, PermanentMcBreakdownStarvesLoudly) {
+  // The charger dies for good halfway through the mission.  The run must
+  // reach the horizon (no orchestrator deadlock), start no session after
+  // the breakdown, and the base station must notice via escalations.
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = 69;
+  cfg.faults.mc_permanent_at = cfg.horizon / 2.0;
+  const analysis::ScenarioResult result =
+      analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+  EXPECT_EQ(result.fault_stats.mc_breakdowns, 1u);
+  EXPECT_EQ(result.fault_stats.mc_repairs, 0u);
+  ASSERT_GT(result.trace.sessions.size(), 0u);
+  for (const sim::SessionRecord& s : result.trace.sessions) {
+    EXPECT_LT(s.start, cfg.faults.mc_permanent_at);
+  }
+  EXPECT_GT(result.trace.escalations.size(), 0u);
+}
+
+TEST(Edge, DelayedEscalationDeadlinesStayInTheFuture) {
+  // Escalation-delay faults reschedule base-station deadlines; combined
+  // with a permanent charger loss this is the harshest deadline churn the
+  // simulator sees.  A deadline tightened into the past would trip the
+  // kernel's schedule_at precondition and abort the run — so completing,
+  // and every escalation trailing its own triggering request by at least
+  // the patience window, is the regression check.
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = 70;
+  cfg.faults.mc_permanent_at = cfg.horizon * 0.4;
+  cfg.faults.escalation_delay_prob = 0.5;
+  cfg.faults.escalation_delay_max = 1'800.0;
+  const analysis::ScenarioResult result =
+      analysis::run_scenario(cfg, analysis::ChargerMode::Benign);
+  ASSERT_GT(result.trace.escalations.size(), 0u);
+  double previous = 0.0;
+  for (const sim::EscalationRecord& e : result.trace.escalations) {
+    EXPECT_GE(e.time, previous);  // append-only log stays chronological
+    previous = e.time;
+    // A node's requests are serialized, so the latest request at or before
+    // the escalation is the one that went unserved.
+    double request_time = -1.0;
+    for (const sim::RequestRecord& r : result.trace.requests) {
+      if (r.node == e.node && r.time <= e.time + 1e-9) {
+        request_time = std::max(request_time, r.time);
+      }
+    }
+    ASSERT_GE(request_time, 0.0) << "escalation without a request";
+    EXPECT_GE(e.time, request_time + cfg.world.patience - 1e-6);
+  }
 }
 
 TEST(Edge, DeterministicAcrossFleetRuns) {

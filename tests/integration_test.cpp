@@ -171,5 +171,40 @@ TEST(Integration, PlannerOrderingCsaVsBaselines) {
   EXPECT_GE(csa_run.report.keys_dead + 2, greedy_run.report.keys_dead);
 }
 
+TEST(Integration, PermanentChargerLossDoesNotDeadlockMission) {
+  // Random breakdowns, then a permanent one at 60 % of the horizon, with
+  // escalation-delay churn on top.  The attack-mode mission must still run
+  // to completion with a bounded event count (the fuzzer's liveness bound)
+  // and no session may start once the charger is gone for good.
+  ScenarioConfig cfg = mission(11);
+  cfg.faults.mc_breakdown_mtbf = cfg.horizon / 4.0;
+  cfg.faults.mc_repair_mean = 3'600.0;
+  cfg.faults.mc_permanent_at = cfg.horizon * 0.6;
+  cfg.faults.escalation_delay_prob = 0.5;
+  cfg.faults.escalation_delay_max = 1'800.0;
+  const ScenarioResult r = analysis::run_scenario(cfg, ChargerMode::Attack);
+  EXPECT_LT(r.events_executed, 2'000'000u + 20'000u * r.node_count);
+  EXPECT_GE(r.fault_stats.mc_breakdowns, 1u);
+  ASSERT_GT(r.trace.sessions.size(), 0u);
+  for (const sim::SessionRecord& s : r.trace.sessions) {
+    EXPECT_LT(s.start, cfg.faults.mc_permanent_at + 1e-9);
+  }
+}
+
+TEST(Integration, FleetSurvivesPermanentLossOfOneCharger) {
+  // Only the faulted vehicle stops; its fleet-mates keep their own cells
+  // alive, so sessions continue past the loss.
+  ScenarioConfig cfg = mission(12);
+  cfg.faults.mc_permanent_at = cfg.horizon / 3.0;
+  const ScenarioResult r = analysis::run_fleet_scenario(cfg, 3, SIZE_MAX);
+  EXPECT_EQ(r.fault_stats.mc_breakdowns, 1u);
+  EXPECT_EQ(r.fault_stats.mc_repairs, 0u);
+  bool session_after_loss = false;
+  for (const sim::SessionRecord& s : r.trace.sessions) {
+    session_after_loss |= s.start > cfg.faults.mc_permanent_at;
+  }
+  EXPECT_TRUE(session_after_loss);
+}
+
 }  // namespace
 }  // namespace wrsn

@@ -111,6 +111,34 @@ TEST_P(PlanEquivalence, OptimizedPlannerMatchesNaiveReference) {
     expect_plans_identical(inst, "all-infeasible");
     EXPECT_TRUE(p.visits.empty());
   }
+  {  // Fault-shaped: an MC breakdown delays departure — start_time jumps by
+     // a repair delay, leaving a mix of expired, zero-slack, and still-open
+     // windows, exactly the instance shape the orchestrator hands the
+     // planner after a fault::FaultInjector outage ends.
+    Rng gen(seed * 487 + 13);
+    csa::TideInstance inst = random_tide(gen, 3, 10);
+    inst.start_time += gen.uniform(60.0, 300.0);
+    for (std::size_t i = 0; i < inst.stops.size(); ++i) {
+      if (i % 3 == 0) {
+        // Window closed entirely before the repaired departure.
+        inst.stops[i].window_close = inst.start_time - gen.uniform(1.0, 50.0);
+        inst.stops[i].window_open = inst.stops[i].window_close - 30.0;
+      } else if (i % 3 == 1) {
+        // Deadline collapses onto the departure instant (zero slack left).
+        inst.stops[i].window_open = inst.start_time;
+        inst.stops[i].window_close = inst.start_time;
+      }
+    }
+    expect_plans_identical(inst, "post-outage");
+  }
+  {  // Fault-shaped: travel-budget loss models as a crippled vehicle, so
+     // distant stops fall out of feasibility mid-range rather than
+     // all-or-nothing.
+    Rng gen(seed * 853 + 29);
+    csa::TideInstance inst = random_tide(gen, 2, 10);
+    inst.speed = gen.uniform(0.2, 0.8);
+    expect_plans_identical(inst, "crippled-speed");
+  }
   {  // Exact integer arithmetic on a symmetric collinear grid: insertion
      // deltas and cost-benefit scores tie EXACTLY, so this pins down the
      // deterministic tie-breaking (smallest position / smallest stop index)
@@ -349,7 +377,9 @@ TEST(WorldProperty, SessionEnergiesPhysical) {
     EXPECT_GE(s.radiated, -1e-9);
     EXPECT_LE(s.end - s.start, 4 * 3'600.0);  // no runaway sessions
     // DC delivered cannot exceed radiated RF (rectifier efficiency < 1).
-    if (s.radiated > 0.0) EXPECT_LE(s.delivered, s.radiated + 1e-6);
+    if (s.radiated > 0.0) {
+      EXPECT_LE(s.delivered, s.radiated + 1e-6);
+    }
   }
 }
 

@@ -94,6 +94,29 @@ ScenarioConfig scenario_for(std::uint64_t index) {
 
   cfg.horizon = 1.5 * 86'400.0;
   cfg.seed = 0x5DEECE66Dull * (index + 1) + 11;
+
+  // Fault injection rides the sweep: the compiled FaultPlan is a pure
+  // function of the scenario rng, so a faulted Fast mission must still
+  // match its Reference twin record-for-record.
+  if (index % 3 == 1) {
+    cfg.faults.mc_breakdown_mtbf = cfg.horizon / 3.0;
+    cfg.faults.mc_repair_mean = 3'600.0;
+    cfg.faults.mc_budget_loss = 0.08;
+    cfg.faults.node_burst_mtbf = cfg.horizon / 2.0;
+    cfg.faults.node_burst_size = 2;
+    cfg.faults.battery_drift_mtbf = cfg.horizon / 2.0;
+    cfg.faults.battery_drift_power = 8e-3;
+    cfg.faults.battery_drift_duration = (index % 6 == 1) ? 7'200.0 : 0.0;
+  }
+  if (index % 7 == 2) {
+    cfg.faults.phase_noise_mtbf = cfg.horizon / 2.0;
+    cfg.faults.phase_noise_duration = 3'600.0;
+    cfg.faults.phase_noise_scale = 30.0;
+    cfg.faults.escalation_drop_prob = 0.25;
+    cfg.faults.escalation_delay_prob = 0.5;
+    cfg.faults.escalation_delay_max = 1'200.0;
+  }
+  if (index % 11 == 5) cfg.faults.mc_permanent_at = cfg.horizon / 2.0;
   return cfg;
 }
 
@@ -118,6 +141,22 @@ TEST_P(WorldEquivalence, FastMatchesReference) {
   EXPECT_EQ(fast.sink_connected_at_end, ref.sink_connected_at_end);
   EXPECT_EQ(fast.keys, ref.keys);
   EXPECT_EQ(fast.plans_computed, ref.plans_computed);
+
+  // Fault execution draws from per-concern streams in fire order, which
+  // trace equivalence keeps identical across modes — so the tallies must
+  // agree exactly, not just approximately.
+  EXPECT_EQ(fast.fault_stats.mc_breakdowns, ref.fault_stats.mc_breakdowns);
+  EXPECT_EQ(fast.fault_stats.mc_repairs, ref.fault_stats.mc_repairs);
+  EXPECT_EQ(fast.fault_stats.node_burst_kills,
+            ref.fault_stats.node_burst_kills);
+  EXPECT_EQ(fast.fault_stats.phase_noise_windows,
+            ref.fault_stats.phase_noise_windows);
+  EXPECT_EQ(fast.fault_stats.escalations_dropped,
+            ref.fault_stats.escalations_dropped);
+  EXPECT_EQ(fast.fault_stats.escalations_delayed,
+            ref.fault_stats.escalations_delayed);
+  EXPECT_EQ(fast.fault_stats.drift_nodes, ref.fault_stats.drift_nodes);
+  EXPECT_EQ(fast.fault_stats.absorbed, ref.fault_stats.absorbed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, WorldEquivalence,

@@ -1,6 +1,12 @@
 // scenario_fuzzer — randomized short missions under fault injection,
 // checked by differential, invariant, and liveness oracles (analysis/fuzz.hpp).
 //
+// A quarter of the generated missions run a 2-3 vehicle fleet
+// (`fleet.size` / `fleet.compromised` overrides), so the oracles also cover
+// the territory-partitioned agents, the cooperative fleet planner, and —
+// when the mix lands a permanent MC loss on a fleet mission — the charger
+// handoff path.
+//
 //   $ ./scenario_fuzzer --trials 2000 --seed 1
 //   $ WRSN_THREADS=8 ./scenario_fuzzer --trials 2000 --seed 1   # same digest
 //   $ ./scenario_fuzzer --repro 'faults.node_burst_mtbf=...;seed=42;...'

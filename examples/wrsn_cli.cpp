@@ -105,6 +105,20 @@ int main(int argc, char** argv) {
       cfg = analysis::apply_config(cfg, overrides);
     }
     if (seed_set) cfg.seed = seed;
+    // Config-file / repro-line fleet keys take effect unless the matching
+    // flag was given, so `--repro 'fleet.size=3;...'` replays the fleet
+    // mission the fuzzer actually ran.
+    if (fleet == 1 && cfg.fleet_size > 1) fleet = cfg.fleet_size;
+    if (!compromised_set && cfg.fleet_compromised != SIZE_MAX) {
+      compromised = cfg.fleet_compromised;
+      compromised_set = true;
+    }
+    // The fuzzer clamps the compromised index into the fleet in attack
+    // mode; mirror that so a replay binds the attacker identically.
+    if (mode == "attack" && fleet > 1 && compromised_set &&
+        compromised >= fleet) {
+      compromised = fleet - 1;
+    }
 
     obs::MetricRegistry metrics;
     analysis::ScenarioResult result;

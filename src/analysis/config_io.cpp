@@ -290,6 +290,18 @@ ScenarioConfig apply_config(
        [&](const std::string& k, const std::string& v) {
          cfg.faults.battery_drift_duration = to_double(k, v);
        }},
+      // fleet
+      {"fleet.size",
+       [&](const std::string& k, const std::string& v) {
+         cfg.fleet_size = to_size(k, v);
+         if (cfg.fleet_size == 0) {
+           throw ConfigError("'" + k + "' must be >= 1");
+         }
+       }},
+      {"fleet.compromised",
+       [&](const std::string& k, const std::string& v) {
+         cfg.fleet_compromised = to_size(k, v);
+       }},
       // run
       {"horizon",
        [&](const std::string& k, const std::string& v) {

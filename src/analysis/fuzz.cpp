@@ -175,7 +175,8 @@ void check_differential(const ScenarioResult& fast, const ScenarioResult& ref,
       ff.phase_noise_windows != rf.phase_noise_windows ||
       ff.escalations_dropped != rf.escalations_dropped ||
       ff.escalations_delayed != rf.escalations_delayed ||
-      ff.drift_nodes != rf.drift_nodes || ff.absorbed != rf.absorbed) {
+      ff.drift_nodes != rf.drift_nodes || ff.absorbed != rf.absorbed ||
+      ff.mc_handoffs != rf.mc_handoffs) {
     diff("fault tallies differ (injected " + fmt(ff.injected_total()) +
          " vs " + fmt(rf.injected_total()) + ")");
   }
@@ -293,10 +294,11 @@ void check_invariants(const ScenarioConfig& cfg, const ScenarioResult& result,
     prev = e.time;
   }
 
-  // Energy conservation against the depot ledger.  The trace only records
+  // Energy conservation against the depot ledgers (summed across the fleet:
+  // the trace interleaves every vehicle's sessions).  The trace only records
   // completed sessions (one may be in flight at the horizon) and breakdown
   // damage is deliberately off-ledger, so the checks are one-sided.
-  const mc::EnergyLedger& ledger = result.ledger;
+  const mc::EnergyLedger& ledger = result.fleet_ledger;
   if (radiated_sum > ledger.radiated_total() + kEnergyTol +
                          1e-9 * std::abs(radiated_sum)) {
     bad("trace radiation " + fmt(radiated_sum) +
@@ -428,6 +430,7 @@ std::uint64_t digest_result(const ScenarioResult& result) {
   fnv.mix(fs.escalations_delayed);
   fnv.mix(fs.drift_nodes);
   fnv.mix(fs.absorbed);
+  fnv.mix(fs.mc_handoffs);
   fnv.mix(std::uint64_t{result.alive_at_end});
   fnv.mix(result.plans_computed);
   fnv.mix(result.events_executed);
@@ -481,6 +484,19 @@ FuzzOverrides generate_fuzz_overrides(Rng& rng) {
     static constexpr const char* kSpoofModes[] = {
         "phase-cancel", "partial-cancel", "silent-skip", "no-service"};
     o["attack.spoof_mode"] = kSpoofModes[rng.uniform_int(0, 3)];
+  }
+
+  // Fleet mix: a quarter of missions run 2-3 territory-partitioned
+  // chargers, so the differential and liveness oracles cover the fleet
+  // planner, the per-cell agents, and (combined with the permanent-loss
+  // fault below) the charger handoff path.
+  if (rng.bernoulli(0.25)) {
+    const std::size_t fleet = std::size_t(rng.uniform_int(2, 3));
+    o["fleet.size"] = fmt(fleet);
+    if (attack) {
+      o["fleet.compromised"] =
+          fmt(std::size_t(rng.uniform_int(0, std::int64_t(fleet) - 1)));
+    }
   }
 
   // Fault mix: each kind independently enabled so single-fault and
@@ -544,11 +560,26 @@ FuzzVerdict run_fuzz_trial(const FuzzOverrides& overrides,
     const csa::Planner* production =
         inject_divergence ? static_cast<const csa::Planner*>(&buggy_planner)
                           : &fast_planner;
-    const ScenarioResult fast = run_scenario(fast_cfg, mode, production);
 
     ScenarioConfig ref_cfg = cfg;
     ref_cfg.world.update_mode = sim::WorldUpdateMode::Reference;
-    const ScenarioResult ref = run_scenario(ref_cfg, mode, &ref_planner);
+
+    // Fleet missions route through run_fleet_scenario; in attack mode the
+    // compromised index is clamped into the fleet so a stale override can
+    // never silently demote the mission to an honest one.
+    const std::size_t fleet = cfg.fleet_size;
+    const std::size_t compromised =
+        mode == ChargerMode::Attack
+            ? std::min(cfg.fleet_compromised, fleet - 1)
+            : SIZE_MAX;
+    const ScenarioResult fast =
+        fleet > 1 ? run_fleet_scenario(fast_cfg, fleet, compromised,
+                                       production)
+                  : run_scenario(fast_cfg, mode, production);
+    const ScenarioResult ref =
+        fleet > 1 ? run_fleet_scenario(ref_cfg, fleet, compromised,
+                                       &ref_planner)
+                  : run_scenario(ref_cfg, mode, &ref_planner);
 
     check_differential(fast, ref, verdict.failures);
     check_invariants(cfg, fast, "fast", verdict.failures);

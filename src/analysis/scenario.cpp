@@ -1,10 +1,13 @@
 #include "analysis/scenario.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "common/check.hpp"
 #include "fault/injector.hpp"
 #include "mc/fleet.hpp"
+#include "obs/metrics.hpp"
 
 namespace wrsn::analysis {
 namespace {
@@ -13,15 +16,19 @@ namespace {
 /// compiles the schedule from its own fork of the scenario rng and wires
 /// the MC-level hooks to whichever agent drives the (possibly compromised)
 /// vehicle.  Fleet runs route MC faults to the compromised vehicle when
-/// present, else the first vehicle.
+/// present, else the first vehicle; `on_permanent_loss` (fleet runs only)
+/// is fired once after a permanent breakdown so survivors can adopt the
+/// victim's territory.
 std::unique_ptr<fault::FaultInjector> arm_faults(
     const ScenarioConfig& config, sim::World& world, const Rng& rng,
-    mc::ChargerAgent* benign, csa::AttackAgent* attacker) {
+    mc::ChargerAgent* benign, csa::AttackAgent* attacker,
+    std::function<void()> on_permanent_loss = nullptr) {
   if (!config.faults.any()) return nullptr;
   fault::FaultPlan plan =
       fault::FaultPlan::compile(config.faults, config.horizon,
                                 world.network().size(), rng.fork("faults"));
   fault::FaultHooks hooks;
+  hooks.mc_permanent_loss = std::move(on_permanent_loss);
   if (attacker != nullptr) {
     hooks.mc_breakdown = [attacker](double loss, bool permanent) {
       attacker->fault_breakdown(loss, permanent);
@@ -201,13 +208,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
     result.ledger = attacker->charger().ledger();
     result.plans_computed = attacker->plans_computed();
   }
+  result.fleet_ledger = result.ledger;
   result.trace = std::move(world.trace());
   return result;
 }
 
 ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
                                   std::size_t fleet_size,
-                                  std::size_t compromised) {
+                                  std::size_t compromised,
+                                  const csa::Planner* planner) {
   WRSN_REQUIRE(fleet_size > 0, "fleet must have at least one charger");
   Rng rng(config.seed);
   Rng topo_rng = rng.fork("topology");
@@ -226,8 +235,10 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
   result.node_count = world.network().size();
 
   std::vector<std::unique_ptr<mc::ChargerAgent>> benign_agents;
+  /// Benign agents by FLEET index (null at `compromised`), for the handoff.
+  std::vector<mc::ChargerAgent*> benign_by_index(fleet_size, nullptr);
   std::unique_ptr<csa::AttackAgent> attacker;
-  const csa::CsaPlanner planner;
+  const csa::CsaPlanner default_planner;
 
   for (std::size_t k = 0; k < fleet_size; ++k) {
     if (k == compromised) {
@@ -235,7 +246,8 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
       params.charger.depot = depots[k];
       params.territory = cells[k];
       attacker = std::make_unique<csa::AttackAgent>(
-          world, params, planner, rng.fork("attack-" + std::to_string(k)));
+          world, params, planner != nullptr ? *planner : default_planner,
+          rng.fork("attack-" + std::to_string(k)));
       attacker->start();
     } else {
       mc::AgentParams params = config.benign;
@@ -243,6 +255,7 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
       params.territory = cells[k];
       benign_agents.push_back(
           std::make_unique<mc::ChargerAgent>(world, params));
+      benign_by_index[k] = benign_agents.back().get();
       benign_agents.back()->start();
     }
   }
@@ -254,10 +267,53 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
                                         config.attack.key_selection);
   }
 
+  // Charger handoff: MC faults hit the compromised vehicle when present,
+  // else fleet member 0 (mirroring arm_faults's hook routing).  On a
+  // PERMANENT loss the victim's whole Voronoi cell — deliberately not
+  // filtered by the alive mask, so the adopted set never depends on
+  // sub-tolerance death-timing differences between world update modes; dead
+  // nodes are inert in a territory set — is redistributed to the survivors
+  // with the nearest depots (squared distance, ties to the lower fleet
+  // index, exactly mc::nearest_depot's rule) and each survivor replans.
+  std::function<void()> on_permanent_loss;
+  if (fleet_size > 1) {
+    const std::size_t victim = compromised < fleet_size ? compromised : 0;
+    std::vector<geom::Vec2> survivor_depots;
+    std::vector<std::size_t> survivor_ids;
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      if (k == victim) continue;
+      survivor_depots.push_back(depots[k]);
+      survivor_ids.push_back(k);
+    }
+    on_permanent_loss = [&world, victim, compromised,
+                         survivor_depots = std::move(survivor_depots),
+                         survivor_ids = std::move(survivor_ids),
+                         lost_cell = cells[victim], benign_by_index,
+                         attacker_ptr = attacker.get()] {
+      std::vector<std::vector<net::NodeId>> adopted(survivor_ids.size());
+      for (const net::NodeId id : lost_cell) {
+        adopted[mc::nearest_depot(world.network().node(id).position,
+                                  survivor_depots)]
+            .push_back(id);
+      }
+      for (std::size_t s = 0; s < survivor_ids.size(); ++s) {
+        if (adopted[s].empty()) continue;
+        const std::size_t k = survivor_ids[s];
+        if (k == compromised) {
+          attacker_ptr->adopt_territory(adopted[s]);
+        } else {
+          benign_by_index[k]->adopt_territory(adopted[s]);
+        }
+      }
+      WRSN_OBS_COUNT(kFleetHandoffs);
+      WRSN_OBS_ADD(kFleetHandoffNodes, double(lost_cell.size()));
+    };
+  }
+
   const std::unique_ptr<fault::FaultInjector> injector = arm_faults(
       config, world, rng,
       benign_agents.empty() ? nullptr : benign_agents.front().get(),
-      attacker.get());
+      attacker.get(), std::move(on_permanent_loss));
 
   simulator.run_until(config.horizon);
 
@@ -292,6 +348,14 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
   } else if (!benign_agents.empty()) {
     result.ledger = benign_agents.front()->charger().ledger();
   }
+  const auto fold_ledger = [&result](const mc::EnergyLedger& l) {
+    result.fleet_ledger.travel += l.travel;
+    result.fleet_ledger.radiated_genuine += l.radiated_genuine;
+    result.fleet_ledger.radiated_spoofed += l.radiated_spoofed;
+    result.fleet_ledger.drawn_for_radiation += l.drawn_for_radiation;
+  };
+  for (const auto& agent : benign_agents) fold_ledger(agent->charger().ledger());
+  if (attacker != nullptr) fold_ledger(attacker->charger().ledger());
   result.trace = std::move(world.trace());
   return result;
 }

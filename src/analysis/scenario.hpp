@@ -35,6 +35,13 @@ struct ScenarioConfig {
   /// disabled by default.  The schedule is compiled from rng.fork("faults"),
   /// so it is identical across world update modes and planner choices.
   fault::FaultParams faults;
+  /// Fleet size ([fleet] INI section).  1 = the classic single-charger
+  /// mission; > 1 routes runners (the fuzzer included) through
+  /// run_fleet_scenario.
+  std::size_t fleet_size = 1;
+  /// Fleet member running the CSA attack in Attack mode; SIZE_MAX (or any
+  /// value >= fleet_size) = wholly honest fleet.
+  std::size_t fleet_compromised = SIZE_MAX;
 };
 
 /// Everything a bench needs from one simulated mission.
@@ -47,6 +54,11 @@ struct ScenarioResult {
   std::size_t alive_at_end = 0;
   std::size_t sink_connected_at_end = 0;
   mc::EnergyLedger ledger;
+  /// Field-wise sum over EVERY vehicle of the mission (equal to `ledger`
+  /// for single-charger runs).  The trace interleaves all vehicles'
+  /// sessions, so energy-conservation oracles must compare against this,
+  /// not the single-vehicle `ledger`.
+  mc::EnergyLedger fleet_ledger;
   std::uint64_t plans_computed = 0;
   /// Fault-injection tallies (all zero when faults are disabled).
   fault::FaultStats fault_stats;
@@ -71,11 +83,16 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
 
 /// Runs a multi-charger mission: `fleet_size` vehicles at the default depot
 /// sites, each serving its Voronoi cell.  If `compromised < fleet_size`,
-/// that member runs the CSA attack inside its own cell; otherwise the whole
-/// fleet is honest.  The result's ledger/keys describe the compromised
-/// vehicle when present (first vehicle otherwise).
+/// that member runs the CSA attack inside its own cell (route strategy from
+/// `planner`, CsaPlanner when null); otherwise the whole fleet is honest.
+/// The result's ledger/keys describe the compromised vehicle when present
+/// (first vehicle otherwise).  When the fault layer permanently kills the
+/// faulted vehicle, its Voronoi cell is handed off: every node of the cell
+/// is adopted by the survivor with the nearest depot (squared distance,
+/// ties to the lower fleet index) and survivors replan.
 ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
                                   std::size_t fleet_size,
-                                  std::size_t compromised = SIZE_MAX);
+                                  std::size_t compromised = SIZE_MAX,
+                                  const csa::Planner* planner = nullptr);
 
 }  // namespace wrsn::analysis

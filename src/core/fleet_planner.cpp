@@ -1,0 +1,291 @@
+#include "core/fleet_planner.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "core/route_state.hpp"
+#include "obs/metrics.hpp"
+
+namespace wrsn::csa {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Key stop indices in EDF order.  Unlike the single-charger planners (which
+/// sort by window_close only and lean on std::sort stability being
+/// irrelevant there), the fleet phases interleave chargers, so the order is
+/// made a TOTAL one: ties on window_close break to the lower stop index.
+std::vector<std::size_t> keys_edf(const std::vector<Stop>& stops) {
+  std::vector<std::size_t> keys;
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    if (stops[i].is_key) keys.push_back(i);
+  }
+  std::sort(keys.begin(), keys.end(), [&](std::size_t a, std::size_t b) {
+    if (stops[a].window_close != stops[b].window_close) {
+      return stops[a].window_close < stops[b].window_close;
+    }
+    return a < b;
+  });
+  return keys;
+}
+
+/// Nearest alive charger by SQUARED depot distance, ties to the lower
+/// charger index (`alive` is ascending) — mc::nearest_depot's rule.
+std::size_t seed_charger(const FleetInstance& instance, geom::Vec2 p,
+                         const std::vector<std::size_t>& alive) {
+  std::size_t best = alive.front();
+  double best_sq =
+      (p - instance.chargers[best].start_position).norm_sq();
+  for (std::size_t j = 1; j < alive.size(); ++j) {
+    const std::size_t k = alive[j];
+    const double d = (p - instance.chargers[k].start_position).norm_sq();
+    if (d < best_sq) {
+      best_sq = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+/// Phase D for one charger: the CSA lazy (CELF-style) cost-benefit fill of
+/// core/planners.cpp, restricted to the utility stops of `cell`.  Stops the
+/// fill leaves uninserted (pre-filtered unreachable ones included: they are
+/// infeasible at every position, so the reference's full rescans reject
+/// them too) are appended to `spill` for the fleet-wide re-auction.
+void fill_cell_celf(const TideInstance& instance, RouteState& route,
+                    const std::vector<std::size_t>& cell,
+                    std::vector<std::size_t>& spill) {
+  struct Candidate {
+    std::size_t stop = 0;
+    std::uint64_t version = 0;
+    bool scored = false;
+    bool feasible = false;
+    bool inserted = false;
+    std::size_t pos = 0;
+    Seconds delta = 0.0;
+    double score = 0.0;
+  };
+
+  const TravelMatrix& tt = instance.travel_matrix();
+  std::vector<Candidate> candidates;
+  candidates.reserve(cell.size());
+  for (const std::size_t i : cell) {
+    const Stop& s = instance.stops[i];
+    if (instance.start_time + tt.from_start(i) >
+        s.window_close + kWindowEpsilon + 1e-6) {
+      spill.push_back(i);  // unreachable even straight from the start
+      continue;
+    }
+    Candidate c;
+    c.stop = i;
+    candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const Candidate& a, const Candidate& b) {
+              const double ua = instance.stops[a.stop].utility;
+              const double ub = instance.stops[b.stop].utility;
+              return ua != ub ? ua > ub : a.stop < b.stop;
+            });
+
+  while (true) {
+    double best_score = -kInf;
+    Candidate* best = nullptr;
+    for (Candidate& c : candidates) {
+      if (c.inserted) continue;
+      const double bound = instance.stops[c.stop].utility;
+      if (best != nullptr && bound < best_score) break;  // CELF cutoff
+      if (!c.scored || c.version != route.version()) {
+        const auto bi = route.best_insertion(c.stop);
+        c.scored = true;
+        c.version = route.version();
+        c.feasible = bi.has_value();
+        if (bi) {
+          c.pos = bi->first;
+          c.delta = bi->second;
+          c.score = bound / std::max(c.delta, 1.0);
+        }
+      }
+      if (!c.feasible) continue;
+      if (best == nullptr || c.score > best_score ||
+          (c.score == best_score && c.stop < best->stop)) {
+        best = &c;
+        best_score = c.score;
+      }
+    }
+    if (best == nullptr) break;
+    route.insert(best->stop, best->pos);
+    best->inserted = true;
+  }
+  for (const Candidate& c : candidates) {
+    if (!c.inserted) spill.push_back(c.stop);
+  }
+}
+
+}  // namespace
+
+std::size_t FleetInstance::key_count() const {
+  std::size_t n = 0;
+  for (const Stop& s : stops) {
+    if (s.is_key) ++n;
+  }
+  return n;
+}
+
+void FleetInstance::validate() const {
+  if (chargers.empty()) throw ConfigError("fleet has no chargers");
+  for (const FleetCharger& c : chargers) {
+    if (c.speed <= 0.0) throw ConfigError("fleet charger speed must be > 0");
+  }
+  // Same per-stop checks as TideInstance::validate (the member instances are
+  // assembled from this pool verbatim).
+  for (const Stop& stop : stops) {
+    if (stop.window_close < stop.window_open) {
+      throw ConfigError("TIDE stop window closes before it opens");
+    }
+    if (stop.service_time < 0.0) {
+      throw ConfigError("TIDE stop has negative service time");
+    }
+    if (stop.utility < 0.0) {
+      throw ConfigError("TIDE stop has negative utility");
+    }
+  }
+}
+
+FleetPlan CooperativeFleetPlanner::plan(const FleetInstance& instance) const {
+  instance.validate();
+  const std::size_t m = instance.chargers.size();
+
+  FleetPlan out;
+  out.keys_total = instance.key_count();
+  out.plans.resize(m);
+
+  std::vector<std::size_t> alive;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (instance.chargers[k].alive) alive.push_back(k);
+  }
+  const std::vector<std::size_t> keys = keys_edf(instance.stops);
+
+  if (alive.empty()) {
+    out.unscheduled_keys = keys;
+    for (Plan& p : out.plans) p.keys_total = out.keys_total;
+    WRSN_OBS_COUNT(kFleetPlans);
+    WRSN_OBS_ADD(kFleetUnscheduledKeys, double(out.unscheduled_keys.size()));
+    return out;
+  }
+
+  // Member instances share the stop pool, so one node-pair distance memo
+  // (the orchestrator's cross-replan idiom) pays each pair's sqrt once
+  // across the M travel-matrix builds instead of M times.
+  std::unordered_map<std::uint64_t, Meters> pair_memo;
+  const TravelMatrix::PairDistance pair_distance =
+      [&pair_memo](const Stop& a, const Stop& b) -> Meters {
+    if (a.node == net::kInvalidNode || b.node == net::kInvalidNode) {
+      return geom::distance(a.position, b.position);
+    }
+    const net::NodeId lo = std::min(a.node, b.node);
+    const net::NodeId hi = std::max(a.node, b.node);
+    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    const auto [it, inserted] = pair_memo.try_emplace(key, 0.0);
+    if (inserted) it->second = geom::distance(a.position, b.position);
+    return it->second;
+  };
+
+  std::vector<TideInstance> insts(m);
+  std::vector<std::optional<RouteState>> routes(m);
+  for (const std::size_t k : alive) {
+    insts[k].start_position = instance.chargers[k].start_position;
+    insts[k].start_time = instance.chargers[k].start_time;
+    insts[k].speed = instance.chargers[k].speed;
+    insts[k].stops = instance.stops;
+    insts[k].set_travel_matrix(TravelMatrix::build(insts[k], pair_distance));
+    routes[k].emplace(insts[k]);
+  }
+
+  // (A) Spatial seed.
+  std::vector<std::size_t> seed(instance.stops.size());
+  for (std::size_t i = 0; i < instance.stops.size(); ++i) {
+    seed[i] = seed_charger(instance, instance.stops[i].position, alive);
+  }
+
+  // (B) Per-charger EDF key skeleton.
+  std::vector<std::size_t> orphans;
+  for (const std::size_t key : keys) {
+    RouteState& route = *routes[seed[key]];
+    if (const auto best = route.best_insertion(key)) {
+      route.insert(key, best->first);
+    } else {
+      orphans.push_back(key);
+    }
+  }
+
+  // (C) Orphan key auction: min completion-time delta over all alive
+  // chargers (the seed re-bids), ties to the lower charger index.
+  const auto auction = [&](std::size_t stop) -> std::optional<std::size_t> {
+    std::optional<std::size_t> winner;
+    std::size_t winner_pos = 0;
+    Seconds winner_delta = kInf;
+    for (const std::size_t k : alive) {
+      const auto bid = routes[k]->best_insertion(stop);
+      if (bid && bid->second < winner_delta) {
+        winner = k;
+        winner_pos = bid->first;
+        winner_delta = bid->second;
+      }
+    }
+    if (winner) routes[*winner]->insert(stop, winner_pos);
+    return winner;
+  };
+  for (const std::size_t key : orphans) {
+    if (const auto winner = auction(key)) {
+      if (*winner != seed[key]) ++out.auction_moves;
+    } else {
+      out.unscheduled_keys.push_back(key);
+    }
+  }
+
+  // (D) Per-charger utility fill restricted to the seed cell.
+  std::vector<std::size_t> spill;
+  for (const std::size_t k : alive) {
+    std::vector<std::size_t> cell;
+    for (std::size_t i = 0; i < instance.stops.size(); ++i) {
+      const Stop& s = instance.stops[i];
+      if (!s.is_key && s.utility > 0.0 && seed[i] == k) cell.push_back(i);
+    }
+    fill_cell_celf(insts[k], *routes[k], cell, spill);
+  }
+
+  // (E) Utility spill auction, descending utility (ties: lower stop index).
+  std::sort(spill.begin(), spill.end(), [&](std::size_t a, std::size_t b) {
+    const double ua = instance.stops[a].utility;
+    const double ub = instance.stops[b].utility;
+    return ua != ub ? ua > ub : a < b;
+  });
+  for (const std::size_t stop : spill) {
+    if (const auto winner = auction(stop)) {
+      if (*winner != seed[stop]) ++out.auction_moves;
+    }
+  }
+
+  for (std::size_t k = 0; k < m; ++k) {
+    if (routes[k]) {
+      out.plans[k] = routes[k]->to_plan();
+    } else {
+      out.plans[k].keys_total = out.keys_total;
+    }
+    out.utility += out.plans[k].utility;
+    out.keys_scheduled += out.plans[k].keys_scheduled;
+  }
+  WRSN_ASSERT(out.keys_scheduled + out.unscheduled_keys.size() ==
+              out.keys_total);
+
+  WRSN_OBS_COUNT(kFleetPlans);
+  WRSN_OBS_ADD(kFleetAuctionMoves, double(out.auction_moves));
+  WRSN_OBS_ADD(kFleetUnscheduledKeys, double(out.unscheduled_keys.size()));
+  return out;
+}
+
+}  // namespace wrsn::csa

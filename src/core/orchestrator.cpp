@@ -194,6 +194,15 @@ void AttackAgent::fault_phase_noise(double scale) {
   emitter_.emplace(world_.charging_model(), degraded);
 }
 
+void AttackAgent::adopt_territory(std::span<const net::NodeId> nodes) {
+  // A whole-network agent (empty territory) already services everything.
+  if (territory_.empty()) return;
+  territory_.insert(nodes.begin(), nodes.end());
+  WRSN_LOG(Debug) << "attacker adopted " << nodes.size() << " nodes at t="
+                  << world_.simulator().now();
+  if (started_ && !broken_ && state_ == State::Idle) replan();
+}
+
 bool AttackAgent::kill_paced_out(Seconds death_at) const {
   if (params_.pace_limit == 0) return false;
   // Simulate the defender's trailing window: after adding this kill, does

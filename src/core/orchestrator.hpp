@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -126,6 +127,13 @@ class AttackAgent {
   /// jitter to `scale` times the configured baseline (1.0 restores it).
   /// Takes effect from the next spoofed session.
   void fault_phase_noise(double scale);
+
+  /// Fleet handoff: permanently adds `nodes` to this vehicle's territory
+  /// (e.g. the cell of a permanently lost fleet member) and replans if
+  /// idle.  Adopted nodes are serviced GENUINELY — key-target selection
+  /// happened at start() and is not widened, so the compromised member
+  /// plays the dutiful survivor.  No-op on a whole-network agent.
+  void adopt_territory(std::span<const net::NodeId> nodes);
 
  private:
   enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging,

@@ -107,6 +107,11 @@ struct FaultStats {
   std::uint64_t escalations_delayed = 0;
   std::uint64_t drift_nodes = 0;
   std::uint64_t absorbed = 0;
+  /// Permanent MC losses delivered to a fleet handoff hook.  Not a fault of
+  /// its own (the breakdown is already tallied above), so it is excluded
+  /// from injected_total(); an absent handoff hook is NOT absorbed either —
+  /// single-charger scenarios simply have nobody to hand off to.
+  std::uint64_t mc_handoffs = 0;
 
   std::uint64_t injected_total() const {
     return mc_breakdowns + mc_repairs + node_burst_kills +

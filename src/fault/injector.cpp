@@ -28,6 +28,7 @@ FaultInjector::~FaultInjector() {
                double(stats_.escalations_delayed));
   WRSN_OBS_ADD(kFaultDriftNodes, double(stats_.drift_nodes));
   WRSN_OBS_ADD(kFaultAbsorbed, double(stats_.absorbed));
+  WRSN_OBS_ADD(kFaultMcHandoffs, double(stats_.mc_handoffs));
 }
 
 void FaultInjector::arm() {
@@ -42,6 +43,10 @@ void FaultInjector::arm() {
       if (hooks_.mc_breakdown) {
         hooks_.mc_breakdown(plan_.mc_budget_loss, permanent);
         ++stats_.mc_breakdowns;
+        if (permanent && hooks_.mc_permanent_loss) {
+          hooks_.mc_permanent_loss();
+          ++stats_.mc_handoffs;
+        }
       } else {
         ++stats_.absorbed;
       }

@@ -34,6 +34,12 @@ struct FaultHooks {
   /// Phase-calibration degradation: set the spoofing phase jitter to
   /// `scale` times its configured baseline (1.0 restores it).
   std::function<void(double scale)> phase_noise;
+  /// Fired once, right after a PERMANENT mc_breakdown was delivered — the
+  /// fleet layer wires this to its territory-handoff redistribution.  Unlike
+  /// the hooks above, leaving it unset is not an absorbed fault: the
+  /// breakdown itself was already delivered and tallied, and single-charger
+  /// scenarios have nobody to hand off to.
+  std::function<void()> mc_permanent_loss;
 };
 
 /// Schedules a FaultPlan into the world's simulator and tallies outcomes.

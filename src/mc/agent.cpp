@@ -114,6 +114,15 @@ void ChargerAgent::fault_repair() {
   if (started_) plan_next();
 }
 
+void ChargerAgent::adopt_territory(std::span<const net::NodeId> nodes) {
+  // A whole-network agent (empty territory) already answers everything.
+  if (territory_.empty()) return;
+  territory_.insert(nodes.begin(), nodes.end());
+  WRSN_LOG(Debug) << "charger adopted " << nodes.size() << " nodes at t="
+                  << world_.simulator().now();
+  if (started_ && !broken_ && state_ == State::Idle) plan_next();
+}
+
 void ChargerAgent::on_death(net::NodeId id) {
   if (id != target_) return;
   const Seconds now = world_.simulator().now();

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -73,6 +74,12 @@ class ChargerAgent {
   /// No-op when not broken or when the breakdown was permanent.
   void fault_repair();
   bool broken() const { return broken_; }
+
+  /// Fleet handoff: permanently adds `nodes` to this vehicle's territory
+  /// (e.g. the cell of a permanently lost fleet member) and kicks planning
+  /// if the vehicle is idle.  No-op on a whole-network agent (empty
+  /// territory already covers everything).
+  void adopt_territory(std::span<const net::NodeId> nodes);
 
  private:
   enum class State { Idle, Traveling, Charging, ToDepot, DepotCharging,

@@ -1,6 +1,6 @@
 #include "mc/fleet.hpp"
 
-#include <limits>
+#include <algorithm>
 
 #include "common/check.hpp"
 
@@ -9,8 +9,18 @@ namespace wrsn::mc {
 std::vector<geom::Vec2> default_depots(const geom::Rect& region,
                                        std::size_t count, Meters margin) {
   WRSN_REQUIRE(count > 0, "at least one depot");
-  const geom::Rect inner{{region.lo.x + margin, region.lo.y + margin},
-                         {region.hi.x - margin, region.hi.y - margin}};
+  WRSN_REQUIRE(margin >= 0.0, "depot margin must be non-negative");
+  WRSN_REQUIRE(region.lo.x <= region.hi.x && region.lo.y <= region.hi.y,
+               "depot region must have lo <= hi on both axes");
+  // Clamp the inset to the region center: a margin of at least half the
+  // extent used to invert the inner rect (inner.lo > inner.hi), silently
+  // placing depots outside the region.  With the clamp an oversized margin
+  // collapses the sites onto the center instead, which downstream code
+  // handles (the partition sends every node to the lowest depot index).
+  const Meters inset_x = std::min(margin, region.width() / 2.0);
+  const Meters inset_y = std::min(margin, region.height() / 2.0);
+  const geom::Rect inner{{region.lo.x + inset_x, region.lo.y + inset_y},
+                         {region.hi.x - inset_x, region.hi.y - inset_y}};
   const geom::Vec2 sites[] = {
       inner.lo,
       inner.hi,
@@ -25,21 +35,34 @@ std::vector<geom::Vec2> default_depots(const geom::Rect& region,
   return {sites, sites + count};
 }
 
-std::vector<std::vector<net::NodeId>> partition_by_depot(
-    const net::Network& network, std::span<const geom::Vec2> depots) {
+std::size_t nearest_depot(geom::Vec2 p, std::span<const geom::Vec2> depots) {
   WRSN_REQUIRE(!depots.empty(), "at least one depot");
+  // Squared distances: sqrt (or hypot) can round two distinct squared
+  // distances to the same value, which would resolve a non-tie by index
+  // order instead of by distance — and does so differently across libm
+  // implementations.  The squared comparison is exact on the same inputs.
+  std::size_t best = 0;
+  double best_sq = (p - depots[0]).norm_sq();
+  for (std::size_t k = 1; k < depots.size(); ++k) {
+    const double d = (p - depots[k]).norm_sq();
+    if (d < best_sq) {
+      best_sq = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<net::NodeId>> partition_by_depot(
+    const net::Network& network, std::span<const geom::Vec2> depots,
+    const std::vector<bool>& alive) {
+  WRSN_REQUIRE(!depots.empty(), "at least one depot");
+  WRSN_REQUIRE(alive.empty() || alive.size() == network.size(),
+               "alive mask must cover every node");
   std::vector<std::vector<net::NodeId>> cells(depots.size());
   for (net::NodeId id = 0; id < network.size(); ++id) {
-    std::size_t best = 0;
-    double best_dist = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < depots.size(); ++k) {
-      const double d = geom::distance(network.node(id).position, depots[k]);
-      if (d < best_dist) {
-        best_dist = d;
-        best = k;
-      }
-    }
-    cells[best].push_back(id);
+    if (!alive.empty() && !alive[id]) continue;
+    cells[nearest_depot(network.node(id).position, depots)].push_back(id);
   }
   return cells;
 }

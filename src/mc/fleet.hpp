@@ -14,14 +14,30 @@
 namespace wrsn::mc {
 
 /// Evenly spaced depot sites for `count` chargers: the corners (then edge
-/// midpoints) of the deployment region, inset by `margin`.
+/// midpoints) of the deployment region, inset by `margin`.  The inset is
+/// clamped to the region center, so an oversized margin degrades to every
+/// depot at the center rather than silently inverting the inner rect and
+/// placing depots outside the region.
 std::vector<geom::Vec2> default_depots(const geom::Rect& region,
                                        std::size_t count,
                                        Meters margin = 10.0);
 
-/// Voronoi partition: result[k] lists the nodes nearest depots[k]
-/// (ties to the lower index).  Every node appears in exactly one cell.
+/// Index of the depot nearest `p` under the fleet partition rule: SQUARED
+/// Euclidean distance (no sqrt, so "ties to the lower index" holds bit-for-
+/// bit even when the rounded square roots of two distinct squared distances
+/// collide), ties to the lower index.  Shared by partition_by_depot, the
+/// fleet planner's spatial seed, and the fault-handoff redistribution so
+/// every layer decomposes the field identically.
+std::size_t nearest_depot(geom::Vec2 p, std::span<const geom::Vec2> depots);
+
+/// Voronoi partition: result[k] lists the nodes nearest depots[k] (squared
+/// distance, ties to the lower index).  `alive` (optional) is the world's
+/// maintained alive mask: dead nodes are skipped; with an empty mask every
+/// node appears in exactly one cell.  result.size() == depots.size() always
+/// — a depot with no nodes yields an EMPTY cell, never a skipped one, so
+/// cell indices stay aligned with charger ids downstream.
 std::vector<std::vector<net::NodeId>> partition_by_depot(
-    const net::Network& network, std::span<const geom::Vec2> depots);
+    const net::Network& network, std::span<const geom::Vec2> depots,
+    const std::vector<bool>& alive = {});
 
 }  // namespace wrsn::mc

@@ -88,6 +88,13 @@ enum class Metric : std::uint16_t {
   kFaultEscalationsDelayed,
   kFaultDriftNodes,
   kFaultAbsorbed,  ///< faults with no hook or no live victim
+  kFaultMcHandoffs,  ///< permanent losses delivered to a fleet handoff hook
+  // Fleet planner (src/core/fleet_planner.cpp, src/analysis/scenario.cpp).
+  kFleetPlans,
+  kFleetAuctionMoves,      ///< stops awarded off their spatial-seed charger
+  kFleetUnscheduledKeys,   ///< keys no charger could schedule
+  kFleetHandoffs,          ///< permanent-loss territory redistributions
+  kFleetHandoffNodes,      ///< nodes adopted by survivors during handoffs
   kCount,
 };
 
@@ -170,6 +177,12 @@ inline constexpr std::array<MetricDef, kMetricCount> kDefTable{{
     counter("fault.escalations_delayed"),
     counter("fault.drift_nodes"),
     counter("fault.absorbed"),
+    counter("fault.mc_handoffs"),
+    counter("fleet.plans"),
+    counter("fleet.auction_moves"),
+    counter("fleet.unscheduled_keys"),
+    counter("fleet.handoffs"),
+    counter("fleet.handoff_nodes"),
 }};
 
 // Guard the positional layout against enum drift.
@@ -186,6 +199,10 @@ static_assert(kDefTable[std::size_t(Metric::kFaultMcBreakdowns)].name ==
               "fault.mc_breakdowns");
 static_assert(kDefTable[std::size_t(Metric::kFaultAbsorbed)].name ==
               "fault.absorbed");
+static_assert(kDefTable[std::size_t(Metric::kFleetPlans)].name ==
+              "fleet.plans");
+static_assert(kDefTable[std::size_t(Metric::kFleetHandoffNodes)].name ==
+              "fleet.handoff_nodes");
 
 }  // namespace detail
 

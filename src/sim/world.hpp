@@ -170,6 +170,9 @@ class World {
   // --- live state queries ---------------------------------------------------
   bool alive(net::NodeId id) const;
   std::size_t alive_count() const { return alive_count_; }
+  /// Maintained per-node alive mask (indexed by NodeId), e.g. for feeding
+  /// mc::partition_by_depot without N alive() calls.
+  const std::vector<bool>& alive_mask() const { return alive_mask_; }
   /// True battery level at the current simulation time [J].
   Joules level(net::NodeId id) const;
   double level_fraction(net::NodeId id) const;

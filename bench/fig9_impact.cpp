@@ -31,17 +31,15 @@ struct Series {
 Series replay(const net::Network& network, const sim::Trace& trace,
               Seconds horizon, Seconds bucket) {
   Series series;
-  std::vector<bool> mask(network.size(), true);
+  Bitmap mask(network.size(), true);
   std::size_t next_death = 0;
   for (Seconds t = bucket; t <= horizon + 1.0; t += bucket) {
     while (next_death < trace.deaths.size() &&
            trace.deaths[next_death].time <= t) {
-      mask[trace.deaths[next_death].node] = false;
+      mask.reset(trace.deaths[next_death].node);
       ++next_death;
     }
-    std::size_t alive = 0;
-    for (const bool a : mask) alive += a ? 1 : 0;
-    series.alive.push_back(alive);
+    series.alive.push_back(mask.count());
     series.connected.push_back(net::count_sink_connected(network, mask));
   }
   return series;

@@ -12,14 +12,47 @@
 #
 # Usage:
 #
-#   bench/run_benchmarks.sh [build-dir]
+#   bench/run_benchmarks.sh [--allow-debug] [build-dir]
 #
 # Default build-dir = build; outputs land at the repo root.  See the
 # benchmark sections of EXPERIMENTS.md for how to read them.
+#
+# Recordings from debug builds are refused: google-benchmark stamps
+# "library_build_type" into its JSON context, and committed debug numbers
+# poison every later before/after comparison.  --allow-debug overrides for
+# local smoke runs only.
 set -euo pipefail
+
+allow_debug=0
+if [[ "${1:-}" == "--allow-debug" ]]; then
+  allow_debug=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+
+check_release() {
+  local out="$1"
+  if [[ "$allow_debug" == 1 ]]; then return 0; fi
+  # The benchmark library reports how IT was built; the harness flags in
+  # CMakeCache cover the code under test.  Either being debug disqualifies
+  # the recording.
+  if grep -q '"library_build_type": *"debug"' "$out"; then
+    echo "error: $out was recorded against a debug benchmark library;" >&2
+    echo "       rebuild Release or pass --allow-debug (not for committing)" >&2
+    rm -f "$out"
+    exit 1
+  fi
+  local cache="$build_dir/CMakeCache.txt"
+  if [[ -f "$cache" ]] &&
+     ! grep -q '^CMAKE_BUILD_TYPE:STRING=Release' "$cache"; then
+    echo "error: $build_dir is not a Release build; refusing to record" >&2
+    echo "       (pass --allow-debug to override for local smoke runs)" >&2
+    rm -f "$out"
+    exit 1
+  fi
+}
 
 require_bin() {
   if [[ ! -x "$1" ]]; then
@@ -36,6 +69,7 @@ run_one() {
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     --benchmark_counters_tabular=true
+  check_release "$out"
   echo "wrote $out"
 }
 

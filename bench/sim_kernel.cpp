@@ -74,6 +74,11 @@ BENCHMARK(BM_WorldDeathCascade)
     ->Args({200, 1})
     ->Args({400, 0})
     ->Args({400, 1})
+    // Reference at N>=800 costs minutes per repetition (O(N^2 log N) in
+    // reschedules alone); the Fast rows are the scaling story ROADMAP item 4
+    // tracks toward the 10k-node frontier.
+    ->Args({800, 0})
+    ->Args({1600, 0})
     ->Unit(benchmark::kMillisecond);
 
 // Kernel churn: steady-state schedule/cancel pressure with `range` live

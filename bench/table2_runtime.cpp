@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "core/exact.hpp"
+#include "core/fleet_planner.hpp"
 #include "core/planners.hpp"
 #include "core/route_state.hpp"
 
@@ -61,6 +62,51 @@ void BM_CsaPlanner(benchmark::State& state) {
 }
 BENCHMARK(BM_CsaPlanner)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
     ->Arg(800)->Arg(1600)->Unit(benchmark::kMillisecond);
+
+// Fleet-level scalability: the cooperative planner (Voronoi seeding, EDF key
+// assignment, per-cell CELF fill, spill auction) over 1/2/4 chargers sharing
+// one stop pool.  Uses plan_into on arena state, like the replan loop does.
+void BM_FleetPlanner(benchmark::State& state) {
+  const auto chargers = static_cast<std::size_t>(state.range(0));
+  const auto stops = static_cast<std::size_t>(state.range(1));
+  Rng gen(42);
+  csa::FleetInstance inst;
+  for (std::size_t m = 0; m < chargers; ++m) {
+    csa::FleetCharger c;
+    c.start_position = {gen.uniform(-200.0, 200.0),
+                        gen.uniform(-200.0, 200.0)};
+    c.speed = 3.0;
+    inst.chargers.push_back(c);
+  }
+  for (std::size_t i = 0; i < 10 + stops; ++i) {
+    const bool key = i < 10;
+    csa::Stop stop;
+    stop.node = static_cast<net::NodeId>(i);
+    stop.position = {gen.uniform(-200.0, 200.0), gen.uniform(-200.0, 200.0)};
+    stop.window_open = gen.uniform(0.0, 20'000.0);
+    stop.window_close = stop.window_open + gen.uniform(3'600.0, 14'400.0);
+    stop.service_time = gen.uniform(600.0, 1'800.0);
+    stop.is_key = key;
+    stop.utility = key ? 0.0 : gen.uniform(100.0, 8'000.0);
+    inst.stops.push_back(stop);
+  }
+  const csa::CooperativeFleetPlanner planner;
+  csa::FleetPlan plan;
+  double utility = 0.0;
+  std::size_t scheduled = 0;
+  for (auto _ : state) {
+    planner.plan_into(inst, plan);
+    benchmark::DoNotOptimize(plan.utility);
+    utility = plan.utility;
+    scheduled = 0;
+    for (const csa::Plan& p : plan.plans) scheduled += p.visits.size();
+  }
+  state.counters["utility"] = utility;
+  state.counters["visits"] = double(scheduled);
+}
+BENCHMARK(BM_FleetPlanner)
+    ->ArgsProduct({{1, 2, 4}, {400, 800, 1600}})
+    ->Unit(benchmark::kMillisecond);
 
 // Microbenchmark of the planner's hot primitive: one best_insertion scan
 // over a route of `range` stops.  With the slack suffix array each position

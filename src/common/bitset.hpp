@@ -1,0 +1,121 @@
+// Word-packed dynamic bitmap for node masks.
+//
+// The hot simulation paths (routing rebuilds/repairs, load aggregation,
+// topology scans, fleet partitioning) all filter by a per-node alive mask.
+// std::vector<bool> packs bits but hides them behind proxy references and
+// gives no way to count or iterate set bits a word at a time; this Bitmap
+// stores 64-bit words directly so membership tests compile to a shift+mask,
+// population counts to one popcount per word, and set-bit iteration to a
+// countr_zero loop that skips empty words in one compare each.
+//
+// Conventions shared with the old vector<bool> masks:
+//   * an EMPTY bitmap passed as an alive mask means "all alive" (callers use
+//     Bitmap::empty(), mirroring the old alive.empty() convention);
+//   * sized bitmaps are indexed by NodeId; out-of-range access is the
+//     caller's bug (checked by WRSN_ASSERT in debug builds).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace wrsn {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t n, bool value = false) { assign(n, value); }
+
+  /// Resizes to `n` bits, all set to `value` (capacity is reused).
+  void assign(std::size_t n, bool value) {
+    size_ = n;
+    words_.assign(word_count(n), value ? ~std::uint64_t{0} : 0);
+    trim();
+  }
+
+  void clear() {
+    size_ = 0;
+    words_.clear();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(std::size_t i) const {
+    WRSN_ASSERT(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i) {
+    WRSN_ASSERT(i < size_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    WRSN_ASSERT(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void set(std::size_t i, bool value) {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  /// Number of set bits; one popcount per word.
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  bool any() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls `fn(index)` for every set bit in ascending order.  Empty words
+  /// cost one compare; within a word each set bit costs one countr_zero.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+        fn((wi << 6) + bit);
+        w &= w - 1;  // clear the lowest set bit
+      }
+    }
+  }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  static std::size_t word_count(std::size_t n) { return (n + 63) >> 6; }
+
+  /// Clears the bits above size_ in the last word so count() and == stay
+  /// honest after assign(n, true).
+  void trim() {
+    const std::size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wrsn

@@ -15,12 +15,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Key stop indices in EDF order.  Unlike the single-charger planners (which
-/// sort by window_close only and lean on std::sort stability being
-/// irrelevant there), the fleet phases interleave chargers, so the order is
-/// made a TOTAL one: ties on window_close break to the lower stop index.
-std::vector<std::size_t> keys_edf(const std::vector<Stop>& stops) {
-  std::vector<std::size_t> keys;
+/// Key stop indices in EDF order, filled into caller-owned scratch.  Unlike
+/// the single-charger planners (which sort by window_close only and lean on
+/// std::sort stability being irrelevant there), the fleet phases interleave
+/// chargers, so the order is made a TOTAL one: ties on window_close break to
+/// the lower stop index.
+void keys_edf(const std::vector<Stop>& stops, std::vector<std::size_t>& keys) {
+  keys.clear();
   for (std::size_t i = 0; i < stops.size(); ++i) {
     if (stops[i].is_key) keys.push_back(i);
   }
@@ -30,7 +31,15 @@ std::vector<std::size_t> keys_edf(const std::vector<Stop>& stops) {
     }
     return a < b;
   });
-  return keys;
+}
+
+/// Resets `p` to the empty plan a dead or auction-less charger reports.
+void reset_plan(Plan& p, std::size_t keys_total) {
+  p.visits.clear();
+  p.utility = 0.0;
+  p.keys_scheduled = 0;
+  p.keys_total = keys_total;
+  p.completion_time = 0.0;
 }
 
 /// Nearest alive charger by SQUARED depot distance, ties to the lower
@@ -57,21 +66,11 @@ std::size_t seed_charger(const FleetInstance& instance, geom::Vec2 p,
 /// infeasible at every position, so the reference's full rescans reject
 /// them too) are appended to `spill` for the fleet-wide re-auction.
 void fill_cell_celf(const TideInstance& instance, RouteState& route,
-                    const std::vector<std::size_t>& cell,
+                    const std::vector<std::size_t>& cell, CelfFill& fill,
                     std::vector<std::size_t>& spill) {
-  struct Candidate {
-    std::size_t stop = 0;
-    std::uint64_t version = 0;
-    bool scored = false;
-    bool feasible = false;
-    bool inserted = false;
-    std::size_t pos = 0;
-    Seconds delta = 0.0;
-    double score = 0.0;
-  };
-
   const TravelMatrix& tt = instance.travel_matrix();
-  std::vector<Candidate> candidates;
+  std::vector<CelfCandidate>& candidates = fill.candidates();
+  candidates.clear();
   candidates.reserve(cell.size());
   for (const std::size_t i : cell) {
     const Stop& s = instance.stops[i];
@@ -80,47 +79,21 @@ void fill_cell_celf(const TideInstance& instance, RouteState& route,
       spill.push_back(i);  // unreachable even straight from the start
       continue;
     }
-    Candidate c;
+    CelfCandidate c;
     c.stop = i;
+    c.utility = s.utility;
+    c.open = s.window_open;
+    c.close_eps = s.window_close + kWindowEpsilon;
+    c.service = s.service_time;
     candidates.push_back(c);
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [&](const Candidate& a, const Candidate& b) {
-              const double ua = instance.stops[a.stop].utility;
-              const double ub = instance.stops[b.stop].utility;
-              return ua != ub ? ua > ub : a.stop < b.stop;
-            });
-
-  while (true) {
-    double best_score = -kInf;
-    Candidate* best = nullptr;
-    for (Candidate& c : candidates) {
-      if (c.inserted) continue;
-      const double bound = instance.stops[c.stop].utility;
-      if (best != nullptr && bound < best_score) break;  // CELF cutoff
-      if (!c.scored || c.version != route.version()) {
-        const auto bi = route.best_insertion(c.stop);
-        c.scored = true;
-        c.version = route.version();
-        c.feasible = bi.has_value();
-        if (bi) {
-          c.pos = bi->first;
-          c.delta = bi->second;
-          c.score = bound / std::max(c.delta, 1.0);
-        }
-      }
-      if (!c.feasible) continue;
-      if (best == nullptr || c.score > best_score ||
-          (c.score == best_score && c.stop < best->stop)) {
-        best = &c;
-        best_score = c.score;
-      }
-    }
-    if (best == nullptr) break;
-    route.insert(best->stop, best->pos);
-    best->inserted = true;
-  }
-  for (const Candidate& c : candidates) {
+  // The fleet planner keeps no per-fill observability tallies; feed the
+  // shared engine throwaway accumulators.
+  std::uint64_t tried = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  fill.run(instance, route, tried, hits, misses);
+  for (const CelfCandidate& c : candidates) {
     if (!c.inserted) spill.push_back(c.stop);
   }
 }
@@ -156,31 +129,43 @@ void FleetInstance::validate() const {
 }
 
 FleetPlan CooperativeFleetPlanner::plan(const FleetInstance& instance) const {
+  FleetPlan out;
+  plan_into(instance, out);
+  return out;
+}
+
+void CooperativeFleetPlanner::plan_into(const FleetInstance& instance,
+                                        FleetPlan& out) const {
   instance.validate();
   const std::size_t m = instance.chargers.size();
 
-  FleetPlan out;
-  out.keys_total = instance.key_count();
   out.plans.resize(m);
+  out.unscheduled_keys.clear();
+  out.utility = 0.0;
+  out.keys_scheduled = 0;
+  out.keys_total = instance.key_count();
+  out.auction_moves = 0;
 
-  std::vector<std::size_t> alive;
+  alive_.clear();
   for (std::size_t k = 0; k < m; ++k) {
-    if (instance.chargers[k].alive) alive.push_back(k);
+    if (instance.chargers[k].alive) alive_.push_back(k);
   }
-  const std::vector<std::size_t> keys = keys_edf(instance.stops);
+  keys_edf(instance.stops, keys_);
 
-  if (alive.empty()) {
-    out.unscheduled_keys = keys;
-    for (Plan& p : out.plans) p.keys_total = out.keys_total;
+  if (alive_.empty()) {
+    out.unscheduled_keys = keys_;
+    for (Plan& p : out.plans) reset_plan(p, out.keys_total);
     WRSN_OBS_COUNT(kFleetPlans);
     WRSN_OBS_ADD(kFleetUnscheduledKeys, double(out.unscheduled_keys.size()));
-    return out;
+    return;
   }
 
   // Member instances share the stop pool, so one node-pair distance memo
   // (the orchestrator's cross-replan idiom) pays each pair's sqrt once
-  // across the M travel-matrix builds instead of M times.
-  std::unordered_map<std::uint64_t, Meters> pair_memo;
+  // across the M travel-matrix fills instead of M times.  The memo lives on
+  // the planner: node positions never move, so entries stay valid across
+  // replans and a steady-state refill does no distance work at all.
+  auto& pair_memo = pair_memo_;
   const TravelMatrix::PairDistance pair_distance =
       [&pair_memo](const Stop& a, const Stop& b) -> Meters {
     if (a.node == net::kInvalidNode || b.node == net::kInvalidNode) {
@@ -194,31 +179,36 @@ FleetPlan CooperativeFleetPlanner::plan(const FleetInstance& instance) const {
     return it->second;
   };
 
-  std::vector<TideInstance> insts(m);
-  std::vector<std::optional<RouteState>> routes(m);
-  for (const std::size_t k : alive) {
-    insts[k].start_position = instance.chargers[k].start_position;
-    insts[k].start_time = instance.chargers[k].start_time;
-    insts[k].speed = instance.chargers[k].speed;
-    insts[k].stops = instance.stops;
-    insts[k].set_travel_matrix(TravelMatrix::build(insts[k], pair_distance));
-    routes[k].emplace(insts[k]);
+  insts_.resize(m);
+  matrices_.resize(m);
+  routes_.resize(m);
+  for (const std::size_t k : alive_) {
+    insts_[k].start_position = instance.chargers[k].start_position;
+    insts_[k].start_time = instance.chargers[k].start_time;
+    insts_[k].speed = instance.chargers[k].speed;
+    insts_[k].stops = instance.stops;
+    if (!matrices_[k]) matrices_[k] = std::make_shared<TravelMatrix>();
+    matrices_[k]->rebuild(insts_[k], pair_distance);
+    insts_[k].set_travel_matrix(
+        std::shared_ptr<const TravelMatrix>(matrices_[k]));
+    routes_[k].bind(insts_[k]);
+    routes_[k].reserve(instance.stops.size());
   }
 
   // (A) Spatial seed.
-  std::vector<std::size_t> seed(instance.stops.size());
+  seed_.resize(instance.stops.size());
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
-    seed[i] = seed_charger(instance, instance.stops[i].position, alive);
+    seed_[i] = seed_charger(instance, instance.stops[i].position, alive_);
   }
 
   // (B) Per-charger EDF key skeleton.
-  std::vector<std::size_t> orphans;
-  for (const std::size_t key : keys) {
-    RouteState& route = *routes[seed[key]];
+  orphans_.clear();
+  for (const std::size_t key : keys_) {
+    RouteState& route = routes_[seed_[key]];
     if (const auto best = route.best_insertion(key)) {
       route.insert(key, best->first);
     } else {
-      orphans.push_back(key);
+      orphans_.push_back(key);
     }
   }
 
@@ -228,53 +218,53 @@ FleetPlan CooperativeFleetPlanner::plan(const FleetInstance& instance) const {
     std::optional<std::size_t> winner;
     std::size_t winner_pos = 0;
     Seconds winner_delta = kInf;
-    for (const std::size_t k : alive) {
-      const auto bid = routes[k]->best_insertion(stop);
+    for (const std::size_t k : alive_) {
+      const auto bid = routes_[k].best_insertion(stop);
       if (bid && bid->second < winner_delta) {
         winner = k;
         winner_pos = bid->first;
         winner_delta = bid->second;
       }
     }
-    if (winner) routes[*winner]->insert(stop, winner_pos);
+    if (winner) routes_[*winner].insert(stop, winner_pos);
     return winner;
   };
-  for (const std::size_t key : orphans) {
+  for (const std::size_t key : orphans_) {
     if (const auto winner = auction(key)) {
-      if (*winner != seed[key]) ++out.auction_moves;
+      if (*winner != seed_[key]) ++out.auction_moves;
     } else {
       out.unscheduled_keys.push_back(key);
     }
   }
 
   // (D) Per-charger utility fill restricted to the seed cell.
-  std::vector<std::size_t> spill;
-  for (const std::size_t k : alive) {
-    std::vector<std::size_t> cell;
+  spill_.clear();
+  for (const std::size_t k : alive_) {
+    cell_.clear();
     for (std::size_t i = 0; i < instance.stops.size(); ++i) {
       const Stop& s = instance.stops[i];
-      if (!s.is_key && s.utility > 0.0 && seed[i] == k) cell.push_back(i);
+      if (!s.is_key && s.utility > 0.0 && seed_[i] == k) cell_.push_back(i);
     }
-    fill_cell_celf(insts[k], *routes[k], cell, spill);
+    fill_cell_celf(insts_[k], routes_[k], cell_, fill_, spill_);
   }
 
   // (E) Utility spill auction, descending utility (ties: lower stop index).
-  std::sort(spill.begin(), spill.end(), [&](std::size_t a, std::size_t b) {
+  std::sort(spill_.begin(), spill_.end(), [&](std::size_t a, std::size_t b) {
     const double ua = instance.stops[a].utility;
     const double ub = instance.stops[b].utility;
     return ua != ub ? ua > ub : a < b;
   });
-  for (const std::size_t stop : spill) {
+  for (const std::size_t stop : spill_) {
     if (const auto winner = auction(stop)) {
-      if (*winner != seed[stop]) ++out.auction_moves;
+      if (*winner != seed_[stop]) ++out.auction_moves;
     }
   }
 
   for (std::size_t k = 0; k < m; ++k) {
-    if (routes[k]) {
-      out.plans[k] = routes[k]->to_plan();
+    if (instance.chargers[k].alive) {
+      routes_[k].to_plan_into(out.plans[k]);
     } else {
-      out.plans[k].keys_total = out.keys_total;
+      reset_plan(out.plans[k], out.keys_total);
     }
     out.utility += out.plans[k].utility;
     out.keys_scheduled += out.plans[k].keys_scheduled;
@@ -285,7 +275,6 @@ FleetPlan CooperativeFleetPlanner::plan(const FleetInstance& instance) const {
   WRSN_OBS_COUNT(kFleetPlans);
   WRSN_OBS_ADD(kFleetAuctionMoves, double(out.auction_moves));
   WRSN_OBS_ADD(kFleetUnscheduledKeys, double(out.unscheduled_keys.size()));
-  return out;
 }
 
 }  // namespace wrsn::csa

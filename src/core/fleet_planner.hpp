@@ -32,9 +32,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "core/planners.hpp"
+#include "core/route_state.hpp"
 #include "core/tide.hpp"
 
 namespace wrsn::csa {
@@ -97,6 +102,29 @@ class CooperativeFleetPlanner final : public FleetPlanner {
  public:
   std::string_view name() const override { return "Fleet-CSA"; }
   FleetPlan plan(const FleetInstance& instance) const override;
+  /// In-place variant for the replan loop.  All per-charger state (member
+  /// instances, travel matrices, route states) and every phase's scratch
+  /// list are arenas reused across calls, and the node-pair distance memo
+  /// persists (node positions never move), so a steady-state replan over a
+  /// previously seen stop set performs no heap allocation (sim_alloc_test
+  /// pins this).
+  void plan_into(const FleetInstance& instance, FleetPlan& out) const;
+
+ private:
+  // plan() is const (FleetPlanner interface); the arenas hold no cross-call
+  // state a later call can observe — the distance memo only caches a pure
+  // function of immutable node geometry.
+  mutable std::vector<TideInstance> insts_;
+  mutable std::vector<std::shared_ptr<TravelMatrix>> matrices_;
+  mutable std::vector<RouteState> routes_;
+  mutable std::unordered_map<std::uint64_t, Meters> pair_memo_;
+  mutable std::vector<std::size_t> alive_;
+  mutable std::vector<std::size_t> keys_;
+  mutable std::vector<std::size_t> seed_;
+  mutable std::vector<std::size_t> orphans_;
+  mutable std::vector<std::size_t> spill_;
+  mutable std::vector<std::size_t> cell_;
+  mutable CelfFill fill_;
 };
 
 }  // namespace wrsn::csa

@@ -253,15 +253,15 @@ bool AttackAgent::should_spoof_now(net::NodeId id) const {
          params_.campaign_deadline * params_.campaign_slack;
 }
 
-TideInstance AttackAgent::build_instance() const {
+void AttackAgent::build_instance(TideInstance& instance) const {
   const Seconds now = world_.simulator().now();
   const Watts nominal = world_.nominal_dc_power();
   WRSN_ASSERT(nominal > 0.0);
 
-  TideInstance instance;
   instance.start_position = mc_.position(now);
   instance.start_time = now;
   instance.speed = mc_.params().speed;
+  instance.stops.clear();
 
   const auto believed_deficit = [&](net::NodeId id) {
     const Joules capacity = world_.network().node(id).battery_capacity;
@@ -295,7 +295,7 @@ TideInstance AttackAgent::build_instance() const {
   // planner reserve capacity for tight future windows.
   if (params_.spoof_mode == SpoofMode::NoService) {
     prime_travel_matrix(instance);
-    return instance;
+    return;
   }
   for (const net::NodeId key : key_targets_) {
     if (!world_.alive(key) || world_.has_pending_request(key)) continue;
@@ -318,14 +318,14 @@ TideInstance AttackAgent::build_instance() const {
     instance.stops.push_back(stop);
   }
   prime_travel_matrix(instance);
-  return instance;
 }
 
 void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
   // memo_hits_/memo_misses_ are plain member tallies flushed once by the
   // destructor: the memo lambda runs O(stops²) per replan, far too hot for
   // a registry write per lookup.
-  instance.set_travel_matrix(TravelMatrix::build(
+  if (!travel_matrix_) travel_matrix_ = std::make_shared<TravelMatrix>();
+  travel_matrix_->rebuild(
       instance, [this](const Stop& a, const Stop& b) -> Meters {
         if (a.node == net::kInvalidNode || b.node == net::kInvalidNode) {
           return geom::distance(a.position, b.position);
@@ -342,7 +342,9 @@ void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
           ++memo_hits_;
         }
         return it->second;
-      }));
+      });
+  instance.set_travel_matrix(
+      std::shared_ptr<const TravelMatrix>(travel_matrix_));
 }
 
 void AttackAgent::replan() {
@@ -355,15 +357,15 @@ void AttackAgent::replan() {
     return;
   }
 
-  const TideInstance instance = build_instance();
-  if (instance.stops.empty()) return;  // nothing to do; requests wake us
+  build_instance(plan_instance_);
+  if (plan_instance_.stops.empty()) return;  // nothing to do; requests wake us
 
-  const Plan plan = planner_.plan(instance, rng_);
+  planner_.plan_into(plan_instance_, rng_, plan_);
   ++plans_computed_;
-  if (plan.visits.empty()) return;
+  if (plan_.visits.empty()) return;
 
-  const Visit& next = plan.visits.front();
-  const Stop& stop = instance.stops[next.stop_index];
+  const Visit& next = plan_.visits.front();
+  const Stop& stop = plan_instance_.stops[next.stop_index];
 
   // Only execute stops whose request is actually outstanding; a predicted
   // (future) first stop means we pre-position just in time and wait for the
@@ -514,7 +516,6 @@ void AttackAgent::start_session(net::NodeId id) {
                   &comm_antenna)
             : emitter_->configure(charger_pos, node_pos, &rng_);
     session_dc_ = outcome.dc_at_target;
-    session_rf_observed_ = emitter_->rf_at_probe(outcome, comm_antenna);
 
     // Nearest alive neighbour probes the field too.
     const net::Network& network = world_.network();
@@ -529,9 +530,18 @@ void AttackAgent::start_session(net::NodeId id) {
       }
     }
     session_probe_distance_ = nearest;
-    session_probe_rf_ =
-        std::isfinite(nearest) ? emitter_->rf_at_probe(outcome, nearest_pos)
-                               : 0.0;
+
+    // Comm antenna and neighbour witness share one batched field pass.
+    const bool has_witness = std::isfinite(nearest);
+    const Meters probe_x[2] = {comm_antenna.x, nearest_pos.x};
+    const Meters probe_y[2] = {comm_antenna.y, nearest_pos.y};
+    Watts probe_rf[2] = {0.0, 0.0};
+    double probe_im[2];
+    const std::size_t probes = has_witness ? 2 : 1;
+    emitter_->rf_at_probes(outcome, {probe_x, probes}, {probe_y, probes},
+                           {probe_rf, probes}, {probe_im, probes});
+    session_rf_observed_ = probe_rf[0];
+    session_probe_rf_ = has_witness ? probe_rf[1] : 0.0;
     ++spoofed_sessions_;
   } else {
     const double gain = world_.draw_genuine_gain_factor();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -155,10 +156,12 @@ class AttackAgent {
   void on_request(net::NodeId id);
   void on_death(net::NodeId id);
 
-  /// Builds the TIDE snapshot: pending requests + predicted key windows.
-  TideInstance build_instance() const;
-  /// Installs the instance's travel matrix, reusing node-pair distances
-  /// memoized across this agent's replans.
+  /// Builds the TIDE snapshot (pending requests + predicted key windows)
+  /// into `instance`, reusing its stop storage.
+  void build_instance(TideInstance& instance) const;
+  /// Installs the instance's travel matrix — the agent-owned matrix arena
+  /// refilled in place — reusing node-pair distances memoized across this
+  /// agent's replans.
   void prime_travel_matrix(TideInstance& instance) const;
   /// Replans and engages the next leg (idle vehicles only).
   void replan();
@@ -189,6 +192,12 @@ class AttackAgent {
   /// travel matrix of each instance is primed from here instead of
   /// recomputing sqrt per pair.  Keyed by packed (min id, max id).
   mutable std::unordered_map<std::uint64_t, Meters> stop_pair_distance_;
+  /// Replan arenas: the instance snapshot, its travel matrix, and the plan
+  /// are rebuilt in place every replan, so steady-state replanning (stop
+  /// set previously seen) performs no heap allocation (sim_alloc_test).
+  TideInstance plan_instance_;
+  mutable std::shared_ptr<TravelMatrix> travel_matrix_;
+  Plan plan_;
 
   State state_ = State::Idle;
   bool started_ = false;

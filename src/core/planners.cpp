@@ -15,10 +15,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Phase 1: EDF-ordered key insertion, each at its cheapest feasible
 /// position.  Keys that cannot be placed are skipped (counted as missed).
-/// O(K * route) with the slack-based RouteState.
+/// O(K * route) with the slack-based RouteState.  `keys` is caller-owned
+/// scratch (cleared here) so steady-state replans allocate nothing.
 void insert_keys_edf(const TideInstance& instance, RouteState& route,
+                     std::vector<std::size_t>& keys,
                      std::uint64_t& insertions_tried) {
-  std::vector<std::size_t> keys;
+  keys.clear();
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
     if (instance.stops[i].is_key) keys.push_back(i);
   }
@@ -48,23 +50,15 @@ void insert_keys_edf(const TideInstance& instance, RouteState& route,
 ///      utility) and a round rescoren only a handful of entries;
 ///   2. each candidate caches its last best (pos, delta) stamped with the
 ///      route version and is re-evaluated only when consulted stale.
+/// The round loop itself (and the leg-lane cache that keeps big pools'
+/// rescoring on L2-resident data) lives in the shared CelfFill engine.
 void fill_utility_greedy(const TideInstance& instance, RouteState& route,
-                         std::uint64_t& insertions_tried,
+                         CelfFill& fill, std::uint64_t& insertions_tried,
                          std::uint64_t& cache_hits_out,
                          std::uint64_t& cache_misses_out) {
-  struct Candidate {
-    std::size_t stop = 0;
-    std::uint64_t version = 0;  ///< route version of the cached evaluation
-    bool scored = false;        ///< ever evaluated at all
-    bool feasible = false;
-    bool inserted = false;
-    std::size_t pos = 0;
-    Seconds delta = 0.0;
-    double score = 0.0;
-  };
-
   const TravelMatrix& tt = instance.travel_matrix();
-  std::vector<Candidate> candidates;
+  std::vector<CelfCandidate>& candidates = fill.candidates();
+  candidates.clear();
   candidates.reserve(instance.stops.size());
   for (std::size_t i = 0; i < instance.stops.size(); ++i) {
     const Stop& s = instance.stops[i];
@@ -77,56 +71,16 @@ void fill_utility_greedy(const TideInstance& instance, RouteState& route,
         s.window_close + kWindowEpsilon + 1e-6) {
       continue;
     }
-    Candidate c;
+    CelfCandidate c;
     c.stop = i;
+    c.utility = s.utility;
+    c.open = s.window_open;
+    c.close_eps = s.window_close + kWindowEpsilon;
+    c.service = s.service_time;
     candidates.push_back(c);
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [&](const Candidate& a, const Candidate& b) {
-              const double ua = instance.stops[a.stop].utility;
-              const double ub = instance.stops[b.stop].utility;
-              return ua != ub ? ua > ub : a.stop < b.stop;
-            });
-
-  // Local inner-loop tallies: a write into the caller's accumulators per
-  // scan step (let alone a registry write) would dominate the CELF loop.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  while (true) {
-    double best_score = -kInf;
-    Candidate* best = nullptr;
-    for (Candidate& c : candidates) {
-      if (c.inserted) continue;
-      const double bound = instance.stops[c.stop].utility;
-      if (best != nullptr && bound < best_score) break;  // CELF cutoff
-      if (!c.scored || c.version != route.version()) {
-        ++cache_misses;
-        const auto bi = route.best_insertion(c.stop);
-        c.scored = true;
-        c.version = route.version();
-        c.feasible = bi.has_value();
-        if (bi) {
-          c.pos = bi->first;
-          c.delta = bi->second;
-          c.score = bound / std::max(c.delta, 1.0);
-        }
-      } else {
-        ++cache_hits;
-      }
-      if (!c.feasible) continue;
-      if (best == nullptr || c.score > best_score ||
-          (c.score == best_score && c.stop < best->stop)) {
-        best = &c;
-        best_score = c.score;
-      }
-    }
-    if (best == nullptr) break;
-    route.insert(best->stop, best->pos);
-    best->inserted = true;
-  }
-  cache_hits_out += cache_hits;
-  cache_misses_out += cache_misses;
-  insertions_tried += cache_misses;  // every miss scores one insertion
+  fill.run(instance, route, insertions_tried, cache_hits_out,
+           cache_misses_out);
 }
 
 }  // namespace
@@ -138,14 +92,22 @@ CsaPlanner::~CsaPlanner() {
 }
 
 Plan CsaPlanner::plan(const TideInstance& instance, Rng& rng) const {
+  Plan out;
+  plan_into(instance, rng, out);
+  return out;
+}
+
+void CsaPlanner::plan_into(const TideInstance& instance, Rng& rng,
+                           Plan& out) const {
   (void)rng;
   WRSN_OBS_SPAN(kCsaPlanNs);
   instance.validate();
-  RouteState route(instance);
-  insert_keys_edf(instance, route, insertions_tried_);
-  fill_utility_greedy(instance, route, insertions_tried_, cache_hits_,
-                      cache_misses_);
-  return route.to_plan();
+  route_.bind(instance);
+  route_.reserve(instance.stops.size());
+  insert_keys_edf(instance, route_, keys_, insertions_tried_);
+  fill_utility_greedy(instance, route_, fill_, insertions_tried_,
+                      cache_hits_, cache_misses_);
+  route_.to_plan_into(out);
 }
 
 Plan UtilityFirstPlanner::plan(const TideInstance& instance, Rng& rng) const {
@@ -153,11 +115,13 @@ Plan UtilityFirstPlanner::plan(const TideInstance& instance, Rng& rng) const {
   instance.validate();
   RouteState route(instance);
   // The ablation planner is cold (bench-only); flush per call.
+  std::vector<std::size_t> keys;
+  CelfFill fill;
   std::uint64_t insertions = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  fill_utility_greedy(instance, route, insertions, hits, misses);
-  insert_keys_edf(instance, route, insertions);
+  fill_utility_greedy(instance, route, fill, insertions, hits, misses);
+  insert_keys_edf(instance, route, keys, insertions);
   WRSN_OBS_ADD(kCsaInsertionsTried, double(insertions));
   WRSN_OBS_ADD(kCsaCacheHits, double(hits));
   WRSN_OBS_ADD(kCsaCacheMisses, double(misses));

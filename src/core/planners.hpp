@@ -27,8 +27,11 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "core/celf_fill.hpp"
+#include "core/route_state.hpp"
 #include "core/tide.hpp"
 
 namespace wrsn::csa {
@@ -40,6 +43,13 @@ class Planner {
   virtual std::string_view name() const = 0;
   /// Plans a route for `instance`; `rng` feeds randomized strategies.
   virtual Plan plan(const TideInstance& instance, Rng& rng) const = 0;
+  /// In-place variant for the receding-horizon replan loop: fills `out`
+  /// reusing its storage.  The default forwards to plan(); allocation-aware
+  /// planners override it to reuse their arenas.
+  virtual void plan_into(const TideInstance& instance, Rng& rng,
+                         Plan& out) const {
+    out = plan(instance, rng);
+  }
 };
 
 /// The paper's algorithm (EDF key skeleton + cost-benefit greedy filling).
@@ -51,9 +61,18 @@ class CsaPlanner final : public Planner {
   ~CsaPlanner() override;
   std::string_view name() const override { return "CSA"; }
   Plan plan(const TideInstance& instance, Rng& rng) const override;
+  /// Zero-allocation after warmup: the route state, key list, and candidate
+  /// table are arenas reused across calls, so a steady-state replan performs
+  /// no heap allocation at all (sim_alloc_test pins this).
+  void plan_into(const TideInstance& instance, Rng& rng,
+                 Plan& out) const override;
 
  private:
-  // plan() is const (Planner interface); the tallies are observability only.
+  // plan() is const (Planner interface); the arenas hold no cross-call
+  // state the next call can observe, and the tallies are observability only.
+  mutable RouteState route_;
+  mutable std::vector<std::size_t> keys_;
+  mutable CelfFill fill_;
   mutable std::uint64_t insertions_tried_ = 0;
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;

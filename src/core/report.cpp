@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/bitset.hpp"
 #include "net/topology.hpp"
 
 namespace wrsn::csa {
@@ -33,9 +34,9 @@ AttackReport build_report(const net::Network& network, const sim::Trace& trace,
   report.escalations = trace.escalations.size();
 
   // Key deaths and the partition instant (replay deaths chronologically).
-  std::vector<bool> alive(network.size(), true);
+  Bitmap alive(network.size(), true);
   for (const sim::DeathRecord& death : trace.deaths) {
-    alive[death.node] = false;
+    alive.reset(death.node);
     if (key_set.count(death.node) > 0) {
       ++report.keys_dead;
       if (!report.detected || death.time <= report.detection_time) {

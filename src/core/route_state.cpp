@@ -12,10 +12,26 @@ constexpr Seconds kInfSlack = std::numeric_limits<Seconds>::infinity();
 
 }  // namespace
 
-RouteState::RouteState(const TideInstance& instance)
-    : inst_(&instance), tt_(&instance.travel_matrix()) {
+RouteState::RouteState(const TideInstance& instance) { bind(instance); }
+
+void RouteState::bind(const TideInstance& instance) {
+  inst_ = &instance;
+  tt_ = &instance.travel_matrix();
+  order_.clear();
+  arrival_.clear();
+  start_.clear();
+  depart_.clear();
   slack_.assign(1, kInfSlack);
   waitsum_.assign(1, 0.0);
+}
+
+void RouteState::reserve(std::size_t stops) {
+  order_.reserve(stops);
+  arrival_.reserve(stops);
+  start_.reserve(stops);
+  depart_.reserve(stops);
+  slack_.reserve(stops + 1);
+  waitsum_.reserve(stops + 1);
 }
 
 std::optional<Seconds> RouteState::try_insert(std::size_t stop,
@@ -48,15 +64,63 @@ std::optional<Seconds> RouteState::try_insert(std::size_t stop,
 
 std::optional<std::pair<std::size_t, Seconds>> RouteState::best_insertion(
     std::size_t stop) const {
-  std::optional<std::pair<std::size_t, Seconds>> best;
-  for (std::size_t pos = 0; pos <= order_.size(); ++pos) {
-    const auto delta = try_insert(stop, pos);
-    if (!delta.has_value()) continue;
-    if (!best.has_value() || *delta < best->second) {
-      best = {pos, *delta};
+  // Flattened position scan: one pass with try_insert's exact arithmetic,
+  // but the per-position invariants hoisted out of the loop — the stop's
+  // window/service fields, its travel-matrix row (between(i, stop) ==
+  // row(stop)[i] by symmetry), and a running previous-departure instead of
+  // re-branching on pos == 0.  Every candidate delta is >= 0 (appending
+  // never shortens the route; interior deltas are clamped residuals), so a
+  // delta of exactly 0.0 cannot be beaten and, with the first-strict-min
+  // tie-break, cannot even be tied away from — scan over.
+  const Stop& s = inst_->stops[stop];
+  const std::size_t n = order_.size();
+  const Seconds* const row = tt_->row(stop);
+  const Seconds open = s.window_open;
+  const Seconds close_eps = s.window_close + kWindowEpsilon;
+  const Seconds service = s.service_time;
+
+  // Positions whose predecessor already departs past the window close are
+  // all rejected by the window check below (start >= prev_depart >
+  // close_eps); departures are nondecreasing, so they form a suffix of the
+  // position range — skip it outright instead of rejecting one by one.
+  const std::size_t pos_end = std::min(
+      n, static_cast<std::size_t>(
+             std::upper_bound(depart_.begin(), depart_.end(), close_eps) -
+             depart_.begin()));
+
+  std::size_t best_pos = n + 1;
+  Seconds best_delta = kInfSlack;
+  Seconds prev_depart = inst_->start_time;
+  for (std::size_t pos = 0; pos <= pos_end; ++pos) {
+    const Seconds leg_in = pos == 0 ? tt_->from_start(stop)
+                                    : row[order_[pos - 1]];
+    const Seconds arrival = prev_depart + leg_in;
+    const Seconds start = std::max(arrival, open);
+    if (start <= close_eps) {
+      if (pos == n) {
+        const Seconds delta = start + service - completion();
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_pos = pos;
+        }
+        break;  // last position either way
+      }
+      const Seconds delay =
+          start + service + row[order_[pos]] - arrival_[pos];
+      if (delay <= slack_[pos]) {
+        const Seconds residual = delay - waitsum_[pos];
+        const Seconds delta = residual > kWindowEpsilon ? residual : 0.0;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_pos = pos;
+          if (delta == 0.0) break;
+        }
+      }
     }
+    if (pos < n) prev_depart = depart_[pos];
   }
-  return best;
+  if (best_pos > n) return std::nullopt;
+  return std::make_pair(best_pos, best_delta);
 }
 
 void RouteState::insert(std::size_t stop, std::size_t pos) {
@@ -69,6 +133,12 @@ Plan RouteState::to_plan() const {
   const auto plan = evaluate_order(*inst_, order_);
   WRSN_ASSERT(plan.has_value());
   return *plan;
+}
+
+void RouteState::to_plan_into(Plan& out) const {
+  const bool ok = evaluate_order_into(*inst_, order_, out);
+  WRSN_ASSERT(ok);
+  (void)ok;
 }
 
 void RouteState::rebuild() {

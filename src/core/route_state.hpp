@@ -41,8 +41,19 @@ namespace wrsn::csa {
 
 class RouteState {
  public:
+  /// Unbound state; call bind() before use.  Lets planners keep a RouteState
+  /// arena across plan() calls (storage is reused, not reallocated).
+  RouteState() = default;
   /// Binds to `instance` (not owned) and forces its travel matrix.
   explicit RouteState(const TideInstance& instance);
+
+  /// Rebinds to `instance` and resets to the empty route, KEEPING the
+  /// existing array capacity — the zero-alloc replan path.  The version
+  /// counter keeps counting (it only ever needs to differ between commits).
+  void bind(const TideInstance& instance);
+  /// Grows every internal array's capacity to hold a route of `stops` stops
+  /// so later inserts cannot reallocate.
+  void reserve(std::size_t stops);
 
   const std::vector<std::size_t>& order() const { return order_; }
   Seconds completion() const {
@@ -62,15 +73,29 @@ class RouteState {
   std::optional<std::pair<std::size_t, Seconds>> best_insertion(
       std::size_t stop) const;
 
+  /// Read-only views of the maintained schedule arrays, for the batched
+  /// position-major candidate rescore in core/celf_fill.cpp: arrivals /
+  /// starts / departures are per current position (size order().size()),
+  /// slacks / waitsums are the suffix arrays described above (one longer).
+  /// The batch pass evaluates try_insert's exact arithmetic against these,
+  /// so its results are bit-identical to best_insertion.
+  const std::vector<Seconds>& arrivals() const { return arrival_; }
+  const std::vector<Seconds>& departures() const { return depart_; }
+  const std::vector<Seconds>& slacks() const { return slack_; }
+  const std::vector<Seconds>& waitsums() const { return waitsum_; }
+  Seconds start_time() const { return inst_->start_time; }
+
   void insert(std::size_t stop, std::size_t pos);
 
   Plan to_plan() const;
+  /// Allocation-free variant: evaluates the route into `out` in place.
+  void to_plan_into(Plan& out) const;
 
  private:
   void rebuild();
 
-  const TideInstance* inst_;
-  const TravelMatrix* tt_;
+  const TideInstance* inst_ = nullptr;
+  const TravelMatrix* tt_ = nullptr;
   std::vector<std::size_t> order_;
   std::vector<Seconds> arrival_;
   std::vector<Seconds> start_;

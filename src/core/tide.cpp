@@ -19,23 +19,42 @@ Seconds TideInstance::travel_time(geom::Vec2 from, geom::Vec2 to) const {
 TravelMatrix TravelMatrix::build(const TideInstance& instance,
                                  const PairDistance& pair_distance) {
   TravelMatrix m;
-  m.n_ = instance.stops.size();
-  m.start_row_.resize(m.n_);
-  m.cell_.assign(m.n_ * m.n_, 0.0);
-  for (std::size_t i = 0; i < m.n_; ++i) {
-    const Stop& a = instance.stops[i];
-    m.start_row_[i] =
-        geom::distance(instance.start_position, a.position) / instance.speed;
-    for (std::size_t j = i + 1; j < m.n_; ++j) {
-      const Stop& b = instance.stops[j];
-      const Meters d = pair_distance ? pair_distance(a, b)
-                                     : geom::distance(a.position, b.position);
-      const Seconds t = d / instance.speed;
-      m.cell_[i * m.n_ + j] = t;
-      m.cell_[j * m.n_ + i] = t;
+  m.rebuild(instance, pair_distance);
+  return m;
+}
+
+void TravelMatrix::rebuild(const TideInstance& instance,
+                           const PairDistance& pair_distance) {
+  n_ = instance.stops.size();
+  start_row_.resize(n_);
+  cell_.assign(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    start_row_[i] =
+        geom::distance(instance.start_position, instance.stops[i].position) /
+        instance.speed;
+  }
+  // Tile size: a 64x64 double block (32 KiB) plus its transpose fit in L1/L2
+  // together, so the mirrored cell_[j * n_ + i] writes land in a resident
+  // block instead of touching a fresh cache line per write once n_ is large.
+  constexpr std::size_t kTile = 64;
+  for (std::size_t i0 = 0; i0 < n_; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, n_);
+    for (std::size_t j0 = i0; j0 < n_; j0 += kTile) {
+      const std::size_t j1 = std::min(j0 + kTile, n_);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const Stop& a = instance.stops[i];
+        for (std::size_t j = std::max(j0, i + 1); j < j1; ++j) {
+          const Stop& b = instance.stops[j];
+          const Meters d = pair_distance
+                               ? pair_distance(a, b)
+                               : geom::distance(a.position, b.position);
+          const Seconds t = d / instance.speed;
+          cell_[i * n_ + j] = t;
+          cell_[j * n_ + i] = t;
+        }
+      }
     }
   }
-  return m;
 }
 
 const TravelMatrix& TideInstance::travel_matrix() const {
@@ -49,6 +68,13 @@ void TideInstance::set_travel_matrix(TravelMatrix matrix) {
   WRSN_REQUIRE(matrix.size() == stops.size(),
                "travel matrix does not cover the instance stops");
   matrix_ = std::make_shared<const TravelMatrix>(std::move(matrix));
+}
+
+void TideInstance::set_travel_matrix(std::shared_ptr<const TravelMatrix> matrix) {
+  WRSN_REQUIRE(matrix != nullptr, "travel matrix must not be null");
+  WRSN_REQUIRE(matrix->size() == stops.size(),
+               "travel matrix does not cover the instance stops");
+  matrix_ = std::move(matrix);
 }
 
 void TideInstance::validate() const {
@@ -69,8 +95,17 @@ void TideInstance::validate() const {
 std::optional<Plan> evaluate_order(const TideInstance& instance,
                                    std::span<const std::size_t> order) {
   Plan plan;
-  plan.keys_total = instance.key_count();
-  plan.completion_time = instance.start_time;
+  if (!evaluate_order_into(instance, order, plan)) return std::nullopt;
+  return plan;
+}
+
+bool evaluate_order_into(const TideInstance& instance,
+                         std::span<const std::size_t> order, Plan& out) {
+  out.visits.clear();
+  out.utility = 0.0;
+  out.keys_scheduled = 0;
+  out.keys_total = instance.key_count();
+  out.completion_time = instance.start_time;
 
   geom::Vec2 pos = instance.start_position;
   Seconds clock = instance.start_time;
@@ -79,25 +114,28 @@ std::optional<Plan> evaluate_order(const TideInstance& instance,
     const Stop& stop = instance.stops[idx];
     const Seconds arrival = clock + instance.travel_time(pos, stop.position);
     const Seconds start = std::max(arrival, stop.window_open);
-    if (start > stop.window_close + kWindowEpsilon) return std::nullopt;
+    if (start > stop.window_close + kWindowEpsilon) {
+      out.visits.clear();
+      return false;
+    }
 
     Visit visit;
     visit.stop_index = idx;
     visit.arrival = arrival;
     visit.service_start = start;
     visit.departure = start + stop.service_time;
-    plan.visits.push_back(visit);
+    out.visits.push_back(visit);
 
     if (stop.is_key) {
-      ++plan.keys_scheduled;
+      ++out.keys_scheduled;
     } else {
-      plan.utility += stop.utility;
+      out.utility += stop.utility;
     }
     clock = visit.departure;
     pos = stop.position;
   }
-  plan.completion_time = clock;
-  return plan;
+  out.completion_time = clock;
+  return true;
 }
 
 Plan evaluate_order_dropping(const TideInstance& instance,

@@ -64,6 +64,16 @@ class TravelMatrix {
   static TravelMatrix build(const TideInstance& instance,
                             const PairDistance& pair_distance = nullptr);
 
+  /// In-place variant of build(): refills this matrix for `instance`,
+  /// reusing the existing storage (allocation-free once capacity covers the
+  /// stop count).  The fill is cache-blocked: the upper triangle is walked
+  /// in square tiles so the mirrored column writes stay inside one resident
+  /// block instead of striding the full row length per write.  Cell values
+  /// are bit-identical to build()'s for any fill order (each is a pure
+  /// per-pair function).
+  void rebuild(const TideInstance& instance,
+               const PairDistance& pair_distance = nullptr);
+
   std::size_t size() const { return n_; }
   /// Travel time from the instance start position to stop `i`.
   Seconds from_start(std::size_t i) const { return start_row_[i]; }
@@ -71,6 +81,13 @@ class TravelMatrix {
   Seconds between(std::size_t i, std::size_t j) const {
     return cell_[i * n_ + j];
   }
+  /// Row `i` as a flat lane: row(i)[j] == between(i, j).  The planners hoist
+  /// a candidate stop's row out of their position scans so the inner loop
+  /// indexes one contiguous array.
+  const Seconds* row(std::size_t i) const { return cell_.data() + i * n_; }
+  /// The whole start-leg lane (from_start(i) == start_row()[i]); lets the
+  /// batched insertion rescore index it like a matrix row.
+  const Seconds* start_row() const { return start_row_.data(); }
 
  private:
   std::size_t n_ = 0;
@@ -95,6 +112,10 @@ struct TideInstance {
   /// Installs a pre-built matrix (the orchestrator primes it from its
   /// cross-replan node-pair distance cache).  Must cover `stops`.
   void set_travel_matrix(TravelMatrix matrix);
+  /// Shares an externally owned matrix without copying it — the zero-alloc
+  /// replan path: the caller rebuild()s its arena matrix in place and
+  /// re-installs the same shared_ptr (a refcount bump, no allocation).
+  void set_travel_matrix(std::shared_ptr<const TravelMatrix> matrix);
   /// Throws ConfigError on inconsistent data (closed-before-open windows,
   /// non-positive speed, negative service times).
   void validate() const;
@@ -134,6 +155,12 @@ struct Plan {
 /// covers_all_keys() == false.
 std::optional<Plan> evaluate_order(const TideInstance& instance,
                                    std::span<const std::size_t> order);
+
+/// Allocation-free variant: fills `out` in place (reusing its visit storage)
+/// and returns false instead of nullopt on an infeasible order.  `out` is
+/// cleared in both cases.
+bool evaluate_order_into(const TideInstance& instance,
+                         std::span<const std::size_t> order, Plan& out);
 
 /// Like evaluate_order but drops infeasible stops instead of failing:
 /// greedily keeps each stop whose window can still be met.  Used by the

@@ -55,13 +55,13 @@ std::size_t nearest_depot(geom::Vec2 p, std::span<const geom::Vec2> depots) {
 
 std::vector<std::vector<net::NodeId>> partition_by_depot(
     const net::Network& network, std::span<const geom::Vec2> depots,
-    const std::vector<bool>& alive) {
+    const Bitmap& alive) {
   WRSN_REQUIRE(!depots.empty(), "at least one depot");
   WRSN_REQUIRE(alive.empty() || alive.size() == network.size(),
                "alive mask must cover every node");
   std::vector<std::vector<net::NodeId>> cells(depots.size());
   for (net::NodeId id = 0; id < network.size(); ++id) {
-    if (!alive.empty() && !alive[id]) continue;
+    if (!alive.empty() && !alive.test(id)) continue;
     cells[nearest_depot(network.node(id).position, depots)].push_back(id);
   }
   return cells;

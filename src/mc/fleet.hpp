@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "geom/vec2.hpp"
 #include "net/network.hpp"
 
@@ -38,6 +39,6 @@ std::size_t nearest_depot(geom::Vec2 p, std::span<const geom::Vec2> depots);
 /// cell indices stay aligned with charger ids downstream.
 std::vector<std::vector<net::NodeId>> partition_by_depot(
     const net::Network& network, std::span<const geom::Vec2> depots,
-    const std::vector<bool>& alive = {});
+    const Bitmap& alive = {});
 
 }  // namespace wrsn::mc

@@ -9,14 +9,14 @@
 namespace wrsn::net {
 namespace {
 
-bool alive_or_all(const std::vector<bool>& alive, NodeId id) {
-  return alive.empty() || alive[id];
+bool alive_or_all(const Bitmap& alive, NodeId id) {
+  return alive.empty() || alive.test(id);
 }
 
 // Adjacency view over the alive subgraph with the sink as virtual vertex n.
 class AliveGraph {
  public:
-  AliveGraph(const Network& network, const std::vector<bool>& alive)
+  AliveGraph(const Network& network, const Bitmap& alive)
       : network_(network), alive_(alive) {}
 
   std::size_t vertex_count() const { return network_.size() + 1; }
@@ -43,7 +43,7 @@ class AliveGraph {
 
  private:
   const Network& network_;
-  const std::vector<bool>& alive_;
+  const Bitmap& alive_;
 };
 
 // Iterative Tarjan articulation-point computation (recursion-free so deep
@@ -113,7 +113,7 @@ std::vector<bool> tarjan_articulation(const AliveGraph& graph) {
 }  // namespace
 
 std::vector<NodeId> articulation_points(const Network& network,
-                                        const std::vector<bool>& alive) {
+                                        const Bitmap& alive) {
   WRSN_REQUIRE(alive.empty() || alive.size() == network.size(),
                "alive mask size mismatch");
   const AliveGraph graph(network, alive);
@@ -128,7 +128,7 @@ std::vector<NodeId> articulation_points(const Network& network,
 
 std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
                                         const TrafficLoads& loads,
-                                        const std::vector<bool>& alive) {
+                                        const Bitmap& alive) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(loads.tx_bps.empty() || loads.tx_bps.size() == n,
                "loads do not match network");
@@ -139,12 +139,12 @@ std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
   const std::size_t base_connected = count_sink_connected(network, alive);
 
   std::vector<std::size_t> disconnects(n, 0);
-  std::vector<bool> mask = alive;
+  Bitmap mask = alive;
   if (mask.empty()) mask.assign(n, true);
   for (const NodeId cut : cuts) {
-    mask[cut] = false;
+    mask.reset(cut);
     const std::size_t connected = count_sink_connected(network, mask);
-    mask[cut] = true;
+    mask.set(cut);
     // The cut node itself leaves the connected set; anything beyond that is
     // collateral disconnection.
     const std::size_t lost = base_connected - connected;
@@ -177,7 +177,7 @@ std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
 std::vector<NodeId> select_key_nodes(const Network& network,
                                      const TrafficLoads& loads,
                                      const KeyNodeConfig& config,
-                                     const std::vector<bool>& alive) {
+                                     const Bitmap& alive) {
   WRSN_REQUIRE(config.max_count > 0, "max_count must be > 0");
   std::vector<KeyNodeInfo> ranked = rank_key_nodes(network, loads, alive);
 

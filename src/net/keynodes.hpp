@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "net/network.hpp"
 #include "net/routing.hpp"
 
@@ -45,18 +46,18 @@ struct KeyNodeInfo {
 /// Articulation points of the alive communication graph including the sink,
 /// i.e. nodes whose removal disconnects some alive node from the sink.
 std::vector<NodeId> articulation_points(const Network& network,
-                                        const std::vector<bool>& alive = {});
+                                        const Bitmap& alive = {});
 
 /// Ranks every alive node by (disconnect_count, traffic) descending.
 /// `loads` may be empty, in which case traffic is treated as zero.
 std::vector<KeyNodeInfo> rank_key_nodes(const Network& network,
                                         const TrafficLoads& loads,
-                                        const std::vector<bool>& alive = {});
+                                        const Bitmap& alive = {});
 
 /// Selects the attack target set according to `config`.
 std::vector<NodeId> select_key_nodes(const Network& network,
                                      const TrafficLoads& loads,
                                      const KeyNodeConfig& config,
-                                     const std::vector<bool>& alive = {});
+                                     const Bitmap& alive = {});
 
 }  // namespace wrsn::net

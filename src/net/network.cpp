@@ -19,17 +19,52 @@ Network::Network(std::vector<SensorSpec> nodes, geom::Vec2 sink_position,
                  "battery capacity must be positive");
   }
 
-  adjacency_.resize(nodes_.size());
-  sink_adjacent_.resize(nodes_.size(), false);
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
-      if (geom::distance(nodes_[i].position, nodes_[j].position) <=
-          comm_range_) {
-        adjacency_[i].push_back(static_cast<NodeId>(j));
-        adjacency_[j].push_back(static_cast<NodeId>(i));
+  const std::size_t n = nodes_.size();
+  // Pass 1: in-range pairs (each distance computed once) and degrees.
+  struct Edge {
+    NodeId a;
+    NodeId b;
+    Meters d;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::uint32_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Meters d =
+          geom::distance(nodes_[i].position, nodes_[j].position);
+      if (d <= comm_range_) {
+        edges.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j), d});
+        ++degree[i];
+        ++degree[j];
       }
     }
-    if (geom::distance(nodes_[i].position, sink_position_) <= comm_range_) {
+  }
+
+  // Pass 2: CSR fill.  Edges were found in ascending (i, j) order, so
+  // appending each endpoint's entry in discovery order reproduces the
+  // ascending neighbour lists of the old per-node vectors exactly.
+  adj_offset_.resize(n + 1);
+  adj_offset_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    adj_offset_[i + 1] = adj_offset_[i] + degree[i];
+  }
+  adj_nodes_.resize(adj_offset_[n]);
+  adj_dist_.resize(adj_offset_[n]);
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(),
+                                    adj_offset_.end() - 1);
+  for (const Edge& e : edges) {
+    adj_nodes_[cursor[e.a]] = e.b;
+    adj_dist_[cursor[e.a]++] = e.d;
+    adj_nodes_[cursor[e.b]] = e.a;
+    adj_dist_[cursor[e.b]++] = e.d;
+  }
+
+  sink_adjacent_.resize(n, false);
+  sink_distance_.resize(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Meters d = geom::distance(nodes_[i].position, sink_position_);
+    sink_distance_[i] = d;
+    if (d <= comm_range_) {
       sink_adjacent_[i] = true;
       sink_neighbors_.push_back(static_cast<NodeId>(i));
     }
@@ -43,7 +78,14 @@ const SensorSpec& Network::node(NodeId id) const {
 
 std::span<const NodeId> Network::neighbors(NodeId id) const {
   WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
-  return adjacency_[id];
+  return {adj_nodes_.data() + adj_offset_[id],
+          adj_nodes_.data() + adj_offset_[id + 1]};
+}
+
+std::span<const Meters> Network::neighbor_distances(NodeId id) const {
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return {adj_dist_.data() + adj_offset_[id],
+          adj_dist_.data() + adj_offset_[id + 1]};
 }
 
 bool Network::sink_reachable(NodeId id) const {
@@ -56,7 +98,8 @@ Meters Network::distance(NodeId a, NodeId b) const {
 }
 
 Meters Network::distance_to_sink(NodeId id) const {
-  return geom::distance(node(id).position, sink_position_);
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  return sink_distance_[id];
 }
 
 }  // namespace wrsn::net

@@ -46,6 +46,12 @@ class Network {
   /// Node-to-node neighbours within communication range (excludes the sink).
   std::span<const NodeId> neighbors(NodeId id) const;
 
+  /// Euclidean distances to the same neighbours, index-aligned with
+  /// neighbors(id).  Precomputed at construction with the exact expression
+  /// distance(id, v) uses, so the routing inner loops read a contiguous lane
+  /// instead of recomputing a hypot per edge relaxation.
+  std::span<const Meters> neighbor_distances(NodeId id) const;
+
   /// True if `id` can talk directly to the sink.
   bool sink_reachable(NodeId id) const;
 
@@ -62,9 +68,17 @@ class Network {
   std::vector<SensorSpec> nodes_;
   geom::Vec2 sink_position_;
   Meters comm_range_;
-  std::vector<std::vector<NodeId>> adjacency_;
+  // Adjacency in CSR form: node id's neighbours are adj_nodes_[adj_offset_
+  // [id] .. adj_offset_[id+1]), with the matching edge length in adj_dist_
+  // at the same index.  One flat allocation each, so the Dijkstra
+  // relaxations walk two contiguous lanes instead of chasing a per-node
+  // vector and recomputing a hypot per edge.
+  std::vector<std::uint32_t> adj_offset_;
+  std::vector<NodeId> adj_nodes_;
+  std::vector<Meters> adj_dist_;
   std::vector<NodeId> sink_neighbors_;
   std::vector<bool> sink_adjacent_;
+  std::vector<Meters> sink_distance_;
 };
 
 }  // namespace wrsn::net

@@ -10,8 +10,8 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-bool alive_or_all(const std::vector<bool>& alive, NodeId id) {
-  return alive.empty() || alive[id];
+bool alive_or_all(const Bitmap& alive, NodeId id) {
+  return alive.empty() || alive.test(id);
 }
 
 using FrontierEntry = std::pair<double, NodeId>;  // (cost, node), min-heap
@@ -32,15 +32,15 @@ FrontierEntry frontier_pop(std::vector<FrontierEntry>& heap) {
 
 void RoutingScratch::reserve(std::size_t n, std::size_t edges) {
   heap.reserve(edges + n + 1);
-  settled.reserve(n);
+  settled.assign(n, false);
   affected.reserve(n);
   affected_ids.reserve(n);
   repaired_order.reserve(n);
   merged_order.reserve(n);
+  children.reserve(n);
 }
 
-void rebuild_routing_tree(const Network& network,
-                          const std::vector<bool>& alive,
+void rebuild_routing_tree(const Network& network, const Bitmap& alive,
                           const RoutingParams& params, RoutingTree& tree,
                           RoutingScratch& scratch) {
   const std::size_t n = network.size();
@@ -72,12 +72,15 @@ void rebuild_routing_tree(const Network& network,
   while (!heap.empty()) {
     const auto [cost, u] = frontier_pop(heap);
     if (scratch.settled[u] || cost > tree.path_cost[u]) continue;
-    scratch.settled[u] = true;
-    tree.reachable[u] = true;
+    scratch.settled.set(u);
+    tree.reachable.set(u);
     tree.settle_order.push_back(u);
-    for (const NodeId v : network.neighbors(u)) {
+    const auto nbrs = network.neighbors(u);
+    const auto dist = network.neighbor_distances(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId v = nbrs[k];
       if (!alive_or_all(alive, v) || scratch.settled[v]) continue;
-      const Meters d = network.distance(u, v);
+      const Meters d = dist[k];
       const double next = cost + params.hop_cost + d * d;
       if (next < tree.path_cost[v]) {
         tree.path_cost[v] = next;
@@ -89,8 +92,7 @@ void rebuild_routing_tree(const Network& network,
   }
 }
 
-RoutingTree build_routing_tree(const Network& network,
-                               const std::vector<bool>& alive,
+RoutingTree build_routing_tree(const Network& network, const Bitmap& alive,
                                const RoutingParams& params) {
   RoutingTree tree;
   RoutingScratch scratch;
@@ -98,8 +100,7 @@ RoutingTree build_routing_tree(const Network& network,
   return tree;
 }
 
-bool repair_routing_after_death(const Network& network,
-                                const std::vector<bool>& alive,
+bool repair_routing_after_death(const Network& network, const Bitmap& alive,
                                 const RoutingParams& params, NodeId dead,
                                 RoutingTree& tree, RoutingScratch& scratch,
                                 double max_affected_fraction) {
@@ -136,12 +137,12 @@ bool repair_routing_after_death(const Network& network,
   }
 
   // 2. Detach the subtree (and the dead node) back to the unreachable state.
-  tree.reachable[dead] = false;
+  tree.reachable.reset(dead);
   tree.parent[dead] = kInvalidNode;
   tree.uplink_distance[dead] = 0.0;
   tree.path_cost[dead] = kInf;
   for (const NodeId u : scratch.affected_ids) {
-    tree.reachable[u] = false;
+    tree.reachable.reset(u);
     tree.parent[u] = kInvalidNode;
     tree.uplink_distance[u] = 0.0;
     tree.path_cost[u] = kInf;
@@ -162,11 +163,14 @@ bool repair_routing_after_death(const Network& network,
       best = params.hop_cost + d * d;
       best_distance = d;
     }
-    for (const NodeId v : network.neighbors(u)) {
+    const auto nbrs = network.neighbors(u);
+    const auto dist = network.neighbor_distances(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId v = nbrs[k];
       if (!alive[v] || scratch.affected[v] != 0 || !tree.reachable[v]) {
         continue;
       }
-      const Meters d = network.distance(u, v);
+      const Meters d = dist[k];
       const double cost = tree.path_cost[v] + params.hop_cost + d * d;
       if (cost < best) {
         best = cost;
@@ -188,13 +192,16 @@ bool repair_routing_after_death(const Network& network,
   while (!heap.empty()) {
     const auto [cost, u] = frontier_pop(heap);
     if (tree.reachable[u] || cost > tree.path_cost[u]) continue;
-    tree.reachable[u] = true;
+    tree.reachable.set(u);
     scratch.repaired_order.push_back(u);
-    for (const NodeId v : network.neighbors(u)) {
+    const auto nbrs = network.neighbors(u);
+    const auto dist = network.neighbor_distances(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId v = nbrs[k];
       if (!alive[v] || scratch.affected[v] == 0 || tree.reachable[v]) {
         continue;
       }
-      const Meters d = network.distance(u, v);
+      const Meters d = dist[k];
       const double next = cost + params.hop_cost + d * d;
       if (next < tree.path_cost[v]) {
         tree.path_cost[v] = next;
@@ -232,7 +239,7 @@ bool repair_routing_after_death(const Network& network,
 }
 
 void recompute_loads(const Network& network, const RoutingTree& tree,
-                     const std::vector<bool>& alive, TrafficLoads& loads) {
+                     const Bitmap& alive, TrafficLoads& loads) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(tree.parent.size() == n, "tree does not match network");
 
@@ -255,10 +262,76 @@ void recompute_loads(const Network& network, const RoutingTree& tree,
 }
 
 TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
-                           const std::vector<bool>& alive) {
+                           const Bitmap& alive) {
   TrafficLoads loads;
   recompute_loads(network, tree, alive, loads);
   return loads;
+}
+
+void update_loads_after_repair(const Network& network, const RoutingTree& tree,
+                               const NodeId dead, const NodeId old_parent,
+                               RoutingScratch& scratch, TrafficLoads& loads,
+                               std::vector<NodeId>& touched) {
+  const std::size_t n = network.size();
+  WRSN_REQUIRE(loads.tx_bps.size() == n && loads.rx_bps.size() == n,
+               "loads do not match network");
+
+  // Touched set = the nodes whose aggregated traffic can differ from before
+  // the death: the dead node, its old subtree (scratch.affected, still set
+  // from the repair), and — since a changed transmit rate propagates to the
+  // parent — the ancestor chain above every new attachment point.  Parents
+  // of unaffected nodes are unaffected (the affected set is closed under
+  // "child of"), so each chain stays outside the subtree and the walk stops
+  // at the first node already marked.
+  touched.push_back(dead);
+  for (const NodeId u : scratch.affected_ids) touched.push_back(u);
+  const auto walk_chain = [&](NodeId x) {
+    while (x != kInvalidNode && scratch.affected[x] == 0) {
+      scratch.affected[x] = 1;
+      touched.push_back(x);
+      x = tree.parent[x];
+    }
+  };
+  walk_chain(old_parent);
+  for (const NodeId u : scratch.repaired_order) walk_chain(tree.parent[u]);
+
+  // Recompute the touched nodes leaves-first in descending (path_cost, id):
+  // with strictly positive edge costs the settle order IS ascending
+  // (path_cost, id) — the assumption the repair's settle-order merge already
+  // makes — so this is exactly the full reverse settle-order walk restricted
+  // to the touched set, and every floating-point sum is reproduced in the
+  // same order.  Unreachable cost is +inf, so detached nodes sort first and
+  // are simply zeroed.
+  const auto greater_by_cost = [&tree](NodeId a, NodeId b) {
+    if (tree.path_cost[a] != tree.path_cost[b]) {
+      return tree.path_cost[a] > tree.path_cost[b];
+    }
+    return a > b;
+  };
+  std::sort(touched.begin(), touched.end(), greater_by_cost);
+  for (const NodeId u : touched) {
+    if (!tree.reachable[u]) {
+      loads.tx_bps[u] = 0.0;
+      loads.rx_bps[u] = 0.0;
+      continue;
+    }
+    // A child not in the touched set kept its old (still bitwise-valid)
+    // transmit rate; touched children were recomputed above (they sort
+    // strictly before their parent).
+    scratch.children.clear();
+    for (const NodeId v : network.neighbors(u)) {
+      if (tree.parent[v] == u && tree.reachable[v]) {
+        scratch.children.push_back(v);
+      }
+    }
+    std::sort(scratch.children.begin(), scratch.children.end(),
+              greater_by_cost);
+    double rx = 0.0;
+    for (const NodeId c : scratch.children) rx += loads.tx_bps[c];
+    loads.rx_bps[u] = rx;
+    loads.tx_bps[u] = rx + network.node(u).data_rate_bps;
+  }
+  std::sort(touched.begin(), touched.end());
 }
 
 void recompute_drain_rates(const Network& network, const RoutingTree& tree,

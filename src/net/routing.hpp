@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/units.hpp"
 #include "energy/radio.hpp"
 #include "net/network.hpp"
@@ -40,7 +41,7 @@ struct RoutingTree {
   /// or is unreachable (see `reachable`).
   std::vector<NodeId> parent;
   /// True when the node has a path to the sink.
-  std::vector<bool> reachable;
+  Bitmap reachable;
   /// Distance to the parent (or to the sink for direct uplinks) [m].
   std::vector<Meters> uplink_distance;
   /// Reachable nodes in ascending path-cost order (sink outward).
@@ -53,11 +54,12 @@ struct RoutingTree {
 /// these per World means zero allocations per rebuild after warmup.
 struct RoutingScratch {
   std::vector<std::pair<double, NodeId>> heap;  ///< Dijkstra frontier
-  std::vector<bool> settled;                    ///< full-rebuild settle marks
+  Bitmap settled;                               ///< full-rebuild settle marks
   std::vector<char> affected;                   ///< repair: subtree mask
   std::vector<NodeId> affected_ids;             ///< repair: subtree members
   std::vector<NodeId> repaired_order;           ///< repair: re-settle order
   std::vector<NodeId> merged_order;             ///< repair: merged settle order
+  std::vector<NodeId> children;                 ///< loads update: child sort
 
   /// Pre-sizes every buffer for a network of `n` nodes with `edges` adjacency
   /// entries (directed count), so later rebuilds never allocate.
@@ -66,13 +68,12 @@ struct RoutingScratch {
 
 /// Builds the routing tree over nodes with `alive[id]` set (empty = all).
 RoutingTree build_routing_tree(const Network& network,
-                               const std::vector<bool>& alive = {},
+                               const Bitmap& alive = {},
                                const RoutingParams& params = {});
 
 /// In-place full rebuild of `tree` (same result as build_routing_tree);
 /// reuses the capacity of `tree`'s vectors and `scratch`.
-void rebuild_routing_tree(const Network& network,
-                          const std::vector<bool>& alive,
+void rebuild_routing_tree(const Network& network, const Bitmap& alive,
                           const RoutingParams& params, RoutingTree& tree,
                           RoutingScratch& scratch);
 
@@ -83,8 +84,7 @@ void rebuild_routing_tree(const Network& network,
 /// Returns false without touching `tree` when the affected subtree exceeds
 /// `max_affected_fraction` of the reachable nodes — the caller should fall
 /// back to rebuild_routing_tree, which is cheaper at that size.
-bool repair_routing_after_death(const Network& network,
-                                const std::vector<bool>& alive,
+bool repair_routing_after_death(const Network& network, const Bitmap& alive,
                                 const RoutingParams& params, NodeId dead,
                                 RoutingTree& tree, RoutingScratch& scratch,
                                 double max_affected_fraction = 0.25);
@@ -98,11 +98,31 @@ struct TrafficLoads {
 /// Aggregates application traffic up the routing tree.  Unreachable nodes
 /// carry no traffic (their data has nowhere to go).
 TrafficLoads compute_loads(const Network& network, const RoutingTree& tree,
-                           const std::vector<bool>& alive = {});
+                           const Bitmap& alive = {});
 
 /// In-place variant of compute_loads; reuses `loads`' capacity.
 void recompute_loads(const Network& network, const RoutingTree& tree,
-                     const std::vector<bool>& alive, TrafficLoads& loads);
+                     const Bitmap& alive, TrafficLoads& loads);
+
+/// After a successful repair_routing_after_death, patches `loads` in place
+/// touching only the nodes whose aggregated traffic could have changed:
+/// the dead node, its old routing subtree, and the ancestor chains of every
+/// new attachment point (the dead node's former parent plus each repaired
+/// node's new parent).  Every touched node's loads are recomputed exactly —
+/// children summed in descending (path_cost, id) order, the restriction of
+/// the full reverse settle-order walk to the touched set — so the result is
+/// bitwise identical to a full recompute_loads.  Relies on strictly positive
+/// edge costs (settle order == ascending (path_cost, id)), the same
+/// assumption the repair's settle-order merge already makes.
+///
+/// `old_parent` is the dead node's parent BEFORE the repair (the repair
+/// resets it); `scratch` must be the one the repair just used (its affected
+/// mask and repaired order are consumed, and its mask is extended with the
+/// ancestor chains).  Appends the touched ids to `touched`, sorted ascending.
+void update_loads_after_repair(const Network& network, const RoutingTree& tree,
+                               NodeId dead, NodeId old_parent,
+                               RoutingScratch& scratch, TrafficLoads& loads,
+                               std::vector<NodeId>& touched);
 
 /// Drain-rate model parameters.
 struct DrainParams {

@@ -138,20 +138,19 @@ Network generate_topology(const TopologyConfig& config, Rng& rng) {
       "or node density");
 }
 
-std::size_t count_sink_connected(const Network& network,
-                                 const std::vector<bool>& alive) {
+std::size_t count_sink_connected(const Network& network, const Bitmap& alive) {
   const std::size_t n = network.size();
   WRSN_REQUIRE(alive.empty() || alive.size() == n,
                "alive mask size mismatch");
   const auto is_alive = [&](NodeId id) {
-    return alive.empty() || alive[id];
+    return alive.empty() || alive.test(id);
   };
 
-  std::vector<bool> visited(n, false);
+  Bitmap visited(n, false);
   std::queue<NodeId> frontier;
   for (const NodeId id : network.sink_neighbors()) {
     if (is_alive(id) && !visited[id]) {
-      visited[id] = true;
+      visited.set(id);
       frontier.push(id);
     }
   }
@@ -162,7 +161,7 @@ std::size_t count_sink_connected(const Network& network,
     ++reached;
     for (const NodeId v : network.neighbors(u)) {
       if (is_alive(v) && !visited[v]) {
-        visited[v] = true;
+        visited.set(v);
         frontier.push(v);
       }
     }
@@ -170,12 +169,9 @@ std::size_t count_sink_connected(const Network& network,
   return reached;
 }
 
-bool is_connected(const Network& network, const std::vector<bool>& alive) {
-  std::size_t alive_count = network.size();
-  if (!alive.empty()) {
-    alive_count = static_cast<std::size_t>(
-        std::count(alive.begin(), alive.end(), true));
-  }
+bool is_connected(const Network& network, const Bitmap& alive) {
+  const std::size_t alive_count =
+      alive.empty() ? network.size() : alive.count();
   return count_sink_connected(network, alive) == alive_count;
 }
 

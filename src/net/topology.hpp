@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "common/bitset.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
 
@@ -62,10 +63,10 @@ Network generate_topology(const TopologyConfig& config, Rng& rng);
 
 /// True if every node can reach the sink over the unit-disk graph,
 /// considering only nodes with `alive[id]` set (alive may be empty = all).
-bool is_connected(const Network& network, const std::vector<bool>& alive = {});
+bool is_connected(const Network& network, const Bitmap& alive = {});
 
 /// Number of alive nodes that can reach the sink.
 std::size_t count_sink_connected(const Network& network,
-                                 const std::vector<bool>& alive = {});
+                                 const Bitmap& alive = {});
 
 }  // namespace wrsn::net

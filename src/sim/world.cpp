@@ -76,16 +76,24 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
 
   const std::size_t n = network_.size();
   Rng init_rng = rng_.fork("init-levels");
-  states_.reserve(n);
+  level_.reserve(n);
+  capacity_.reserve(n);
+  believed_.reserve(n);
   for (const net::SensorSpec& spec : network_.nodes()) {
+    WRSN_REQUIRE(spec.battery_capacity > 0.0,
+                 "battery capacity must be positive");
     const double frac =
         init_rng.uniform(params_.initial_level_min, params_.initial_level_max);
-    states_.emplace_back(
-        energy::Battery(spec.battery_capacity, frac * spec.battery_capacity));
-    states_.back().sync_time = sim_.now();
-    states_.back().believed = frac * spec.battery_capacity;
+    capacity_.push_back(spec.battery_capacity);
+    level_.push_back(frac * spec.battery_capacity);
+    believed_.push_back(frac * spec.battery_capacity);
   }
-  alive_count_ = states_.size();
+  sync_time_.assign(n, sim_.now());
+  drain_.assign(n, 0.0);
+  charge_.assign(n, 0.0);
+  self_discharge_.assign(n, 0.0);
+  cold_.assign(n, NodeCold{});
+  alive_count_ = n;
   alive_mask_.assign(n, true);
   pending_ids_.reserve(n);
   dirty_ids_.reserve(n);
@@ -103,10 +111,10 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
   // Background hardware failures: each node draws an exponential lifetime.
   if (params_.hardware_mtbf > 0.0) {
     Rng failure_rng = rng_.fork("hardware-failures");
-    for (net::NodeId id = 0; id < states_.size(); ++id) {
+    for (net::NodeId id = 0; id < n; ++id) {
       const Seconds at =
           sim_.now() + failure_rng.exponential(1.0 / params_.hardware_mtbf);
-      states_[id].hardware_event =
+      cold_[id].hardware_event =
           sim_.schedule_at(at, [this, id] { fire_hardware_failure(id); });
     }
   }
@@ -114,72 +122,79 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
   recompute_routing();
 }
 
-World::NodeState& World::state(net::NodeId id) {
-  WRSN_REQUIRE(id < states_.size(), "node id out of range");
-  return states_[id];
+World::NodeCold& World::cold(net::NodeId id) {
+  WRSN_REQUIRE(id < cold_.size(), "node id out of range");
+  return cold_[id];
 }
 
-const World::NodeState& World::state(net::NodeId id) const {
-  WRSN_REQUIRE(id < states_.size(), "node id out of range");
-  return states_[id];
+const World::NodeCold& World::cold(net::NodeId id) const {
+  WRSN_REQUIRE(id < cold_.size(), "node id out of range");
+  return cold_[id];
 }
 
-bool World::alive(net::NodeId id) const { return state(id).alive; }
+bool World::alive(net::NodeId id) const {
+  WRSN_REQUIRE(id < cold_.size(), "node id out of range");
+  return alive_mask_.test(id);
+}
 
 Joules World::level(net::NodeId id) const {
-  const NodeState& s = state(id);
-  if (!s.alive) return 0.0;
-  const Seconds dt = sim_.now() - s.sync_time;
-  const Joules delta = net_drain(s) * dt;
-  return std::clamp(s.battery.level() - delta, 0.0, s.battery.capacity());
+  if (!alive(id)) return 0.0;
+  const Seconds dt = sim_.now() - sync_time_[id];
+  const Joules delta = net_drain(id) * dt;
+  return std::clamp(level_[id] - delta, 0.0, capacity_[id]);
 }
 
 double World::level_fraction(net::NodeId id) const {
-  return level(id) / state(id).battery.capacity();
+  return level(id) / capacity_[id];
 }
 
 Joules World::believed_level(net::NodeId id) const {
-  const NodeState& s = state(id);
-  if (!s.alive) return 0.0;
-  const Seconds dt = sim_.now() - s.sync_time;
-  return std::clamp(s.believed - s.drain * dt, 0.0, s.battery.capacity());
+  if (!alive(id)) return 0.0;
+  const Seconds dt = sim_.now() - sync_time_[id];
+  return std::clamp(believed_[id] - drain_[id] * dt, 0.0, capacity_[id]);
 }
 
-Watts World::drain_rate(net::NodeId id) const { return state(id).drain; }
+Watts World::drain_rate(net::NodeId id) const {
+  WRSN_REQUIRE(id < drain_.size(), "node id out of range");
+  return drain_[id];
+}
 
-Watts World::charge_rate(net::NodeId id) const { return state(id).charge; }
+Watts World::charge_rate(net::NodeId id) const {
+  WRSN_REQUIRE(id < charge_.size(), "node id out of range");
+  return charge_[id];
+}
 
 Seconds World::predicted_death(net::NodeId id) const {
-  const NodeState& s = state(id);
-  if (!s.alive) return sim_.now();
-  const Watts net = net_drain(s);
+  if (!alive(id)) return sim_.now();
+  const Watts net = net_drain(id);
   if (net <= 0.0) return kInf;
   return sim_.now() + level(id) / net;
 }
 
 Seconds World::predicted_request(net::NodeId id) const {
-  const NodeState& s = state(id);
-  if (!s.alive || s.pending || s.in_service) return kInf;
-  const Joules threshold = params_.request_threshold * s.battery.capacity();
+  const NodeCold& c = cold(id);
+  if (!alive_mask_.test(id) || c.pending || c.in_service) return kInf;
+  const Joules threshold = params_.request_threshold * capacity_[id];
   const Joules believed = believed_level(id);
   if (believed <= threshold) {
-    return std::max(sim_.now(), s.cooldown_until);
+    return std::max(sim_.now(), c.cooldown_until);
   }
   // The believed level declines at the node's measured consumption rate
   // (harvest is only credited at service end).
-  if (s.drain <= 0.0) return kInf;
-  const Seconds crossing = sim_.now() + (believed - threshold) / s.drain;
-  return std::max(crossing, s.cooldown_until);
+  if (drain_[id] <= 0.0) return kInf;
+  const Seconds crossing = sim_.now() + (believed - threshold) / drain_[id];
+  return std::max(crossing, c.cooldown_until);
 }
 
 bool World::has_pending_request(net::NodeId id) const {
-  return state(id).pending;
+  return cold(id).pending;
 }
 
 PendingRequest World::pending_request(net::NodeId id) const {
-  const NodeState& s = state(id);
-  WRSN_REQUIRE(s.alive && s.pending, "node has no pending request");
-  return {id, s.requested_at, s.escalation_deadline, s.pending_emergency};
+  const NodeCold& c = cold(id);
+  WRSN_REQUIRE(alive_mask_.test(id) && c.pending,
+               "node has no pending request");
+  return {id, c.requested_at, c.escalation_deadline, c.pending_emergency};
 }
 
 std::vector<PendingRequest> World::pending_requests() const {
@@ -223,25 +238,24 @@ double World::draw_genuine_gain_factor() {
 
 bool World::set_charge_input(net::NodeId id, Watts dc) {
   WRSN_REQUIRE(dc >= 0.0, "negative charge input");
-  NodeState& s = state(id);
-  if (!s.alive) return false;
+  if (!alive(id)) return false;
   resync(id);
-  s.charge = dc;
+  charge_[id] = dc;
   reschedule(id);
   return true;
 }
 
 void World::note_service_started(net::NodeId id) {
-  NodeState& s = state(id);
-  if (!s.alive) return;
-  s.in_service = true;
-  if (s.pending) {
-    s.pending = false;
-    s.pending_emergency = false;
+  NodeCold& c = cold(id);
+  if (!alive_mask_.test(id)) return;
+  c.in_service = true;
+  if (c.pending) {
+    c.pending = false;
+    c.pending_emergency = false;
     pending_erase(id);
-    if (s.escalation_event != kInvalidEvent) {
-      sim_.cancel(s.escalation_event);
-      s.escalation_event = kInvalidEvent;
+    if (c.escalation_event != kInvalidEvent) {
+      sim_.cancel(c.escalation_event);
+      c.escalation_event = kInvalidEvent;
     }
   }
 }
@@ -251,17 +265,17 @@ void World::note_service_ended(net::NodeId id, Joules expected,
   WRSN_REQUIRE(expected >= 0.0 && delivered >= 0.0,
                "negative session energy");
   (void)delivered;  // only the trace sees the truth; the node cannot
-  NodeState& s = state(id);
-  s.in_service = false;
-  if (!s.alive) return;
-  s.cooldown_until = sim_.now() + params_.min_request_gap;
+  NodeCold& c = cold(id);
+  c.in_service = false;
+  if (!alive_mask_.test(id)) return;
+  c.cooldown_until = sim_.now() + params_.min_request_gap;
   resync(id);
   // The node trusts the service: it credits the fleet-calibrated EXPECTED
   // gain, whatever truly arrived.  Honest service keeps the belief near the
   // truth (expectations are unbiased); a spoofed session inflates it by the
   // whole expected gain — the node then schedules its next request far in
   // the future and dies silently first.
-  s.believed = std::min(s.believed + expected, s.battery.capacity());
+  believed_[id] = std::min(believed_[id] + expected, capacity_[id]);
   reschedule(id);
 }
 
@@ -283,82 +297,80 @@ void World::add_escalation_listener(
 }
 
 void World::resync(net::NodeId id) {
-  NodeState& s = state(id);
   const Seconds now = sim_.now();
-  const Seconds dt = now - s.sync_time;
-  if (dt > 0.0 && s.alive) {
-    const Joules delta = net_drain(s) * dt;
+  const Seconds dt = now - sync_time_[id];
+  if (dt > 0.0 && alive_mask_.test(id)) {
+    const Joules delta = net_drain(id) * dt;
     if (delta >= 0.0) {
-      s.battery.discharge(delta);
+      battery_discharge(id, delta);
     } else {
-      s.battery.charge(-delta);  // clamped at capacity by the battery
+      battery_charge(id, -delta);  // clamped at capacity
     }
     // The node's own estimate drains at the consumption rate; harvested
     // energy is only credited when a service ends (note_service_ended).
-    s.believed = std::max(0.0, s.believed - s.drain * dt);
+    believed_[id] = std::max(0.0, believed_[id] - drain_[id] * dt);
   }
-  s.sync_time = now;
+  sync_time_[id] = now;
 }
 
 void World::reschedule(net::NodeId id) {
-  NodeState& s = state(id);
-  if (!s.alive) return;
-  WRSN_ASSERT(s.sync_time == sim_.now());
+  NodeCold& c = cold_[id];
+  if (!alive_mask_.test(id)) return;
+  WRSN_ASSERT(sync_time_[id] == sim_.now());
 
   // Death event.  Superseded events are cancelled at the kernel — O(1), and
   // the heap never accumulates version-dead tombstones.
-  if (s.death_event != kInvalidEvent) {
-    sim_.cancel(s.death_event);
-    s.death_event = kInvalidEvent;
+  if (c.death_event != kInvalidEvent) {
+    sim_.cancel(c.death_event);
+    c.death_event = kInvalidEvent;
   }
-  const Watts net = net_drain(s);
+  const Watts net = net_drain(id);
   if (net > 0.0) {
-    const Seconds at = sim_.now() + s.battery.level() / net;
-    s.death_event = sim_.schedule_at(at, [this, id] { fire_death(id); });
+    const Seconds at = sim_.now() + level_[id] / net;
+    c.death_event = sim_.schedule_at(at, [this, id] { fire_death(id); });
   }
 
   // Request-arming event (believed-level crossing).
-  if (s.request_event != kInvalidEvent) {
-    sim_.cancel(s.request_event);
-    s.request_event = kInvalidEvent;
+  if (c.request_event != kInvalidEvent) {
+    sim_.cancel(c.request_event);
+    c.request_event = kInvalidEvent;
   }
   const Seconds req_at = predicted_request(id);
   if (req_at < kInf) {
-    s.request_event =
+    c.request_event =
         sim_.schedule_at(req_at, [this, id] { fire_request(id); });
   }
 
   // Hardware low-voltage comparator (true-level crossing).
   if (params_.emergency_enabled) {
-    if (s.emergency_event != kInvalidEvent) {
-      sim_.cancel(s.emergency_event);
-      s.emergency_event = kInvalidEvent;
+    if (c.emergency_event != kInvalidEvent) {
+      sim_.cancel(c.emergency_event);
+      c.emergency_event = kInvalidEvent;
     }
-    const Joules em_level = params_.emergency_fraction * s.battery.capacity();
-    if (net > 0.0 && s.battery.level() > em_level) {
-      const Seconds at = sim_.now() + (s.battery.level() - em_level) / net;
-      s.emergency_event =
+    const Joules em_level = params_.emergency_fraction * capacity_[id];
+    if (net > 0.0 && level_[id] > em_level) {
+      const Seconds at = sim_.now() + (level_[id] - em_level) / net;
+      c.emergency_event =
           sim_.schedule_at(at, [this, id] { fire_emergency(id); });
-    } else if (s.battery.level() <= em_level && !s.pending && !s.in_service) {
+    } else if (level_[id] <= em_level && !c.pending && !c.in_service) {
       // The comparator output is level-triggered: it (re)asserts as soon as
       // the node may speak again, even straight out of a service cooldown.
-      s.emergency_event =
-          sim_.schedule_at(std::max(sim_.now(), s.cooldown_until),
+      c.emergency_event =
+          sim_.schedule_at(std::max(sim_.now(), c.cooldown_until),
                            [this, id] { fire_emergency(id); });
     }
   }
 }
 
 void World::retire_node(net::NodeId id) {
-  NodeState& s = state(id);
-  s.alive = false;
-  s.charge = 0.0;
-  alive_mask_[id] = false;
+  NodeCold& c = cold_[id];
+  charge_[id] = 0.0;
+  alive_mask_.reset(id);
   --alive_count_;
-  if (s.pending) pending_erase(id);
+  if (c.pending) pending_erase(id);
   // Cancel every event the node still owns; a dead node never fires again.
-  for (EventId* ev : {&s.death_event, &s.request_event, &s.emergency_event,
-                      &s.escalation_event, &s.hardware_event}) {
+  for (EventId* ev : {&c.death_event, &c.request_event, &c.emergency_event,
+                      &c.escalation_event, &c.hardware_event}) {
     if (*ev != kInvalidEvent) {
       sim_.cancel(*ev);
       *ev = kInvalidEvent;
@@ -367,11 +379,11 @@ void World::retire_node(net::NodeId id) {
 }
 
 void World::fire_death(net::NodeId id) {
-  NodeState& s = state(id);
-  s.death_event = kInvalidEvent;  // this event just fired
-  if (!s.alive) return;
+  NodeCold& c = cold_[id];
+  c.death_event = kInvalidEvent;  // this event just fired
+  if (!alive_mask_.test(id)) return;
   resync(id);
-  if (s.battery.level() > kLevelEpsilon) {
+  if (level_[id] > kLevelEpsilon) {
     // Rates changed between scheduling and firing; reschedule instead.
     reschedule(id);
     return;
@@ -379,53 +391,50 @@ void World::fire_death(net::NodeId id) {
 
   retire_node(id);
   ++deaths_tally_;
-  trace_.deaths.push_back({sim_.now(), id, s.pending});
+  trace_.deaths.push_back({sim_.now(), id, c.pending});
   WRSN_LOG(Debug) << "node " << id << " died at t=" << sim_.now()
-                  << (s.pending ? " (request outstanding)" : "");
+                  << (c.pending ? " (request outstanding)" : "");
 
   on_topology_change(id);
   for (const auto& listener : death_listeners_) listener(id);
 }
 
 void World::fire_hardware_failure(net::NodeId id) {
-  NodeState& s = state(id);
-  s.hardware_event = kInvalidEvent;  // this event just fired
-  if (!s.alive) return;
+  cold_[id].hardware_event = kInvalidEvent;  // this event just fired
+  if (!alive_mask_.test(id)) return;
   kill_node_hardware(id);
 }
 
 void World::kill_node_hardware(net::NodeId id) {
-  NodeState& s = state(id);
-  WRSN_ASSERT(s.alive);
+  WRSN_ASSERT(alive_mask_.test(id));
   resync(id);
-  s.battery.discharge(s.battery.level());  // component fault: node bricks
+  battery_discharge(id, level_[id]);  // component fault: node bricks
   retire_node(id);
   ++deaths_tally_;
-  trace_.deaths.push_back({sim_.now(), id, s.pending});
+  trace_.deaths.push_back({sim_.now(), id, cold_[id].pending});
   WRSN_LOG(Debug) << "node " << id << " hardware failure at t=" << sim_.now();
   on_topology_change(id);
   for (const auto& listener : death_listeners_) listener(id);
 }
 
 bool World::inject_hardware_failure(net::NodeId id) {
-  NodeState& s = state(id);
-  if (!s.alive) return false;
+  if (!alive(id)) return false;
   kill_node_hardware(id);
   return true;
 }
 
 bool World::set_self_discharge(net::NodeId id, Watts power) {
   WRSN_REQUIRE(power >= 0.0, "negative self-discharge power");
-  NodeState& s = state(id);
-  if (!s.alive) return false;
+  if (!alive(id)) return false;
   resync(id);
-  s.self_discharge = power;
+  self_discharge_[id] = power;
   reschedule(id);
   return true;
 }
 
 Watts World::self_discharge(net::NodeId id) const {
-  return state(id).self_discharge;
+  WRSN_REQUIRE(id < self_discharge_.size(), "node id out of range");
+  return self_discharge_[id];
 }
 
 void World::set_escalation_interceptor(
@@ -434,12 +443,12 @@ void World::set_escalation_interceptor(
 }
 
 void World::fire_request(net::NodeId id) {
-  NodeState& s = state(id);
-  s.request_event = kInvalidEvent;  // this event just fired
-  if (!s.alive || s.pending || s.in_service) return;
-  if (sim_.now() < s.cooldown_until) return;
+  NodeCold& c = cold_[id];
+  c.request_event = kInvalidEvent;  // this event just fired
+  if (!alive_mask_.test(id) || c.pending || c.in_service) return;
+  if (sim_.now() < c.cooldown_until) return;
   resync(id);
-  const Joules threshold = params_.request_threshold * s.battery.capacity();
+  const Joules threshold = params_.request_threshold * capacity_[id];
   if (believed_level(id) > threshold + kLevelEpsilon) {
     reschedule(id);  // level rose (charging) before the event fired
     return;
@@ -448,41 +457,41 @@ void World::fire_request(net::NodeId id) {
 }
 
 void World::fire_emergency(net::NodeId id) {
-  NodeState& s = state(id);
-  s.emergency_event = kInvalidEvent;  // this event just fired
-  if (!s.alive || s.in_service) return;
-  if (sim_.now() < s.cooldown_until) {
+  NodeCold& c = cold_[id];
+  c.emergency_event = kInvalidEvent;  // this event just fired
+  if (!alive_mask_.test(id) || c.in_service) return;
+  if (sim_.now() < c.cooldown_until) {
     // Re-arm after the rate-limit gap: the comparator output is level-
     // triggered, so it re-asserts as soon as the node may speak again.
-    s.emergency_event = sim_.schedule_at(
-        s.cooldown_until, [this, id] { fire_emergency(id); });
+    c.emergency_event = sim_.schedule_at(
+        c.cooldown_until, [this, id] { fire_emergency(id); });
     return;
   }
   resync(id);
-  const Joules em_level = params_.emergency_fraction * s.battery.capacity();
-  if (s.battery.level() > em_level + kLevelEpsilon) {
+  const Joules em_level = params_.emergency_fraction * capacity_[id];
+  if (level_[id] > em_level + kLevelEpsilon) {
     reschedule(id);
     return;
   }
-  if (s.pending) {
+  if (c.pending) {
     // Upgrade the outstanding request to an emergency: tighten escalation.
-    if (!s.pending_emergency) {
-      s.pending_emergency = true;
+    if (!c.pending_emergency) {
+      c.pending_emergency = true;
       // Only tighten when the emergency deadline is actually earlier; the
       // original deadline may already be in the past (escalation fired long
       // ago on a starved request), and must not be rescheduled.
       const Seconds tightened = sim_.now() + params_.emergency_patience;
-      if (tightened < s.escalation_deadline) {
-        s.escalation_deadline = tightened;
-        if (s.escalation_event != kInvalidEvent) {
-          sim_.cancel(s.escalation_event);
+      if (tightened < c.escalation_deadline) {
+        c.escalation_deadline = tightened;
+        if (c.escalation_event != kInvalidEvent) {
+          sim_.cancel(c.escalation_event);
         }
-        s.escalation_event = sim_.schedule_at(
-            s.escalation_deadline, [this, id] { fire_escalation(id); });
+        c.escalation_event = sim_.schedule_at(
+            c.escalation_deadline, [this, id] { fire_escalation(id); });
       }
       ++requests_tally_;
       trace_.requests.push_back(
-          {sim_.now(), id, s.battery.level(), /*emergency=*/true});
+          {sim_.now(), id, level_[id], /*emergency=*/true});
       for (const auto& listener : request_listeners_) listener(id);
     }
     return;
@@ -491,32 +500,32 @@ void World::fire_emergency(net::NodeId id) {
 }
 
 void World::issue_request(net::NodeId id, bool emergency) {
-  NodeState& s = state(id);
-  s.pending = true;
-  s.pending_emergency = emergency;
-  s.escalation_deferred = false;  // the delay-once budget is per request
-  s.requested_at = sim_.now();
+  NodeCold& c = cold_[id];
+  c.pending = true;
+  c.pending_emergency = emergency;
+  c.escalation_deferred = false;  // the delay-once budget is per request
+  c.requested_at = sim_.now();
   pending_insert(id);
   const Seconds patience =
       emergency ? params_.emergency_patience : params_.patience;
-  s.escalation_deadline = sim_.now() + patience;
+  c.escalation_deadline = sim_.now() + patience;
   ++requests_tally_;
-  trace_.requests.push_back({sim_.now(), id, s.battery.level(), emergency});
+  trace_.requests.push_back({sim_.now(), id, level_[id], emergency});
 
-  if (s.escalation_event != kInvalidEvent) {
-    sim_.cancel(s.escalation_event);
+  if (c.escalation_event != kInvalidEvent) {
+    sim_.cancel(c.escalation_event);
   }
-  s.escalation_event = sim_.schedule_at(
-      s.escalation_deadline, [this, id] { fire_escalation(id); });
+  c.escalation_event = sim_.schedule_at(
+      c.escalation_deadline, [this, id] { fire_escalation(id); });
 
   for (const auto& listener : request_listeners_) listener(id);
 }
 
 void World::fire_escalation(net::NodeId id) {
-  NodeState& s = state(id);
-  s.escalation_event = kInvalidEvent;  // this event just fired
-  if (!s.alive || !s.pending) return;
-  if (escalation_interceptor_ && !s.escalation_deferred) {
+  NodeCold& c = cold_[id];
+  c.escalation_event = kInvalidEvent;  // this event just fired
+  if (!alive_mask_.test(id) || !c.pending) return;
+  if (escalation_interceptor_ && !c.escalation_deferred) {
     const EscalationDecision decision = escalation_interceptor_(id);
     if (decision.action == EscalationAction::Drop) {
       // Uplink lost the report; the node never re-escalates this request.
@@ -526,8 +535,8 @@ void World::fire_escalation(net::NodeId id) {
       // Defer the report once.  The node's escalation_deadline is left
       // untouched: the tamper lives in the base-station reporting path, not
       // in the node's protocol state.  Never scheduled into the past.
-      s.escalation_deferred = true;
-      s.escalation_event =
+      c.escalation_deferred = true;
+      c.escalation_event =
           sim_.schedule_at(sim_.now() + std::max(0.0, decision.delay),
                            [this, id] { fire_escalation(id); });
       return;
@@ -569,15 +578,24 @@ void World::on_topology_change(net::NodeId dead) {
     recompute_routing_reference();
     return;
   }
+  // The repair resets the dead node's tree fields; capture the old parent
+  // first — its ancestor chain loses the dead subtree's traffic.
+  const net::NodeId old_parent = routing_.parent[dead];
+  const bool was_reachable = routing_.reachable[dead];
   if (net::repair_routing_after_death(network_, alive_mask_, params_.routing,
                                       dead, routing_, scratch_,
                                       kRepairRebuildFraction)) {
     ++update_stats_.repairs;
-    refresh_loads_and_drains_after_repair(dead);
+    dirty_ids_.clear();
+    if (was_reachable) {
+      refresh_loads_and_drains_after_repair(dead, old_parent);
+    }
+    // An unreachable node routed no traffic, so its death changes no loads
+    // and no drains: the dirty set stays empty.
     WRSN_OBS_OBSERVE(kNetRepairAffectedFraction,
-                     states_.empty() ? 0.0
-                                     : double(dirty_ids_.size()) /
-                                           double(states_.size()));
+                     cold_.empty() ? 0.0
+                                   : double(dirty_ids_.size()) /
+                                         double(cold_.size()));
     apply_drain_changes(dirty_ids_);
   } else {
     // Large blast radius: the repair declined; rebuild in place instead.
@@ -591,34 +609,22 @@ void World::on_topology_change(net::NodeId dead) {
 }
 
 void World::refresh_loads_and_drains() {
-  std::swap(loads_, prev_loads_);
   net::recompute_loads(network_, routing_, alive_mask_, loads_);
   net::recompute_drain_rates(network_, routing_, loads_, params_.drain,
                              drains_);
 }
 
-void World::refresh_loads_and_drains_after_repair(net::NodeId dead) {
-  std::swap(loads_, prev_loads_);
-  net::recompute_loads(network_, routing_, alive_mask_, loads_);
-
-  // Recompute the drain only where its inputs may have changed: the repaired
-  // set (scratch_.affected, whose tree fields moved) plus any node whose
-  // aggregated loads differ from the previous update.  Unchanged inputs give
-  // bitwise-unchanged outputs, so this matches the full recompute exactly.
-  // A stale affected mask (repair short-circuited) only marks extra nodes
-  // dirty, which recomputes — never changes — their values.
+void World::refresh_loads_and_drains_after_repair(net::NodeId dead,
+                                                  net::NodeId old_parent) {
+  // O(affected): patch the loads of exactly the nodes whose aggregated
+  // traffic could have changed, then recompute just their drains.  Unchanged
+  // inputs give bitwise-unchanged outputs, so this matches a full refresh
+  // exactly; apply_drain_changes then reschedules the strict subset whose
+  // drain truly moved.
+  net::update_loads_after_repair(network_, routing_, dead, old_parent,
+                                 scratch_, loads_, dirty_ids_);
   const energy::RadioModel radio(params_.drain.radio);
-  const std::size_t n = states_.size();
-  const bool prev_valid =
-      prev_loads_.tx_bps.size() == n && prev_loads_.rx_bps.size() == n;
-  dirty_ids_.clear();
-  for (net::NodeId id = 0; id < n; ++id) {
-    const bool dirty = !prev_valid || id == dead ||
-                       scratch_.affected[id] != 0 ||
-                       loads_.tx_bps[id] != prev_loads_.tx_bps[id] ||
-                       loads_.rx_bps[id] != prev_loads_.rx_bps[id];
-    if (!dirty) continue;
-    dirty_ids_.push_back(id);
+  for (const net::NodeId id : dirty_ids_) {
     Watts drain = params_.drain.sensing_power;
     if (routing_.reachable[id]) {
       drain += radio.tx_power(loads_.tx_bps[id], routing_.uplink_distance[id]);
@@ -633,24 +639,22 @@ void World::apply_drain_changes() {
   // is exact (bitwise): unaffected nodes' loads are summed in the same order
   // as a full rebuild (settle-order merge preserves it), so their drains come
   // out bit-identical and their pending events remain valid as-is.
-  for (net::NodeId id = 0; id < states_.size(); ++id) {
-    NodeState& s = states_[id];
-    if (!s.alive) continue;
-    if (s.drain == drains_[id]) continue;
+  alive_mask_.for_each_set([&](std::size_t i) {
+    const auto id = static_cast<net::NodeId>(i);
+    if (drain_[id] == drains_[id]) return;
     resync(id);
-    s.drain = drains_[id];
+    drain_[id] = drains_[id];
     reschedule(id);
     ++update_stats_.reschedules;
-  }
+  });
 }
 
 void World::apply_drain_changes(const std::vector<net::NodeId>& candidates) {
   for (const net::NodeId id : candidates) {
-    NodeState& s = states_[id];
-    if (!s.alive) continue;
-    if (s.drain == drains_[id]) continue;
+    if (!alive_mask_.test(id)) continue;
+    if (drain_[id] == drains_[id]) continue;
     resync(id);
-    s.drain = drains_[id];
+    drain_[id] = drains_[id];
     reschedule(id);
     ++update_stats_.reschedules;
   }
@@ -658,22 +662,18 @@ void World::apply_drain_changes(const std::vector<net::NodeId>& candidates) {
 
 void World::recompute_routing_reference() {
   // The seed code path, retained as the executable spec for the incremental
-  // updater: fresh mask, full Dijkstra into fresh vectors, and an
+  // updater: fresh mask copy, full Dijkstra into fresh vectors, and an
   // unconditional resync+reschedule of every alive node.
-  std::vector<bool> mask(states_.size());
-  for (net::NodeId id = 0; id < states_.size(); ++id) {
-    mask[id] = states_[id].alive;
-  }
+  const Bitmap mask = alive_mask_;
   routing_ = net::build_routing_tree(network_, mask, params_.routing);
   loads_ = net::compute_loads(network_, routing_, mask);
   const std::vector<Watts> drains =
       net::compute_drain_rates(network_, routing_, loads_, params_.drain);
 
-  for (net::NodeId id = 0; id < states_.size(); ++id) {
-    NodeState& s = states_[id];
-    if (!s.alive) continue;
+  for (net::NodeId id = 0; id < cold_.size(); ++id) {
+    if (!mask.test(id)) continue;
     resync(id);
-    s.drain = drains[id];
+    drain_[id] = drains[id];
     reschedule(id);
     ++update_stats_.reschedules;
   }

@@ -21,7 +21,7 @@
 //
 // Stale events are CANCELLED at the kernel (O(1) generation bump), not
 // invalidated by version counters, so superseded events never linger in the
-// event heap.  Invariant: every NodeState event-id field either is
+// event heap.  Invariant: every NodeCold event-id field either is
 // kInvalidEvent or names the single live kernel event of that type.
 //
 // Charging-service protocol (the contract both the benign charger and the
@@ -43,12 +43,13 @@
 //     `emergency_fraction` regardless of beliefs.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
-#include "energy/battery.hpp"
 #include "net/keynodes.hpp"
 #include "net/network.hpp"
 #include "net/routing.hpp"
@@ -172,7 +173,7 @@ class World {
   std::size_t alive_count() const { return alive_count_; }
   /// Maintained per-node alive mask (indexed by NodeId), e.g. for feeding
   /// mc::partition_by_depot without N alive() calls.
-  const std::vector<bool>& alive_mask() const { return alive_mask_; }
+  const Bitmap& alive_mask() const { return alive_mask_; }
   /// True battery level at the current simulation time [J].
   Joules level(net::NodeId id) const;
   double level_fraction(net::NodeId id) const;
@@ -260,21 +261,11 @@ class World {
   const Trace& trace() const { return trace_; }
 
  private:
-  struct NodeState {
-    energy::Battery battery;
-    Seconds sync_time = 0.0;
-    Watts drain = 0.0;
-    Watts charge = 0.0;
-    /// The node's own estimate of its level [J], tracked independently of
-    /// the true battery: it drains at the measured consumption rate and is
-    /// credited with the EXPECTED gain when a service ends (the node cannot
-    /// meter the harvest itself).  Honest service keeps it near the truth;
-    /// a spoofed session inflates it by the whole expected gain.
-    Joules believed = 0.0;
-    /// Injected unmetered parasitic drain [W] (fault API); drains the true
-    /// battery but never the believed level.
-    Watts self_discharge = 0.0;
-    bool alive = true;
+  /// Cold per-node bookkeeping: protocol flags, request deadlines, and the
+  /// kernel event handles.  Touched only on request/service/death
+  /// transitions; the hot death-cascade and drain-diff paths read the
+  /// contiguous SoA lanes below instead (see DESIGN.md §12).
+  struct NodeCold {
     bool pending = false;
     bool pending_emergency = false;
     /// The current request's escalation report has already been deferred
@@ -291,15 +282,21 @@ class World {
     EventId emergency_event = kInvalidEvent;
     EventId escalation_event = kInvalidEvent;
     EventId hardware_event = kInvalidEvent;
-
-    explicit NodeState(energy::Battery b) : battery(std::move(b)) {}
   };
 
-  Watts net_drain(const NodeState& state) const {
-    return state.drain + state.self_discharge - state.charge;
+  Watts net_drain(net::NodeId id) const {
+    return drain_[id] + self_discharge_[id] - charge_[id];
   }
-  NodeState& state(net::NodeId id);
-  const NodeState& state(net::NodeId id) const;
+  /// Battery mutation with the clamped semantics of energy::Battery
+  /// (never negative, never above capacity), on the SoA level lane.
+  void battery_discharge(net::NodeId id, Joules amount) {
+    level_[id] -= std::min(amount, level_[id]);
+  }
+  void battery_charge(net::NodeId id, Joules amount) {
+    level_[id] += std::min(amount, capacity_[id] - level_[id]);
+  }
+  NodeCold& cold(net::NodeId id);
+  const NodeCold& cold(net::NodeId id) const;
 
   /// Folds elapsed time into the battery and resets the sync point.
   void resync(net::NodeId id);
@@ -325,13 +322,16 @@ class World {
   void on_topology_change(net::NodeId dead);
   /// Refills loads_/drains_ from routing_ into the persistent buffers.
   void refresh_loads_and_drains();
-  /// Like refresh_loads_and_drains, but recomputes drains only for nodes
-  /// whose inputs changed (repaired set + load deltas vs the previous
-  /// update).  Bitwise-identical to the full refresh: drain is a pure
-  /// function of (reachable, uplink, tx, rx), and outside the repaired set
-  /// those tree fields are untouched by the repair.
+  /// Like refresh_loads_and_drains, but after a subtree repair: loads are
+  /// patched in place via net::update_loads_after_repair (O(affected), not
+  /// O(N)) and drains recomputed only for the touched set.  Bitwise
+  /// identical to the full refresh: drain is a pure function of (reachable,
+  /// uplink, tx, rx), and outside the touched set those inputs are
+  /// untouched by the repair.  `old_parent` is the dead node's routing
+  /// parent captured before the repair.
   /// Collects the recomputed ids into dirty_ids_ for apply_drain_changes.
-  void refresh_loads_and_drains_after_repair(net::NodeId dead);
+  void refresh_loads_and_drains_after_repair(net::NodeId dead,
+                                             net::NodeId old_parent);
   /// Resyncs + reschedules exactly the alive nodes whose drain changed,
   /// scanning every node (used after a full rebuild).
   void apply_drain_changes();
@@ -348,15 +348,33 @@ class World {
   WorldParams params_;
   wpt::ChargingModel charging_model_;
   Rng rng_;
-  std::vector<NodeState> states_;
+  // --- hot per-node SoA lanes (indexed by NodeId) ---------------------------
+  // The death-cascade drain diff, lazy-energy extrapolation, and routing
+  // repair scan these contiguous arrays; per-node protocol bookkeeping lives
+  // in cold_.  A new per-node field goes into a lane only if a hot loop
+  // scans it; see DESIGN.md §12 for the layout and determinism rules.
+  std::vector<Joules> level_;     ///< true battery level at sync_time_
+  std::vector<Joules> capacity_;  ///< battery capacity (constant)
+  std::vector<Seconds> sync_time_;
+  std::vector<Watts> drain_;
+  std::vector<Watts> charge_;
+  /// The node's own estimate of its level [J], tracked independently of
+  /// the true battery: it drains at the measured consumption rate and is
+  /// credited with the EXPECTED gain when a service ends (the node cannot
+  /// meter the harvest itself).  Honest service keeps it near the truth;
+  /// a spoofed session inflates it by the whole expected gain.
+  std::vector<Joules> believed_;
+  /// Injected unmetered parasitic drain [W] (fault API); drains the true
+  /// battery but never the believed level.
+  std::vector<Watts> self_discharge_;
+  std::vector<NodeCold> cold_;
   std::size_t alive_count_ = 0;
-  /// Persistent alive mask, updated at each death — never rebuilt per call.
-  std::vector<bool> alive_mask_;
+  /// Persistent alive mask (word-packed), updated at each death — never
+  /// rebuilt per call; the single source of truth for liveness.
+  Bitmap alive_mask_;
   net::RoutingTree routing_;
   net::TrafficLoads loads_;
-  /// Loads from before the latest update (diffed to skip drain recomputes).
-  net::TrafficLoads prev_loads_;
-  /// Persistent drain-rate buffer (diffed against NodeState::drain).
+  /// Persistent drain-rate buffer (diffed against the drain_ lane).
   std::vector<Watts> drains_;
   net::RoutingScratch scratch_;
   /// Alive nodes with an outstanding request, sorted ascending by id.

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <optional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -81,6 +82,13 @@ class SpoofingEmitter {
   /// Used by detectors and by the testbed bench to show the field is only
   /// nulled at the rectenna, not in the neighbourhood.
   Watts rf_at_probe(const SpoofOutcome& outcome, geom::Vec2 probe) const;
+
+  /// Batched probe sweep over flat coordinate arrays, bit-identical to
+  /// rf_at_probe per point (see superposed_rf_power_batch for the span
+  /// contract) — one pass for field maps and multi-witness RSSI checks.
+  void rf_at_probes(const SpoofOutcome& outcome, std::span<const Meters> xs,
+                    std::span<const Meters> ys, std::span<Watts> out_rf,
+                    std::span<double> scratch_im) const;
 
   const SpoofingParams& params() const { return params_; }
 

@@ -114,8 +114,8 @@ TEST(Fleet, PartitionBreaksExactTiesTowardLowerIndex) {
 TEST(Fleet, PartitionSkipsDeadNodesWithAliveMask) {
   const net::Network network = fleet_network(5);
   const auto depots = default_depots({{0, 0}, {300, 300}}, 3);
-  std::vector<bool> alive(network.size(), true);
-  for (net::NodeId id = 0; id < network.size(); id += 3) alive[id] = false;
+  Bitmap alive(network.size(), true);
+  for (net::NodeId id = 0; id < network.size(); id += 3) alive.reset(id);
 
   const auto cells = partition_by_depot(network, depots, alive);
   ASSERT_EQ(cells.size(), depots.size());
@@ -126,10 +126,9 @@ TEST(Fleet, PartitionSkipsDeadNodesWithAliveMask) {
       EXPECT_TRUE(seen.insert(id).second);
     }
   }
-  EXPECT_EQ(seen.size(),
-            std::size_t(std::count(alive.begin(), alive.end(), true)));
+  EXPECT_EQ(seen.size(), alive.count());
 
-  std::vector<bool> short_mask(network.size() - 1, true);
+  Bitmap short_mask(network.size() - 1, true);
   EXPECT_THROW(partition_by_depot(network, depots, short_mask),
                PreconditionError);
 }

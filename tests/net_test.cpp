@@ -79,8 +79,8 @@ TEST(Connectivity, LineIsConnected) {
 
 TEST(Connectivity, KillingMiddleDisconnectsTail) {
   const Network net = make_line(5);
-  std::vector<bool> alive(5, true);
-  alive[2] = false;
+  Bitmap alive(5, true);
+  alive.reset(2);
   EXPECT_FALSE(is_connected(net, alive));
   // Nodes 0, 1 still reach the sink.
   EXPECT_EQ(count_sink_connected(net, alive), 2u);
@@ -88,7 +88,7 @@ TEST(Connectivity, KillingMiddleDisconnectsTail) {
 
 TEST(Connectivity, AliveMaskSizeMismatchThrows) {
   const Network net = make_line(3);
-  std::vector<bool> bad(2, true);
+  Bitmap bad(2, true);
   EXPECT_THROW(count_sink_connected(net, bad), PreconditionError);
 }
 
@@ -169,8 +169,8 @@ TEST(Routing, PathCostsIncreaseAlongChain) {
 
 TEST(Routing, DeadNodesAreUnreachable) {
   const Network net = make_line(4);
-  std::vector<bool> alive(4, true);
-  alive[1] = false;
+  Bitmap alive(4, true);
+  alive.reset(1);
   const RoutingTree tree = build_routing_tree(net, alive);
   EXPECT_TRUE(tree.reachable[0]);
   EXPECT_FALSE(tree.reachable[1]);
@@ -231,8 +231,8 @@ TEST(Loads, TrafficConservation) {
 
 TEST(Drains, SensingFloorAlwaysPaid) {
   const Network net = make_line(3);
-  std::vector<bool> alive(3, true);
-  alive[0] = false;  // nodes 1, 2 unreachable
+  Bitmap alive(3, true);
+  alive.reset(0);  // nodes 1, 2 unreachable
   const RoutingTree tree = build_routing_tree(net, alive);
   const TrafficLoads loads = compute_loads(net, tree, alive);
   DrainParams params;
@@ -290,8 +290,8 @@ TEST(KeyNodes, TarjanMatchesBruteForce) {
 
     const std::size_t base = count_sink_connected(net);
     for (NodeId id = 0; id < net.size(); ++id) {
-      std::vector<bool> alive(net.size(), true);
-      alive[id] = false;
+      Bitmap alive(net.size(), true);
+      alive.reset(id);
       const std::size_t connected = count_sink_connected(net, alive);
       const bool disconnects = connected < base - 1;
       EXPECT_EQ(cut_set.count(id) > 0, disconnects)

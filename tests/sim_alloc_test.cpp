@@ -7,16 +7,25 @@
 // heap allocation: event scheduling/cancelling (inline callbacks in slab
 // slots), routing repair and fallback rebuild (persistent buffers +
 // scratch), load/drain refresh, and the drain-diff rescheduling sweep.
+//
+// The same guarantee is pinned for the planners (CsaPlanner::plan_into and
+// the fleet replan run on arenas reused across calls) and for the batched
+// wpt kernels (pure array passes over caller storage).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "core/fleet_planner.hpp"
+#include "core/planners.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "sim/world.hpp"
+#include "wpt/charging_model.hpp"
+#include "wpt/wave.hpp"
 
 namespace {
 
@@ -80,6 +89,101 @@ TEST(WorldAllocation, DeathCascadeHotPathDoesNotAllocate) {
   g_counting.store(false);
 
   EXPECT_EQ(world.alive_count(), 0u);
+  EXPECT_EQ(g_allocations.load(), 0u);
+}
+
+csa::Stop random_stop(Rng& gen, std::size_t index, bool key) {
+  csa::Stop stop;
+  stop.node = static_cast<net::NodeId>(index);
+  stop.position = {gen.uniform(-200.0, 200.0), gen.uniform(-200.0, 200.0)};
+  stop.window_open = gen.uniform(0.0, 20'000.0);
+  stop.window_close = stop.window_open + gen.uniform(3'600.0, 14'400.0);
+  stop.service_time = gen.uniform(600.0, 1'800.0);
+  stop.is_key = key;
+  stop.utility = key ? 0.0 : gen.uniform(100.0, 8'000.0);
+  return stop;
+}
+
+TEST(PlannerAllocation, CsaPlanIsAllocationFreeAfterWarmup) {
+  Rng gen(42);
+  csa::TideInstance inst;
+  inst.start_position = {0.0, 0.0};
+  inst.speed = 3.0;
+  for (std::size_t i = 0; i < 410; ++i) {
+    inst.stops.push_back(random_stop(gen, i, i < 10));
+  }
+  inst.travel_matrix();  // the matrix cache belongs to the instance
+
+  const csa::CsaPlanner planner;
+  Rng rng(1);
+  csa::Plan plan;
+  planner.plan_into(inst, rng, plan);  // warmup sizes every arena
+  const double warm_utility = plan.utility;
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  planner.plan_into(inst, rng, plan);
+  g_counting.store(false);
+
+  EXPECT_EQ(plan.utility, warm_utility);
+  EXPECT_EQ(g_allocations.load(), 0u);
+}
+
+TEST(PlannerAllocation, FleetReplanIsAllocationFreeAfterWarmup) {
+  Rng gen(42);
+  csa::FleetInstance inst;
+  for (std::size_t m = 0; m < 3; ++m) {
+    csa::FleetCharger c;
+    c.start_position = {gen.uniform(-200.0, 200.0),
+                        gen.uniform(-200.0, 200.0)};
+    c.speed = 3.0;
+    inst.chargers.push_back(c);
+  }
+  for (std::size_t i = 0; i < 410; ++i) {
+    inst.stops.push_back(random_stop(gen, i, i < 10));
+  }
+
+  const csa::CooperativeFleetPlanner planner;
+  csa::FleetPlan plan;
+  planner.plan_into(inst, plan);  // warmup: arenas + pair distance memo
+  const double warm_utility = plan.utility;
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  planner.plan_into(inst, plan);
+  g_counting.store(false);
+
+  EXPECT_EQ(plan.utility, warm_utility);
+  EXPECT_EQ(g_allocations.load(), 0u);
+}
+
+TEST(WptAllocation, BatchKernelsDoNotAllocate) {
+  const wpt::ChargingModel model;
+  Rng gen(9);
+  std::vector<wpt::WaveSource> sources;
+  for (int s = 0; s < 4; ++s) {
+    wpt::WaveSource src =
+        model.as_wave_source({gen.uniform(-3.0, 3.0), gen.uniform(-3.0, 3.0)},
+                             gen.uniform(0.0, constants::kTwoPi));
+    sources.push_back(src);
+  }
+  constexpr std::size_t kPoints = 512;
+  std::vector<Meters> xs(kPoints), ys(kPoints), dist(kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    xs[i] = gen.uniform(-12.0, 12.0);  // some beyond max_range
+    ys[i] = gen.uniform(-12.0, 12.0);
+    dist[i] = gen.uniform(0.0, 12.0);
+  }
+  std::vector<Watts> rf(kPoints), dc(kPoints);
+  std::vector<double> im(kPoints);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  wpt::superposed_rf_power_batch(sources, xs, ys, rf, im);
+  model.rectifier().harvest_batch(rf, dc);
+  model.dc_at_distances(dist, dc);
+  g_counting.store(false);
+
   EXPECT_EQ(g_allocations.load(), 0u);
 }
 

@@ -163,5 +163,33 @@ INSTANTIATE_TEST_SUITE_P(Sweep, WorldEquivalence,
                          ::testing::Range(std::uint64_t{0},
                                           std::uint64_t{100}));
 
+// One target-scale scenario: N = 1600 exercises the SoA hot lanes and the
+// word bitmap far past any cache the small sweep sizes stay inside, and the
+// death-cascade repair runs over a topology deep enough for multi-hop
+// subtree patches.  The horizon is short — the point is layout coverage at
+// scale, not another long mission.
+TEST(WorldEquivalenceScale, FastMatchesReferenceAt1600Nodes) {
+  ScenarioConfig cfg = default_scenario();
+  const std::size_t n = 1600;
+  const double side = 40.0 * std::sqrt(double(n));
+  cfg.topology.node_count = n;
+  cfg.topology.region = {{0.0, 0.0}, {side, side}};
+  cfg.world.emergency_enabled = true;
+  cfg.horizon = 0.5 * 86'400.0;
+  cfg.seed = 0xC0FFEEull;
+
+  cfg.world.update_mode = sim::WorldUpdateMode::Fast;
+  const ScenarioResult fast = run_scenario(cfg, ChargerMode::Attack);
+  cfg.world.update_mode = sim::WorldUpdateMode::Reference;
+  const ScenarioResult ref = run_scenario(cfg, ChargerMode::Attack);
+
+  expect_traces_equal(fast.trace, ref.trace, "scenario n=1600 (attack)");
+  EXPECT_FALSE(fast.trace.deaths.empty());  // the cascade path must fire
+  EXPECT_EQ(fast.alive_at_end, ref.alive_at_end);
+  EXPECT_EQ(fast.sink_connected_at_end, ref.sink_connected_at_end);
+  EXPECT_EQ(fast.keys, ref.keys);
+  EXPECT_EQ(fast.plans_computed, ref.plans_computed);
+}
+
 }  // namespace
 }  // namespace wrsn::analysis

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -335,6 +336,135 @@ TEST_P(SpoofGeometry, CancelsAtAllBearings) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Bearings, SpoofGeometry, ::testing::Range(0, 12));
+
+// ---- Batched kernels: bit-identical to the scalar loops -------------------
+//
+// The batch kernels are data layout + loop-order changes only; every value
+// they produce must be EXACTLY the scalar result (EXPECT_EQ on doubles, not
+// a tolerance), or downstream equivalence suites would start drifting the
+// moment a caller switches to the batched path.
+
+TEST(WaveBatch, MatchesScalarOnRandomizedSources) {
+  Rng gen(20'240'801);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<WaveSource> sources;
+    const int source_count = 1 + static_cast<int>(gen.uniform(0.0, 5.0));
+    for (int s = 0; s < source_count; ++s) {
+      WaveSource src = make_source(
+          {gen.uniform(-8.0, 8.0), gen.uniform(-8.0, 8.0)},
+          gen.uniform(0.1, 4.0), gen.uniform(0.0, constants::kTwoPi));
+      src.max_range = gen.uniform(2.0, 12.0);  // some points land beyond it
+      src.wavelength = gen.uniform(0.05, 0.4);
+      sources.push_back(src);
+    }
+    constexpr std::size_t kPoints = 64;
+    std::vector<Meters> xs(kPoints), ys(kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      xs[i] = gen.uniform(-15.0, 15.0);
+      ys[i] = gen.uniform(-15.0, 15.0);
+    }
+    std::vector<Watts> batch(kPoints);
+    std::vector<double> im(kPoints);
+    superposed_rf_power_batch(sources, xs, ys, batch, im);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      EXPECT_EQ(batch[i], superposed_rf_power(sources, {xs[i], ys[i]}))
+          << "round " << round << " point " << i;
+    }
+  }
+}
+
+TEST(WaveBatch, AllPointsBeyondMaxRangeAreExactlyZero) {
+  WaveSource s = make_source({0.0, 0.0}, 3.0);
+  s.max_range = 2.0;
+  const Meters xs[] = {2.5, -4.0, 10.0};
+  const Meters ys[] = {0.0, 3.0, -10.0};
+  Watts out[3];
+  double im[3];
+  superposed_rf_power_batch({&s, 1}, xs, ys, out, im);
+  for (const Watts p : out) EXPECT_EQ(p, 0.0);
+}
+
+TEST(WaveBatch, SizeMismatchThrows) {
+  const WaveSource s = make_source({0.0, 0.0});
+  const Meters xs[2] = {1.0, 2.0};
+  const Meters ys[1] = {1.0};
+  Watts out[2];
+  double im[2];
+  EXPECT_THROW(
+      superposed_rf_power_batch({&s, 1}, xs, ys, {out, 2}, {im, 2}),
+      PreconditionError);
+}
+
+TEST(RectifierBatch, MatchesScalarAcrossSensitivityEdges) {
+  const Rectifier rect;
+  const Watts sens = rect.params().sensitivity;
+  // Exact threshold, one ULP around it, zero, knee region, and cap region.
+  std::vector<Watts> rf = {0.0,
+                           std::nextafter(sens, 0.0),
+                           sens,
+                           std::nextafter(sens, 1.0),
+                           0.5e-3,
+                           2e-3,
+                           rect.params().knee,
+                           0.5,
+                           5.0,
+                           100.0};
+  Rng gen(77);
+  for (int i = 0; i < 50; ++i) rf.push_back(gen.uniform(0.0, 20.0));
+  std::vector<Watts> dc(rf.size());
+  rect.harvest_batch(rf, dc);
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    EXPECT_EQ(dc[i], rect.dc_output(rf[i])) << "rf = " << rf[i];
+  }
+}
+
+TEST(RectifierBatch, InPlaceAndValidation) {
+  const Rectifier rect;
+  std::vector<Watts> buf = {0.0, 1e-3, 0.1, 3.0};
+  std::vector<Watts> expected(buf.size());
+  rect.harvest_batch(buf, expected);
+  rect.harvest_batch(buf, buf);  // in-place is part of the contract
+  EXPECT_EQ(buf, expected);
+
+  std::vector<Watts> bad = {0.1, -0.2};
+  std::vector<Watts> out(2);
+  EXPECT_THROW(rect.harvest_batch(bad, out), PreconditionError);
+  EXPECT_THROW(rect.harvest_batch(bad, {out.data(), 1}), PreconditionError);
+}
+
+TEST(ChargingModelBatch, MatchesScalarChain) {
+  const ChargingModel model;
+  Rng gen(5);
+  std::vector<Meters> d = {0.0, model.params().dock_distance,
+                           model.params().max_range,
+                           std::nextafter(model.params().max_range, 1e9),
+                           model.params().max_range + 3.0};
+  for (int i = 0; i < 40; ++i) d.push_back(gen.uniform(0.0, 12.0));
+  std::vector<Watts> dc(d.size());
+  model.dc_at_distances(d, dc);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(dc[i], model.dc_at_distance(d[i])) << "d = " << d[i];
+  }
+}
+
+TEST(SpoofingBatch, ProbeSweepMatchesScalarProbes) {
+  const ChargingModel model;
+  const SpoofingEmitter emitter(model, SpoofingParams{});
+  const SpoofOutcome out = emitter.configure({-1.0, 0.5}, {0.3, -0.2});
+  Rng gen(3);
+  constexpr std::size_t kPoints = 32;
+  std::vector<Meters> xs(kPoints), ys(kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    xs[i] = gen.uniform(-2.0, 2.0);
+    ys[i] = gen.uniform(-2.0, 2.0);
+  }
+  std::vector<Watts> rf(kPoints);
+  std::vector<double> im(kPoints);
+  emitter.rf_at_probes(out, xs, ys, rf, im);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(rf[i], emitter.rf_at_probe(out, {xs[i], ys[i]}));
+  }
+}
 
 }  // namespace
 }  // namespace wrsn::wpt

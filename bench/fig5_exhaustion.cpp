@@ -12,6 +12,7 @@
 // flattened into one trial list and sharded over WRSN_THREADS workers; the
 // numbers are bit-identical at any thread count.
 #include <iostream>
+#include <memory>
 
 #include "analysis/metrics_io.hpp"
 #include "analysis/perf.hpp"
@@ -39,29 +40,40 @@ wrsn::analysis::ScenarioConfig sized_config(std::size_t n,
   return cfg;
 }
 
+constexpr const char* kPlannerNames[] = {"CSA", "Greedy-nearest", "Random",
+                                         "Utility-first"};
+
+/// Planner instances carry mutable arenas and are single-thread affine
+/// (core/planners.hpp), so each trial builds its own; the names above are
+/// what the table rows group by.
+std::unique_ptr<wrsn::csa::Planner> make_planner(std::size_t kind) {
+  using namespace wrsn;
+  switch (kind) {
+    case 0: return std::make_unique<csa::CsaPlanner>();
+    case 1: return std::make_unique<csa::GreedyNearestPlanner>();
+    case 2: return std::make_unique<csa::RandomPlanner>();
+    default: return std::make_unique<csa::UtilityFirstPlanner>();
+  }
+}
+
 }  // namespace
 
 int main() {
   using namespace wrsn;
 
-  const csa::CsaPlanner planner_csa;
-  const csa::GreedyNearestPlanner planner_greedy;
-  const csa::RandomPlanner planner_random;
-  const csa::UtilityFirstPlanner planner_utility;
-  const csa::Planner* planners[] = {&planner_csa, &planner_greedy,
-                                    &planner_random, &planner_utility};
+  constexpr std::size_t kPlanners = std::size(kPlannerNames);
   const std::size_t sizes[] = {50, 100, 150, 200};
 
   // Flatten the (size, planner, seed) grid in row-major order; results come
   // back in the same order, so group g's trials live at [g*kSeeds, (g+1)*kSeeds).
   struct Trial {
     std::size_t n;
-    const csa::Planner* planner;
+    std::size_t planner;
     int seed;
   };
   std::vector<Trial> trials;
   for (const std::size_t n : sizes) {
-    for (const csa::Planner* planner : planners) {
+    for (std::size_t planner = 0; planner < kPlanners; ++planner) {
       for (int seed = 1; seed <= kSeeds; ++seed) {
         trials.push_back({n, planner, seed});
       }
@@ -73,9 +85,10 @@ int main() {
   const std::vector<analysis::ScenarioResult> results = runner::run_trials(
       std::span<const Trial>(trials),
       [](const Trial& trial, Rng&) {
+        const std::unique_ptr<csa::Planner> planner = make_planner(trial.planner);
         return analysis::run_scenario(
             sized_config(trial.n, static_cast<std::uint64_t>(trial.seed)),
-            analysis::ChargerMode::Attack, trial.planner);
+            analysis::ChargerMode::Attack, planner.get());
       },
       {.label = "fig5", .metrics = &metrics}, perf.phase("sweep"));
 
@@ -87,7 +100,7 @@ int main() {
 
   std::size_t next = 0;
   for (const std::size_t n : sizes) {
-    for (const csa::Planner* planner : planners) {
+    for (const char* planner_name : kPlannerNames) {
       std::vector<double> exhausted, undetected, escalations;
       int detected_runs = 0;
       for (int seed = 1; seed <= kSeeds; ++seed) {
@@ -101,7 +114,7 @@ int main() {
       const auto ex = analysis::summarize(exhausted);
       const auto un = analysis::summarize(undetected);
       const auto es = analysis::summarize(escalations);
-      table.row({std::to_string(n), std::string(planner->name()),
+      table.row({std::to_string(n), planner_name,
                  analysis::fmt_ci(ex.mean, ex.ci95, 1),
                  analysis::fmt_ci(un.mean, un.ci95, 1),
                  std::to_string(detected_runs) + "/" + std::to_string(kSeeds),

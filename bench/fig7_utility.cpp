@@ -7,6 +7,7 @@
 // Utility-first ablation on kill completion when windows tighten, at equal
 // or better utility.
 #include <iostream>
+#include <memory>
 
 #include "analysis/perf.hpp"
 #include "analysis/scenario.hpp"
@@ -16,14 +17,23 @@
 #include "runner/runner.hpp"
 
 namespace {
+
 constexpr int kSeeds = 8;
+
+constexpr const char* kPlannerNames[] = {"CSA", "Utility-first"};
+
+/// Planner instances carry mutable arenas and are single-thread affine
+/// (core/planners.hpp), so each trial builds its own.
+std::unique_ptr<wrsn::csa::Planner> make_planner(std::size_t kind) {
+  using namespace wrsn;
+  if (kind == 0) return std::make_unique<csa::CsaPlanner>();
+  return std::make_unique<csa::UtilityFirstPlanner>();
 }
+
+}  // namespace
 
 int main() {
   using namespace wrsn;
-
-  const csa::CsaPlanner planner_csa;
-  const csa::UtilityFirstPlanner planner_utility;
 
   // --- (a) key-target count sweep ---------------------------------------
   const std::size_t key_counts[] = {2, 4, 6, 8, 10, 12, 14};
@@ -72,15 +82,15 @@ int main() {
 
   // --- (b) window tightness sweep ---------------------------------------
   const double scales[] = {0.4, 0.7, 1.0, 1.3, 1.6};
-  const csa::Planner* planners[] = {&planner_csa, &planner_utility};
   struct WindowTrial {
     double scale;
-    const csa::Planner* planner;
+    std::size_t planner;
     int seed;
   };
   std::vector<WindowTrial> window_trials;
   for (const double scale : scales) {
-    for (const csa::Planner* planner : planners) {
+    for (std::size_t planner = 0; planner < std::size(kPlannerNames);
+         ++planner) {
       for (int seed = 1; seed <= kSeeds; ++seed) {
         window_trials.push_back({scale, planner, seed});
       }
@@ -91,11 +101,13 @@ int main() {
       runner::run_trials(
           std::span<const WindowTrial>(window_trials),
           [](const WindowTrial& trial, Rng&) {
+            const std::unique_ptr<csa::Planner> planner =
+                make_planner(trial.planner);
             analysis::ScenarioConfig cfg = analysis::default_scenario();
             cfg.seed = static_cast<std::uint64_t>(trial.seed);
             cfg.world.patience *= trial.scale;
             return analysis::run_scenario(cfg, analysis::ChargerMode::Attack,
-                                          trial.planner);
+                                          planner.get());
           },
           {.label = "fig7b"}, perf.phase("window-sweep"));
 
@@ -106,7 +118,7 @@ int main() {
                         "utility [kJ]", "escalations", "detected runs"});
   next = 0;
   for (const double scale : scales) {
-    for (const csa::Planner* planner : planners) {
+    for (const char* planner_name : kPlannerNames) {
       std::vector<double> exhausted, utility, escalations;
       int detected = 0;
       for (int seed = 1; seed <= kSeeds; ++seed) {
@@ -119,7 +131,7 @@ int main() {
       const auto ex = analysis::summarize(exhausted);
       const auto ut = analysis::summarize(utility);
       window_table.row(
-          {analysis::fmt(scale, 1), std::string(planner->name()),
+          {analysis::fmt(scale, 1), planner_name,
            analysis::fmt_ci(ex.mean, ex.ci95, 1),
            analysis::fmt_ci(ut.mean, ut.ci95, 0),
            analysis::fmt(analysis::summarize(escalations).mean, 1),

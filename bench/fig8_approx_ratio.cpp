@@ -48,18 +48,13 @@ csa::TideInstance random_instance(Rng& gen, int keys, int stops,
   return inst;
 }
 
+constexpr const char* kPlannerNames[] = {"CSA", "Utility-first",
+                                         "Greedy-nearest", "Random"};
+
 }  // namespace
 
 int main() {
   constexpr int kInstances = 150;
-
-  const csa::ExactPlanner exact;
-  const csa::CsaPlanner planner_csa;
-  const csa::UtilityFirstPlanner planner_utility;
-  const csa::GreedyNearestPlanner planner_greedy;
-  const csa::RandomPlanner planner_random;
-  const csa::Planner* planners[] = {&planner_csa, &planner_utility,
-                                    &planner_greedy, &planner_random};
 
   analysis::PhasedStats perf;
   for (const double window_scale : {1.0, 0.5}) {
@@ -79,6 +74,15 @@ int main() {
     const std::vector<InstanceResult> outcomes = runner::run_trials(
         std::size_t(kInstances),
         [&](std::size_t, Rng& gen) {
+          // Planner instances carry mutable arenas and are single-thread
+          // affine (core/planners.hpp), so each trial builds its own set.
+          const csa::ExactPlanner exact;
+          const csa::CsaPlanner planner_csa;
+          const csa::UtilityFirstPlanner planner_utility;
+          const csa::GreedyNearestPlanner planner_greedy;
+          const csa::RandomPlanner planner_random;
+          const csa::Planner* planners[] = {&planner_csa, &planner_utility,
+                                            &planner_greedy, &planner_random};
           const csa::TideInstance inst =
               random_instance(gen, 2, 9, window_scale);
           InstanceResult out;
@@ -113,7 +117,7 @@ int main() {
       // One sort serves both quantiles (q = 0 is the exact minimum).
       const std::vector<double> qs =
           analysis::sorted_quantiles(ratios[p], {0.0, 0.10});
-      table.row({std::string(planners[p]->name()), analysis::fmt(s.mean, 3),
+      table.row({kPlannerNames[p], analysis::fmt(s.mean, 3),
                  analysis::fmt(qs[1], 3),
                  analysis::fmt(qs[0], 3),
                  analysis::fmt(100.0 * keys_matched[p] / double(usable), 1)});

@@ -9,6 +9,9 @@
 #                         (schema wrsn-metrics-v1, bench/metrics_schema.json);
 #                         the "deterministic" section is bit-identical at any
 #                         WRSN_THREADS
+#   * BENCH_service.json — mission-server throughput (coalescing + result
+#                         cache on duplicate-heavy what-if workloads, schema
+#                         wrsn-service-bench-v1)
 #
 # Usage:
 #
@@ -86,6 +89,22 @@ run_metrics() {
   fi
 }
 
+# service_throughput writes its own JSON (incl. library_build_type in the
+# context, so check_release applies to it the same way).
+run_service() {
+  local bin="$build_dir/bench/service_throughput"
+  local out="$repo_root/BENCH_service.json"
+  require_bin "$bin"
+  "$bin" "$out"
+  check_release "$out"
+  echo "wrote $out"
+  if command -v python3 > /dev/null; then
+    python3 "$repo_root/bench/validate_metrics.py" "$out" \
+      "$repo_root/bench/metrics_schema.json"
+  fi
+}
+
 run_one table2_runtime BENCH_table2.json
 run_one sim_kernel BENCH_sim.json
 run_metrics fig5_exhaustion BENCH_fig5.json
+run_service

@@ -19,8 +19,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/fuzz.hpp"
+#include "common/rng.hpp"
+#include "svc/digest.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
@@ -36,7 +40,88 @@ void usage() {
       "verdict\n"
       "  --self-test         inject a planner bug; exits 0 only if the\n"
       "                      differential oracle catches it\n"
+      "  --service-trials <N> replay N fuzzed scenarios through a shared\n"
+      "                      MissionService (duplicates included) and demand\n"
+      "                      digest equality with direct execution\n"
       "  --help              this text\n";
+}
+
+/// Service-equivalence family: fuzzed scenarios through one shared
+/// MissionService vs direct run_mission, duplicate-heavy so cache hits and
+/// coalesced joins carry real missions.  Any divergence prints the exact
+/// REPRO line (replayable with --repro here or wrsn_cli --repro).
+int run_service_trials(std::size_t trials, std::uint64_t seed,
+                       std::size_t threads) {
+  using namespace wrsn;
+
+  struct TrialCase {
+    std::string repro;
+    svc::MissionRequest request;
+  };
+  std::vector<TrialCase> cases;
+  cases.reserve(trials);
+  Rng gen(seed);
+  for (std::size_t i = 0; i < trials; ++i) {
+    analysis::FuzzOverrides overrides = analysis::generate_fuzz_overrides(gen);
+    TrialCase c;
+    c.repro = analysis::format_repro(overrides);
+    auto [config, mode] = analysis::resolve_overrides(overrides);
+    c.request.config = config;
+    c.request.mode = mode;
+    cases.push_back(std::move(c));
+  }
+
+  svc::ServiceOptions options;
+  options.threads = threads;
+  options.cache_capacity = trials;
+  options.queue_limit = trials + 16;
+  svc::MissionService service(options);
+
+  // Each scenario twice: every pair exercises execute-then-share.
+  std::vector<svc::MissionRequest> requests;
+  std::vector<std::size_t> origin;
+  requests.reserve(trials * 2);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    requests.push_back(cases[i].request);
+    origin.push_back(i);
+    requests.push_back(cases[i].request);
+    origin.push_back(i);
+  }
+  const std::vector<svc::MissionResponse> responses =
+      service.submit_batch(requests);
+
+  // One direct run per unique scenario is the oracle for both duplicates.
+  std::vector<std::uint64_t> expected(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    expected[i] = analysis::digest_result(
+        analysis::run_mission(cases[i].request.config, cases[i].request.mode));
+  }
+
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const TrialCase& c = cases[origin[i]];
+    if (responses[i].status != svc::MissionStatus::kOk) {
+      std::cout << "FAIL service status "
+                << std::to_string(int(responses[i].status)) << "\n"
+                << "REPRO " << c.repro << "\n";
+      ++failures;
+      continue;
+    }
+    if (responses[i].outcome.result_digest != expected[origin[i]]) {
+      std::cout << "FAIL service digest " << responses[i].outcome.result_digest
+                << " != direct " << expected[origin[i]] << "\n"
+                << "REPRO " << c.repro << "\n";
+      ++failures;
+    }
+  }
+
+  const svc::ServiceStats stats = service.stats();
+  std::cout << "service-trials " << trials << "\n"
+            << "service-requests " << stats.requests << "\n"
+            << "service-executions " << stats.executions << "\n"
+            << "service-shared " << stats.cache_hits + stats.coalesced << "\n"
+            << "service-failures " << failures << "\n";
+  return failures == 0 ? 0 : 1;
 }
 
 int replay(const std::string& line) {
@@ -64,6 +149,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t threads = 0;
   std::size_t max_failures = 16;
+  std::size_t service_trials = 0;
   bool self_test = false;
   std::string repro_line;
 
@@ -84,6 +170,8 @@ int main(int argc, char** argv) {
       threads = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--max-failures") {
       max_failures = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--service-trials") {
+      service_trials = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--repro") {
@@ -100,6 +188,9 @@ int main(int argc, char** argv) {
 
   try {
     if (!repro_line.empty()) return replay(repro_line);
+    if (service_trials > 0) {
+      return run_service_trials(service_trials, seed, threads);
+    }
 
     if (self_test) {
       // The oracles must catch a deliberately broken planner; a clean

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Validate a wrsn-metrics-v1 JSON export.
+"""Validate a wrsn metric/benchmark JSON document.
 
 Usage:
     validate_metrics.py METRICS_JSON SCHEMA_JSON [--table STDOUT_CAPTURE]
 
-Checks the export against bench/metrics_schema.json with a small built-in
-validator (the CI image carries no jsonschema package), then applies
-histogram invariants the schema language cannot express (counts length,
-count total, ascending bounds).  With --table, additionally parses the
-"== Metrics ==" and "== Timing metrics ==" tables from a captured bench/CLI
-stdout and diffs every row against the JSON values: the tables and the JSON
-are generated from the same registry, so any divergence is an exporter bug.
+Accepts either document shape in bench/metrics_schema.json (top-level oneOf):
+
+  * wrsn-metrics-v1 — the obs::MetricRegistry export.  Applies histogram
+    invariants the schema language cannot express (counts length, count
+    total, ascending bounds).  With --table, additionally parses the
+    "== Metrics ==" and "== Timing metrics ==" tables from a captured
+    bench/CLI stdout and diffs every row against the JSON values: the tables
+    and the JSON are generated from the same registry, so any divergence is
+    an exporter bug.
+  * wrsn-service-bench-v1 — the mission-server throughput recording
+    (bench/service_throughput.cpp).  Applies the service accounting
+    invariant (requests = executions + cache_hits + coalesced + shed per
+    case) and latency sanity (p50 <= p99).
+
+Checks run with a small built-in validator (the CI image carries no
+jsonschema package).
 """
 
 import json
@@ -84,6 +93,12 @@ def check(instance, schema, schema_root, path):
         if "minimum" in schema and instance < schema["minimum"]:
             raise ValidationError(
                 f"{path}: {instance} below minimum {schema['minimum']}")
+    elif expected == "string":
+        if not isinstance(instance, str):
+            raise ValidationError(f"{path}: expected string, got {instance!r}")
+    elif expected == "boolean":
+        if not isinstance(instance, bool):
+            raise ValidationError(f"{path}: expected boolean, got {instance!r}")
     elif expected is not None:
         raise ValidationError(f"{path}: unsupported schema type {expected!r}")
 
@@ -101,6 +116,26 @@ def check_histogram_invariants(name, hist):
             f"{name}: bucket counts sum to {sum(counts)}, count={hist['count']}")
     if hist["count"] > 0 and not hist["min"] <= hist["max"]:
         raise ValidationError(f"{name}: min > max")
+
+
+def check_service_invariants(doc):
+    """wrsn-service-bench-v1: every request must be accounted for exactly
+    once (executed, served from cache, coalesced onto an in-flight
+    execution, or shed), and the latency percentiles must be ordered."""
+    for case in doc["cases"]:
+        name = case["name"]
+        accounted = (case["executions"] + case["cache_hits"] +
+                     case["coalesced"] + case["shed"])
+        if case["requests"] != accounted:
+            raise ValidationError(
+                f"{name}: requests={case['requests']} but executions+hits+"
+                f"coalesced+shed={accounted}")
+        latency = case["latency_ms"]
+        if latency["p50"] > latency["p99"]:
+            raise ValidationError(
+                f"{name}: latency p50 {latency['p50']} > p99 {latency['p99']}")
+    if doc["derived"]["dup90_speedup"] <= 0:
+        raise ValidationError("derived.dup90_speedup must be positive")
 
 
 def iter_metrics(doc):
@@ -177,6 +212,11 @@ def main(argv):
 
     try:
         check(doc, schema, schema, "$")
+        if doc.get("schema") == "wrsn-service-bench-v1":
+            check_service_invariants(doc)
+            print(f"{metrics_path}: schema OK, "
+                  f"{len(doc['cases'])} service cases balanced")
+            return 0
         for name, value in iter_metrics(doc):
             if isinstance(value, dict):
                 check_histogram_invariants(name, value)

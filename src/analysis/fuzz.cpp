@@ -10,6 +10,7 @@
 
 #include "analysis/config_io.hpp"
 #include "common/check.hpp"
+#include "common/fnv.hpp"
 #include "core/reference_planner.hpp"
 #include "runner/runner.hpp"
 
@@ -27,31 +28,6 @@ constexpr Seconds kDetectTimeTol = 1e-3;
 /// Cap on recorded violations per trial — one broken invariant tends to
 /// cascade, and the repro line is what matters.
 constexpr std::size_t kMaxFailuresPerTrial = 12;
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-class Fnv {
- public:
-  void mix_bytes(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      hash_ ^= bytes[i];
-      hash_ *= kFnvPrime;
-    }
-  }
-  void mix(std::uint64_t value) { mix_bytes(&value, sizeof(value)); }
-  void mix(double value) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    mix(bits);
-  }
-  void mix(const std::string& s) { mix_bytes(s.data(), s.size()); }
-  std::uint64_t hash() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = kFnvOffset;
-};
 
 std::string fmt(double value) {
   char buf[64];
@@ -375,6 +351,8 @@ void check_liveness(const ScenarioConfig& cfg, const ScenarioResult& result,
   }
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Digest of the production run — bit-identical across thread counts.
 // ---------------------------------------------------------------------------
@@ -437,7 +415,20 @@ std::uint64_t digest_result(const ScenarioResult& result) {
   return fnv.hash();
 }
 
-}  // namespace
+std::pair<ScenarioConfig, ChargerMode> resolve_overrides(
+    const FuzzOverrides& overrides) {
+  FuzzOverrides entries = overrides;
+  std::string mode_str = "attack";
+  if (const auto it = entries.find("mode"); it != entries.end()) {
+    mode_str = it->second;
+    entries.erase(it);
+  }
+  WRSN_REQUIRE(mode_str == "attack" || mode_str == "benign",
+               "fuzz override 'mode' must be attack|benign");
+  const ChargerMode mode =
+      mode_str == "attack" ? ChargerMode::Attack : ChargerMode::Benign;
+  return {apply_config(default_scenario(), entries), mode};
+}
 
 csa::Plan BuggyPlanner::plan(const csa::TideInstance& instance,
                              Rng& rng) const {
@@ -539,17 +530,7 @@ FuzzVerdict run_fuzz_trial(const FuzzOverrides& overrides,
                            bool inject_divergence) {
   FuzzVerdict verdict;
   try {
-    FuzzOverrides entries = overrides;
-    std::string mode_str = "attack";
-    if (const auto it = entries.find("mode"); it != entries.end()) {
-      mode_str = it->second;
-      entries.erase(it);
-    }
-    WRSN_REQUIRE(mode_str == "attack" || mode_str == "benign",
-                 "fuzz override 'mode' must be attack|benign");
-    const ChargerMode mode =
-        mode_str == "attack" ? ChargerMode::Attack : ChargerMode::Benign;
-    const ScenarioConfig cfg = apply_config(default_scenario(), entries);
+    const auto [cfg, mode] = resolve_overrides(overrides);
 
     const csa::CsaPlanner fast_planner;
     const BuggyPlanner buggy_planner;
@@ -564,22 +545,11 @@ FuzzVerdict run_fuzz_trial(const FuzzOverrides& overrides,
     ScenarioConfig ref_cfg = cfg;
     ref_cfg.world.update_mode = sim::WorldUpdateMode::Reference;
 
-    // Fleet missions route through run_fleet_scenario; in attack mode the
-    // compromised index is clamped into the fleet so a stale override can
-    // never silently demote the mission to an honest one.
-    const std::size_t fleet = cfg.fleet_size;
-    const std::size_t compromised =
-        mode == ChargerMode::Attack
-            ? std::min(cfg.fleet_compromised, fleet - 1)
-            : SIZE_MAX;
-    const ScenarioResult fast =
-        fleet > 1 ? run_fleet_scenario(fast_cfg, fleet, compromised,
-                                       production)
-                  : run_scenario(fast_cfg, mode, production);
-    const ScenarioResult ref =
-        fleet > 1 ? run_fleet_scenario(ref_cfg, fleet, compromised,
-                                       &ref_planner)
-                  : run_scenario(ref_cfg, mode, &ref_planner);
+    // run_mission owns the fleet routing and the attack-mode clamp of the
+    // compromised index, so a fuzz replay, a CLI replay, and a service
+    // request of the same overrides bind the attacker identically.
+    const ScenarioResult fast = run_mission(fast_cfg, mode, production);
+    const ScenarioResult ref = run_mission(ref_cfg, mode, &ref_planner);
 
     check_differential(fast, ref, verdict.failures);
     check_invariants(cfg, fast, "fast", verdict.failures);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/scenario.hpp"
@@ -87,6 +88,22 @@ FuzzOverrides generate_fuzz_overrides(Rng& rng);
 /// differential oracle bites.
 FuzzVerdict run_fuzz_trial(const FuzzOverrides& overrides,
                            bool inject_divergence = false);
+
+/// FNV-1a fold of a mission result: the full trace (requests, sessions,
+/// deaths, escalations), detector verdicts, key-target set, fault tallies,
+/// and the liveness counters.  This is THE result digest of the repo — the
+/// fuzzer's campaign digests, the mission service's response digests, and
+/// the service-vs-direct differential all use it, so a service response is
+/// bit-identical to a standalone run iff the digests match.
+std::uint64_t digest_result(const ScenarioResult& result);
+
+/// Splits a fuzz override set into the mission config and mode, exactly as
+/// run_fuzz_trial does: the pseudo-key "mode" (default attack) selects the
+/// service, everything else goes through apply_config over
+/// default_scenario().  Throws ConfigError on unknown keys or a bad mode.
+/// Run the result with run_mission for the standalone-equivalent mission.
+std::pair<ScenarioConfig, ChargerMode> resolve_overrides(
+    const FuzzOverrides& overrides);
 
 /// Serializes overrides as a `k=v;k=v` repro line (sorted keys).
 std::string format_repro(const FuzzOverrides& overrides);

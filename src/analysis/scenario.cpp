@@ -360,4 +360,15 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
   return result;
 }
 
+ScenarioResult run_mission(const ScenarioConfig& config, ChargerMode mode,
+                           const csa::Planner* planner) {
+  const std::size_t fleet = config.fleet_size;
+  if (fleet <= 1) return run_scenario(config, mode, planner);
+  const std::size_t compromised =
+      mode == ChargerMode::Attack
+          ? std::min(config.fleet_compromised, fleet - 1)
+          : SIZE_MAX;
+  return run_fleet_scenario(config, fleet, compromised, planner);
+}
+
 }  // namespace wrsn::analysis

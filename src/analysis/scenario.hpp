@@ -95,4 +95,15 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
                                   std::size_t compromised = SIZE_MAX,
                                   const csa::Planner* planner = nullptr);
 
+/// Runs one mission exactly the way every front end (fuzzer, CLI replay,
+/// mission service) does: `config.fleet_size > 1` routes through
+/// run_fleet_scenario, and in Attack mode the compromised index is clamped
+/// into the fleet so a stale `fleet.compromised` override can never silently
+/// demote the mission to an honest one.  Benign fleets are wholly honest.
+/// This is the ONE resolution point for fleet/compromised semantics — the
+/// service's bit-identical-to-standalone guarantee rests on all paths
+/// funnelling through it.
+ScenarioResult run_mission(const ScenarioConfig& config, ChargerMode mode,
+                           const csa::Planner* planner = nullptr);
+
 }  // namespace wrsn::analysis

@@ -1,0 +1,39 @@
+// FNV-1a folding, shared by the fuzzer's trace digests (analysis/fuzz.cpp)
+// and the service layer's scenario digests (svc/digest.cpp).  Both sides pin
+// digests in committed tests, so the constants and the byte order are part
+// of the repo's compatibility surface: changing them invalidates every
+// recorded campaign digest.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace wrsn {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+class Fnv {
+ public:
+  void mix_bytes(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= kFnvPrime;
+    }
+  }
+  void mix(std::uint64_t value) noexcept { mix_bytes(&value, sizeof(value)); }
+  void mix(double value) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+  void mix(const std::string& s) noexcept { mix_bytes(s.data(), s.size()); }
+  std::uint64_t hash() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+}  // namespace wrsn

@@ -98,6 +98,11 @@ class FleetPlanner {
 /// The production fleet planner (phases A-E above) on the slack-based
 /// RouteState, sharing one node-pair distance memo across the M travel
 /// matrices of a plan() call.
+///
+/// Same thread-affinity rule as csa::Planner (mutable arenas: one thread
+/// at a time), plus one more: the distance memo is keyed by node id and
+/// assumes one fixed deployment, so a planner instance must not be reused
+/// across unrelated instances whose node ids map to different positions.
 class CooperativeFleetPlanner final : public FleetPlanner {
  public:
   std::string_view name() const override { return "Fleet-CSA"; }

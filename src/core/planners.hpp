@@ -37,6 +37,13 @@
 namespace wrsn::csa {
 
 /// Strategy interface every attacker's route planner implements.
+///
+/// Thread affinity: plan() is const but implementations may carry mutable
+/// arenas (CsaPlanner reuses its route state and candidate table across
+/// calls), so one planner instance must only ever be used by one thread at
+/// a time.  Code that fans work out across runner threads constructs a
+/// planner per trial instead of sharing one instance — run_scenario already
+/// does this for its default planner.
 class Planner {
  public:
   virtual ~Planner() = default;

@@ -95,6 +95,20 @@ enum class Metric : std::uint16_t {
   kFleetUnscheduledKeys,   ///< keys no charger could schedule
   kFleetHandoffs,          ///< permanent-loss territory redistributions
   kFleetHandoffNodes,      ///< nodes adopted by survivors during handoffs
+  // Mission service (src/svc/service.cpp).  These live in the *timing*
+  // export section even though most are counters: whether a duplicate
+  // request lands as a cache hit or a coalesced join depends on arrival
+  // timing, so the tallies are load-dependent and must not pollute the
+  // deterministic section's byte-for-byte comparability.
+  kSvcRequests,
+  kSvcExecutions,          ///< cache/coalesce misses that ran a mission
+  kSvcCacheHits,
+  kSvcCacheMisses,
+  kSvcCacheEvictions,
+  kSvcCoalesced,           ///< requests that joined an in-flight execution
+  kSvcShed,                ///< requests rejected by admission control
+  kSvcQueuePeak,           ///< gauge-max: deepest in-flight backlog observed
+  kSvcRequestNs,           ///< timing histogram: one submit() round trip
   kCount,
 };
 
@@ -133,6 +147,15 @@ constexpr MetricDef hist(std::string_view name, double lo, double hi,
 /// Shared timer layout: 100 ns .. 10 s, 32 log-spaced buckets.
 constexpr MetricDef timing_ns(std::string_view name) {
   return {name, MetricKind::kHistogram, /*timing=*/true, 1e2, 1e10, 32, true};
+}
+/// Load-dependent scalars (service tallies): counter/gauge semantics, but
+/// exported in the timing section because they are not a pure function of
+/// the simulated work.
+constexpr MetricDef load_counter(std::string_view name) {
+  return {name, MetricKind::kCounter, /*timing=*/true};
+}
+constexpr MetricDef load_gauge(std::string_view name) {
+  return {name, MetricKind::kGaugeMax, /*timing=*/true};
 }
 
 /// The def table, POSITIONAL in `Metric` enum order.  Constexpr so the
@@ -183,6 +206,15 @@ inline constexpr std::array<MetricDef, kMetricCount> kDefTable{{
     counter("fleet.unscheduled_keys"),
     counter("fleet.handoffs"),
     counter("fleet.handoff_nodes"),
+    load_counter("svc.requests"),
+    load_counter("svc.executions"),
+    load_counter("svc.cache_hits"),
+    load_counter("svc.cache_misses"),
+    load_counter("svc.cache_evictions"),
+    load_counter("svc.coalesced"),
+    load_counter("svc.shed"),
+    load_gauge("svc.queue_peak"),
+    timing_ns("svc.request_ns"),
 }};
 
 // Guard the positional layout against enum drift.
@@ -203,6 +235,13 @@ static_assert(kDefTable[std::size_t(Metric::kFleetPlans)].name ==
               "fleet.plans");
 static_assert(kDefTable[std::size_t(Metric::kFleetHandoffNodes)].name ==
               "fleet.handoff_nodes");
+static_assert(kDefTable[std::size_t(Metric::kSvcRequests)].name ==
+              "svc.requests");
+static_assert(kDefTable[std::size_t(Metric::kSvcRequests)].timing);
+static_assert(kDefTable[std::size_t(Metric::kSvcQueuePeak)].kind ==
+              MetricKind::kGaugeMax);
+static_assert(kDefTable[std::size_t(Metric::kSvcRequestNs)].name ==
+              "svc.request_ns");
 
 }  // namespace detail
 

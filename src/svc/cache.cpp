@@ -1,0 +1,80 @@
+#include "svc/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace wrsn::svc {
+
+void LruCore::init(std::size_t capacity) {
+  WRSN_REQUIRE(slots_.empty(), "LruCore::init called twice");
+  slots_.resize(capacity);
+  free_.reserve(capacity);
+  // Hand out low indices first (cosmetic; any order works).
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  // Reserve past the max load factor so inserts never rehash; the per-node
+  // allocations of the index are confined to the miss path.
+  index_.reserve(capacity + capacity / 2 + 1);
+}
+
+void LruCore::unlink(std::uint32_t i) noexcept {
+  Slot& s = slots_[i];
+  if (s.prev != kNil) slots_[s.prev].next = s.next;
+  if (s.next != kNil) slots_[s.next].prev = s.prev;
+  if (head_ == i) head_ = s.next;
+  if (tail_ == i) tail_ = s.prev;
+  s.prev = s.next = kNil;
+}
+
+void LruCore::push_front(std::uint32_t i) noexcept {
+  Slot& s = slots_[i];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+bool LruCore::lookup(const MissionKey& key, MissionResponse& out) noexcept {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::uint32_t i = it->second;
+  if (head_ != i) {
+    unlink(i);
+    push_front(i);
+  }
+  out = slots_[i].value;
+  return true;
+}
+
+bool LruCore::insert(const MissionKey& key, const MissionResponse& value) {
+  if (slots_.empty()) return false;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    const std::uint32_t i = it->second;
+    if (head_ != i) {
+      unlink(i);
+      push_front(i);
+    }
+    slots_[i].value = value;
+    return false;
+  }
+  bool evicted = false;
+  std::uint32_t i = kNil;
+  if (!free_.empty()) {
+    i = free_.back();
+    free_.pop_back();
+  } else {
+    i = tail_;
+    WRSN_ASSERT(i != kNil);
+    index_.erase(slots_[i].key);
+    unlink(i);
+    evicted = true;
+  }
+  slots_[i].key = key;
+  slots_[i].value = value;
+  push_front(i);
+  index_.emplace(key, i);
+  return evicted;
+}
+
+}  // namespace wrsn::svc

@@ -1,0 +1,507 @@
+#include "svc/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "analysis/fuzz.hpp"
+#include "common/check.hpp"
+
+namespace wrsn::svc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON helpers: a flat object of string / integer / bool / double values is
+// all the protocol needs, so the parser is deliberately minimal (and strict:
+// anything else is a decode error, never a guess).
+// ---------------------------------------------------------------------------
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string u64_field(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string double_field(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\r' ||
+            text[pos] == '\n')) {
+      ++pos;
+    }
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            if (code > 0x7f) return fail("non-ASCII \\u escape unsupported");
+            c = static_cast<char>(code);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      }
+      out += c;
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+  /// Raw scalar token (number / true / false / null), no validation beyond
+  /// the charset; the caller converts.
+  bool parse_scalar(std::string& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    out.assign(text.substr(start, pos - start));
+    return true;
+  }
+};
+
+/// Parses one flat JSON object into key -> raw value text (strings
+/// unescaped).  Nested containers are a decode error.
+bool parse_flat_object(std::string_view line,
+                       std::map<std::string, std::string>& out,
+                       std::string& error) {
+  JsonCursor cur{line, 0, {}};
+  out.clear();
+  if (!cur.expect('{')) {
+    error = cur.error;
+    return false;
+  }
+  cur.skip_ws();
+  if (cur.pos < cur.text.size() && cur.text[cur.pos] == '}') {
+    ++cur.pos;
+    return true;
+  }
+  while (true) {
+    std::string key, value;
+    if (!cur.parse_string(key) || !cur.expect(':')) break;
+    cur.skip_ws();
+    if (cur.pos < cur.text.size() && cur.text[cur.pos] == '"') {
+      if (!cur.parse_string(value)) break;
+    } else if (cur.pos < cur.text.size() &&
+               (cur.text[cur.pos] == '{' || cur.text[cur.pos] == '[')) {
+      cur.fail("nested containers unsupported");
+      break;
+    } else if (!cur.parse_scalar(value)) {
+      break;
+    }
+    out[key] = value;
+    cur.skip_ws();
+    if (cur.pos < cur.text.size() && cur.text[cur.pos] == ',') {
+      ++cur.pos;
+      continue;
+    }
+    if (!cur.expect('}')) break;
+    return true;
+  }
+  error = cur.error.empty() ? "malformed object" : cur.error;
+  return false;
+}
+
+bool parse_u64(const std::map<std::string, std::string>& kv,
+               const std::string& key, std::uint64_t& out, bool required,
+               std::string& error) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    if (required) error = "missing field '" + key + "'";
+    return !required;
+  }
+  char* end = nullptr;
+  out = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    error = "field '" + key + "' is not an unsigned integer";
+    return false;
+  }
+  return true;
+}
+
+double parse_double_or(const std::map<std::string, std::string>& kv,
+                       const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::uint64_t parse_u64_or(const std::map<std::string, std::string>& kv,
+                           const std::string& key, std::uint64_t fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback
+                        : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Binary field packing: integers LE, doubles as IEEE bit patterns.  Fields
+// are appended one by one — no struct memcpy, so padding never leaks and
+// the bytes are deterministic.
+// ---------------------------------------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += char((v >> (8 * i)) & 0xff);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += char((v >> (8 * i)) & 0xff);
+}
+void put_double(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+struct FrameCursor {
+  std::string_view data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(void* out, std::size_t n) {
+    if (!ok || pos + n > data.size()) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(out, data.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  std::uint32_t u32() {
+    unsigned char b[4] = {};
+    take(b, 4);
+    return std::uint32_t(b[0]) | std::uint32_t(b[1]) << 8 |
+           std::uint32_t(b[2]) << 16 | std::uint32_t(b[3]) << 24;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    unsigned char b[8] = {};
+    take(b, 8);
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace
+
+std::string_view status_name(MissionStatus status) {
+  switch (status) {
+    case MissionStatus::kOk: return "ok";
+    case MissionStatus::kShed: return "shed";
+    case MissionStatus::kInvalid: return "invalid";
+    case MissionStatus::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+std::string_view route_name(MissionRoute route) {
+  switch (route) {
+    case MissionRoute::kExecuted: return "executed";
+    case MissionRoute::kCacheHit: return "cache_hit";
+    case MissionRoute::kCoalesced: return "coalesced";
+    case MissionRoute::kNone: return "none";
+  }
+  return "unknown";
+}
+
+std::string encode_request_json(const WireRequest& request) {
+  std::string out = "{\"id\":" + u64_field(request.id) +
+                    ",\"tenant\":" + u64_field(request.tenant) +
+                    ",\"repro\":";
+  append_escaped(out, request.repro);
+  out += '}';
+  return out;
+}
+
+bool decode_request_json(std::string_view line, WireRequest& out,
+                         std::string& error) {
+  std::map<std::string, std::string> kv;
+  if (!parse_flat_object(line, kv, error)) return false;
+  out = WireRequest{};
+  if (!parse_u64(kv, "id", out.id, /*required=*/true, error)) return false;
+  if (!parse_u64(kv, "tenant", out.tenant, /*required=*/false, error)) {
+    return false;
+  }
+  const auto it = kv.find("repro");
+  if (it == kv.end()) {
+    error = "missing field 'repro'";
+    return false;
+  }
+  out.repro = it->second;
+  return true;
+}
+
+std::string encode_response_json(const WireResponse& wire) {
+  const MissionResponse& r = wire.response;
+  const MissionOutcome& o = r.outcome;
+  std::string out = "{\"id\":" + u64_field(wire.id);
+  out += ",\"status\":\"" + std::string(status_name(r.status)) + '"';
+  out += ",\"route\":\"" + std::string(route_name(r.route)) + '"';
+  // 64-bit identities as strings: JSON numbers stop being exact at 2^53.
+  out += ",\"scenario_digest\":\"" + u64_field(o.scenario_digest) + '"';
+  out += ",\"seed\":\"" + u64_field(o.seed) + '"';
+  out += ",\"result_digest\":\"" + u64_field(o.result_digest) + '"';
+  out += ",\"node_count\":" + u64_field(o.node_count);
+  out += ",\"alive_at_end\":" + u64_field(o.alive_at_end);
+  out += ",\"sink_connected_at_end\":" + u64_field(o.sink_connected_at_end);
+  out += ",\"keys_total\":" + u64_field(o.keys_total);
+  out += ",\"keys_dead\":" + u64_field(o.keys_dead);
+  out += ",\"keys_dead_before_detection\":" +
+         u64_field(o.keys_dead_before_detection);
+  out += ",\"sessions_genuine\":" + u64_field(o.sessions_genuine);
+  out += ",\"sessions_spoofed\":" + u64_field(o.sessions_spoofed);
+  out += ",\"escalations\":" + u64_field(o.escalations);
+  out += ",\"deaths_total\":" + u64_field(o.deaths_total);
+  out += ",\"plans_computed\":" + u64_field(o.plans_computed);
+  out += ",\"events_executed\":" + u64_field(o.events_executed);
+  out += ",\"detected\":";
+  out += o.detected != 0 ? "true" : "false";
+  out += ",\"detection_time\":" + double_field(o.detection_time);
+  out += ",\"utility_delivered\":" + double_field(o.utility_delivered);
+  out += ",\"detector\":";
+  append_escaped(out, o.detector);
+  out += '}';
+  return out;
+}
+
+bool decode_response_json(std::string_view line, WireResponse& out,
+                          std::string& error) {
+  std::map<std::string, std::string> kv;
+  if (!parse_flat_object(line, kv, error)) return false;
+  out = WireResponse{};
+  if (!parse_u64(kv, "id", out.id, /*required=*/true, error)) return false;
+
+  MissionResponse& r = out.response;
+  const auto status_it = kv.find("status");
+  const std::string status = status_it == kv.end() ? "ok" : status_it->second;
+  if (status == "ok") r.status = MissionStatus::kOk;
+  else if (status == "shed") r.status = MissionStatus::kShed;
+  else if (status == "invalid") r.status = MissionStatus::kInvalid;
+  else if (status == "closed") r.status = MissionStatus::kClosed;
+  else {
+    error = "unknown status '" + status + "'";
+    return false;
+  }
+  const auto route_it = kv.find("route");
+  const std::string route = route_it == kv.end() ? "none" : route_it->second;
+  if (route == "executed") r.route = MissionRoute::kExecuted;
+  else if (route == "cache_hit") r.route = MissionRoute::kCacheHit;
+  else if (route == "coalesced") r.route = MissionRoute::kCoalesced;
+  else if (route == "none") r.route = MissionRoute::kNone;
+  else {
+    error = "unknown route '" + route + "'";
+    return false;
+  }
+
+  MissionOutcome& o = r.outcome;
+  if (!parse_u64(kv, "scenario_digest", o.scenario_digest, true, error) ||
+      !parse_u64(kv, "seed", o.seed, true, error) ||
+      !parse_u64(kv, "result_digest", o.result_digest, true, error)) {
+    return false;
+  }
+  o.node_count = std::uint32_t(parse_u64_or(kv, "node_count", 0));
+  o.alive_at_end = std::uint32_t(parse_u64_or(kv, "alive_at_end", 0));
+  o.sink_connected_at_end =
+      std::uint32_t(parse_u64_or(kv, "sink_connected_at_end", 0));
+  o.keys_total = std::uint32_t(parse_u64_or(kv, "keys_total", 0));
+  o.keys_dead = std::uint32_t(parse_u64_or(kv, "keys_dead", 0));
+  o.keys_dead_before_detection =
+      std::uint32_t(parse_u64_or(kv, "keys_dead_before_detection", 0));
+  o.sessions_genuine = std::uint32_t(parse_u64_or(kv, "sessions_genuine", 0));
+  o.sessions_spoofed = std::uint32_t(parse_u64_or(kv, "sessions_spoofed", 0));
+  o.escalations = std::uint32_t(parse_u64_or(kv, "escalations", 0));
+  o.deaths_total = std::uint32_t(parse_u64_or(kv, "deaths_total", 0));
+  o.plans_computed = parse_u64_or(kv, "plans_computed", 0);
+  o.events_executed = parse_u64_or(kv, "events_executed", 0);
+  const auto det_it = kv.find("detected");
+  o.detected = (det_it != kv.end() && det_it->second == "true") ? 1 : 0;
+  o.detection_time = parse_double_or(kv, "detection_time", 0.0);
+  o.utility_delivered = parse_double_or(kv, "utility_delivered", 0.0);
+  if (const auto it = kv.find("detector"); it != kv.end()) {
+    const std::size_t n =
+        std::min(it->second.size(), sizeof(o.detector) - 1);
+    std::memcpy(o.detector, it->second.data(), n);
+  }
+  return true;
+}
+
+void encode_request_frame(const WireRequest& request, std::string& out) {
+  out.clear();
+  put_u64(out, request.id);
+  put_u64(out, request.tenant);
+  put_u32(out, std::uint32_t(request.repro.size()));
+  out += request.repro;
+}
+
+bool decode_request_frame(std::string_view payload, WireRequest& out,
+                          std::string& error) {
+  FrameCursor cur{payload};
+  out = WireRequest{};
+  out.id = cur.u64();
+  out.tenant = cur.u64();
+  const std::uint32_t len = cur.u32();
+  if (!cur.ok || cur.pos + len != payload.size()) {
+    error = "malformed request frame";
+    return false;
+  }
+  out.repro.assign(payload.substr(cur.pos, len));
+  return true;
+}
+
+void encode_response_frame(const WireResponse& wire, std::string& out) {
+  const MissionResponse& r = wire.response;
+  const MissionOutcome& o = r.outcome;
+  out.clear();
+  put_u64(out, wire.id);
+  out += char(std::uint8_t(r.status));
+  out += char(std::uint8_t(r.route));
+  put_u64(out, o.scenario_digest);
+  put_u64(out, o.seed);
+  put_u64(out, o.result_digest);
+  put_u32(out, o.node_count);
+  put_u32(out, o.alive_at_end);
+  put_u32(out, o.sink_connected_at_end);
+  put_u32(out, o.keys_total);
+  put_u32(out, o.keys_dead);
+  put_u32(out, o.keys_dead_before_detection);
+  put_u32(out, o.sessions_genuine);
+  put_u32(out, o.sessions_spoofed);
+  put_u32(out, o.escalations);
+  put_u32(out, o.deaths_total);
+  put_u64(out, o.plans_computed);
+  put_u64(out, o.events_executed);
+  out += char(o.detected);
+  put_double(out, o.detection_time);
+  put_double(out, o.utility_delivered);
+  out.append(o.detector, sizeof(o.detector));
+}
+
+bool decode_response_frame(std::string_view payload, WireResponse& out,
+                           std::string& error) {
+  FrameCursor cur{payload};
+  out = WireResponse{};
+  MissionResponse& r = out.response;
+  MissionOutcome& o = r.outcome;
+  out.id = cur.u64();
+  std::uint8_t status = 0, route = 0, detected = 0;
+  cur.take(&status, 1);
+  cur.take(&route, 1);
+  o.scenario_digest = cur.u64();
+  o.seed = cur.u64();
+  o.result_digest = cur.u64();
+  o.node_count = cur.u32();
+  o.alive_at_end = cur.u32();
+  o.sink_connected_at_end = cur.u32();
+  o.keys_total = cur.u32();
+  o.keys_dead = cur.u32();
+  o.keys_dead_before_detection = cur.u32();
+  o.sessions_genuine = cur.u32();
+  o.sessions_spoofed = cur.u32();
+  o.escalations = cur.u32();
+  o.deaths_total = cur.u32();
+  o.plans_computed = cur.u64();
+  o.events_executed = cur.u64();
+  cur.take(&detected, 1);
+  o.detection_time = cur.f64();
+  o.utility_delivered = cur.f64();
+  cur.take(o.detector, sizeof(o.detector));
+  if (!cur.ok || cur.pos != payload.size() || status > 3 || route > 3) {
+    error = "malformed response frame";
+    return false;
+  }
+  r.status = MissionStatus(status);
+  r.route = MissionRoute(route);
+  o.detected = detected;
+  o.detector[sizeof(o.detector) - 1] = '\0';
+  return true;
+}
+
+MissionRequest to_mission_request(const WireRequest& wire) {
+  const analysis::FuzzOverrides overrides = analysis::parse_repro(wire.repro);
+  auto [config, mode] = analysis::resolve_overrides(overrides);
+  MissionRequest request;
+  request.config = std::move(config);
+  request.mode = mode;
+  request.tenant = wire.tenant;
+  return request;
+}
+
+}  // namespace wrsn::svc

@@ -1,0 +1,292 @@
+#include "svc/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace wrsn::svc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// fd helpers: EINTR-safe, MSG_NOSIGNAL so a vanished peer surfaces as an
+// error return instead of SIGPIPE.
+// ---------------------------------------------------------------------------
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= std::size_t(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // orderly EOF
+    p += n;
+    size -= std::size_t(n);
+  }
+  return true;
+}
+
+/// Reads until '\n' (exclusive), carrying leftovers across calls in `buffer`.
+/// Returns false on EOF/error before a full line arrives.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  while (true) {
+    if (const std::size_t nl = buffer.find('\n'); nl != std::string::npos) {
+      line.assign(buffer, 0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    if (buffer.size() > kMaxFrameBytes) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buffer.append(chunk, std::size_t(n));
+  }
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  std::uint32_t size = std::uint32_t(payload.size());
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) prefix[i] = char((size >> (8 * i)) & 0xff);
+  return write_all(fd, prefix, sizeof(prefix)) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char prefix[4];
+  if (!read_exact(fd, prefix, sizeof(prefix))) return false;
+  const std::uint32_t size = std::uint32_t(prefix[0]) |
+                             std::uint32_t(prefix[1]) << 8 |
+                             std::uint32_t(prefix[2]) << 16 |
+                             std::uint32_t(prefix[3]) << 24;
+  if (size > kMaxFrameBytes) return false;
+  payload.resize(size);
+  return size == 0 || read_exact(fd, payload.data(), size);
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("connect(" + path +
+                             ") failed: " + std::strerror(errno));
+  }
+  return fd;
+}
+
+/// Serves one decoded request: parse errors become kInvalid responses with
+/// the offending id echoed, never dropped connections.
+WireResponse serve_request(MissionService& service, const WireRequest& wire) {
+  WireResponse reply;
+  reply.id = wire.id;
+  try {
+    const MissionRequest request = to_mission_request(wire);
+    reply.response = service.submit(request);
+  } catch (const std::exception&) {
+    reply.response.status = MissionStatus::kInvalid;
+    reply.response.route = MissionRoute::kNone;
+  }
+  return reply;
+}
+
+}  // namespace
+
+MissionServer::MissionServer(MissionService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ::unlink(socket_path_.c_str());  // stale socket from a crashed server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen(" + socket_path_ +
+                             ") failed: " + why);
+  }
+}
+
+MissionServer::~MissionServer() { stop(); }
+
+void MissionServer::start() {
+  WRSN_REQUIRE(listen_fd_ >= 0, "server already stopped");
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void MissionServer::stop() {
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocked accept(); close() alone does not
+    // reliably on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_m_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  ::unlink(socket_path_.c_str());
+}
+
+void MissionServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_m_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void MissionServer::serve_connection(int fd) {
+  // Mode detection: peek at the first byte.  '{' starts a JSON line; 'W'
+  // starts the "WRB1" magic.
+  char first = 0;
+  if (read_exact(fd, &first, 1)) {
+    if (first == '{') {
+      serve_json(fd, std::string(1, first));
+    } else if (first == kBinaryMagic[0]) {
+      char rest[3];
+      if (read_exact(fd, rest, sizeof(rest)) &&
+          std::string_view(rest, 3) == kBinaryMagic.substr(1)) {
+        serve_binary(fd);
+      }
+    }
+    // Anything else: garbage connection, just drop it.
+  }
+  ::close(fd);
+}
+
+void MissionServer::serve_json(int fd, std::string initial) {
+  std::string buffer = std::move(initial);
+  std::string line, error;
+  while (read_line(fd, buffer, line)) {
+    if (line.empty()) continue;
+    WireRequest wire;
+    WireResponse reply;
+    if (decode_request_json(line, wire, error)) {
+      reply = serve_request(service_, wire);
+    } else {
+      reply.response.status = MissionStatus::kInvalid;
+    }
+    const std::string out = encode_response_json(reply) + '\n';
+    if (!write_all(fd, out.data(), out.size())) break;
+  }
+}
+
+void MissionServer::serve_binary(int fd) {
+  std::string payload, out, error;
+  while (read_frame(fd, payload)) {
+    WireRequest wire;
+    WireResponse reply;
+    if (decode_request_frame(payload, wire, error)) {
+      reply = serve_request(service_, wire);
+    } else {
+      reply.response.status = MissionStatus::kInvalid;
+    }
+    encode_response_frame(reply, out);
+    if (!write_frame(fd, out)) break;
+  }
+}
+
+MissionClient::MissionClient(const std::string& socket_path, bool binary)
+    : fd_(connect_unix(socket_path)), binary_(binary) {
+  if (binary_ &&
+      !write_all(fd_, kBinaryMagic.data(), kBinaryMagic.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("failed to send protocol magic");
+  }
+}
+
+MissionClient::~MissionClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+MissionResponse MissionClient::call(std::uint64_t tenant,
+                                    const std::string& repro) {
+  WireRequest wire;
+  wire.id = next_id_++;
+  wire.tenant = tenant;
+  wire.repro = repro;
+
+  WireResponse reply;
+  std::string error;
+  if (binary_) {
+    std::string payload;
+    encode_request_frame(wire, payload);
+    if (!write_frame(fd_, payload) || !read_frame(fd_, payload) ||
+        !decode_response_frame(payload, reply, error)) {
+      throw std::runtime_error("binary call failed: " +
+                               (error.empty() ? "transport error" : error));
+    }
+  } else {
+    const std::string out = encode_request_json(wire) + '\n';
+    std::string line;
+    if (!write_all(fd_, out.data(), out.size()) ||
+        !read_line(fd_, line_buffer_, line) ||
+        !decode_response_json(line, reply, error)) {
+      throw std::runtime_error("json call failed: " +
+                               (error.empty() ? "transport error" : error));
+    }
+  }
+  if (reply.id != wire.id) {
+    throw std::runtime_error("response id mismatch");
+  }
+  return reply.response;
+}
+
+}  // namespace wrsn::svc

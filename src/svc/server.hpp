@@ -1,0 +1,91 @@
+// MissionServer / MissionClient: the socket transport over MissionService.
+//
+// The server listens on an AF_UNIX stream socket and speaks the protocol of
+// svc/protocol.hpp (JSON lines or "WRB1" binary, per connection, detected
+// from the first byte).  Each connection gets a lightweight reader thread;
+// the mission work itself still runs on the service's shared pool — the
+// reader threads only block in submit(), so concurrency is governed by the
+// service's admission control, not by connection count.
+//
+// stop() shuts the listener down and force-closes live connections; the
+// service drains separately (the server never owns the service).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/service.hpp"
+
+namespace wrsn::svc {
+
+class MissionServer {
+ public:
+  /// Binds and listens on `socket_path` (unlinking any stale socket file).
+  /// Throws std::runtime_error on bind/listen failure.
+  MissionServer(MissionService& service, std::string socket_path);
+  ~MissionServer();
+
+  MissionServer(const MissionServer&) = delete;
+  MissionServer& operator=(const MissionServer&) = delete;
+
+  /// Starts the accept loop on a background thread.
+  void start();
+  /// Stops accepting, force-closes live connections, joins all threads,
+  /// and unlinks the socket file.  Idempotent.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+  /// Total connections ever accepted.
+  std::uint64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void serve_json(int fd, std::string initial);
+  void serve_binary(int fd);
+
+  MissionService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_{0};
+
+  std::mutex conn_m_;  ///< guards conn_threads_ / conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+/// Blocking single-connection client.  One in-flight call at a time; the
+/// wire id is assigned internally and checked on the reply.
+class MissionClient {
+ public:
+  /// Connects to `socket_path`; binary mode sends the "WRB1" magic first.
+  /// Throws std::runtime_error on connect failure.
+  explicit MissionClient(const std::string& socket_path, bool binary = false);
+  ~MissionClient();
+
+  MissionClient(const MissionClient&) = delete;
+  MissionClient& operator=(const MissionClient&) = delete;
+
+  /// Round-trips one request.  Throws std::runtime_error on transport or
+  /// decode errors (a well-behaved server never triggers these).
+  MissionResponse call(std::uint64_t tenant, const std::string& repro);
+
+  bool binary() const { return binary_; }
+
+ private:
+  int fd_ = -1;
+  bool binary_ = false;
+  std::uint64_t next_id_ = 1;
+  std::string line_buffer_;  ///< leftover bytes past the last newline
+};
+
+}  // namespace wrsn::svc

@@ -1,0 +1,180 @@
+// MissionService: a long-running, multi-tenant mission server.
+//
+// Thousands of concurrent mission / what-if requests dispatch onto the
+// repo's runner thread pool.  The perf core (DESIGN.md section 13):
+//
+//   * canonical scenario digest (svc/digest.hpp) — the order-invariant
+//     identity of a request; the cache/coalescing key is (digest, seed);
+//   * request coalescing — identical in-flight keys share ONE execution
+//     via pooled flight records; joiners block on the flight's condvar and
+//     copy the finished response;
+//   * bounded sharded LRU result cache — each shard pairs an LruCore with
+//     the mutex that also guards the shard's flight table, so completion
+//     publishes to the cache and retires the flight atomically;
+//   * admission control — at most `queue_limit` missions in flight; the
+//     shed policy is deterministic (reject the arriving request, never a
+//     queued one), so an overloaded service degrades to explicit kShed
+//     responses instead of unbounded memory;
+//   * graceful drain — shutdown() stops admitting and waits for in-flight
+//     executions; the destructor drains implicitly.
+//
+// Determinism: a mission is a pure function of (config, mode) — every
+// stochastic choice inside run_mission forks from config.seed — so worker
+// scheduling cannot affect results.  Workers run under an explicit null
+// obs registry (the runner's convention), keeping execution independent of
+// the caller's thread-local state.  Responses are therefore bit-identical
+// to a standalone `wrsn_cli` run of the same scenario, whichever route
+// (execute / cache hit / coalesced join) served them, at any thread count.
+//
+// Steady-state allocation: after warmup, the cache-hit and coalesced-join
+// paths allocate nothing — preallocated cache slots, pooled flight records,
+// an index map that never rehashes, and trivially-copyable responses
+// (sim_alloc_test pins both paths with a counting operator new).  Misses
+// allocate (they are about to run a multi-millisecond mission).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+#include "svc/cache.hpp"
+#include "svc/digest.hpp"
+#include "svc/types.hpp"
+
+namespace wrsn::svc {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = runner::configured_threads() (WRSN_THREADS).
+  std::size_t threads = 0;
+  /// Result-cache entries across all shards; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Lock shards (cache + flight table); clamped to >= 1.
+  std::size_t shards = 8;
+  /// Max missions admitted (queued + executing) before shedding.
+  std::size_t queue_limit = 1024;
+  /// Base of the per-tenant auto-seed streams.
+  std::uint64_t base_seed = 1;
+};
+
+/// Monotonic tallies since construction.  requests = executions +
+/// cache_hits + coalesced + shed (+ closed rejections, counted under shed).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t queue_peak = 0;  ///< deepest in-flight backlog observed
+};
+
+class MissionService {
+ public:
+  explicit MissionService(ServiceOptions options = {});
+  /// Drains in-flight work (shutdown()) before tearing down.
+  ~MissionService();
+
+  MissionService(const MissionService&) = delete;
+  MissionService& operator=(const MissionService&) = delete;
+
+  /// Serves one request, blocking until its response is ready.  Safe to
+  /// call from any number of threads concurrently.
+  MissionResponse submit(const MissionRequest& request);
+
+  /// Serves a batch: stages every request first (so duplicates inside the
+  /// batch coalesce onto one execution and independent missions fan out
+  /// across the pool), then collects responses into `responses` in request
+  /// order.  `responses.size()` must equal `requests.size()`.
+  void submit_batch(std::span<const MissionRequest> requests,
+                    std::span<MissionResponse> responses);
+  std::vector<MissionResponse> submit_batch(
+      std::span<const MissionRequest> requests);
+
+  /// Blocks until every admitted mission has finished executing.
+  void drain();
+  /// Stops admitting (subsequent submits return kClosed) and drains.
+  void shutdown();
+
+  ServiceStats stats() const;
+  /// Adds the stats to the installed obs registry (svc.* metrics, timing
+  /// section).  No-op without a registry.
+  void flush_obs() const;
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// Test seam: runs inside the worker immediately before each execution
+  /// (e.g. to park an execution so a test can deterministically join it).
+  /// Not thread-safe against in-flight work; set before submitting.
+  void set_execution_hook(std::function<void()> hook);
+
+ private:
+  /// One in-flight execution; joiners wait on `cv` under the shard mutex.
+  /// Pooled and reused: `refs` counts stagers still holding a ticket
+  /// (creator included); the last collector returns it to the freelist.
+  struct Flight {
+    MissionKey key;
+    MissionResponse response;
+    bool done = false;
+    std::uint32_t refs = 0;
+    std::condition_variable cv;
+  };
+
+  struct Shard {
+    mutable std::mutex m;
+    LruCore cache;
+    std::unordered_map<MissionKey, Flight*, MissionKeyHash> flights;
+  };
+
+  /// Staged request: either an immediate response (hit / shed / closed) or
+  /// a flight to wait on.
+  struct Ticket {
+    Shard* shard = nullptr;
+    Flight* flight = nullptr;
+    MissionRoute route = MissionRoute::kNone;
+    MissionResponse immediate;
+  };
+
+  Ticket stage(const MissionRequest& request);
+  MissionResponse collect(Ticket& ticket);
+  void execute(Shard& shard, Flight* flight, MissionRequest request);
+  std::uint64_t resolve_seed(const MissionRequest& request);
+  Flight* acquire_flight();
+  void release_flight(Flight* flight);
+  Shard& shard_for(const MissionKey& key);
+
+  const ServiceOptions options_;
+  runner::ThreadPool pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex pool_m_;  ///< guards the flight freelist
+  std::vector<std::unique_ptr<Flight>> flight_storage_;
+  std::vector<Flight*> flight_free_;
+
+  std::mutex tenant_m_;
+  std::unordered_map<std::uint64_t, std::uint64_t> tenant_seq_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::size_t> pending_{0};
+
+  std::function<void()> hook_;
+
+  struct StatCounters {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> executions{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> queue_peak{0};
+  };
+  mutable StatCounters stats_;
+};
+
+}  // namespace wrsn::svc

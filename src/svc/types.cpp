@@ -1,0 +1,42 @@
+#include "svc/types.hpp"
+
+#include <algorithm>
+
+#include "analysis/fuzz.hpp"
+
+namespace wrsn::svc {
+
+MissionOutcome make_outcome(std::uint64_t scenario_digest, std::uint64_t seed,
+                            const analysis::ScenarioResult& result) {
+  MissionOutcome out;
+  out.scenario_digest = scenario_digest;
+  out.seed = seed;
+  out.result_digest = analysis::digest_result(result);
+
+  const csa::AttackReport& r = result.report;
+  out.node_count = static_cast<std::uint32_t>(result.node_count);
+  out.alive_at_end = static_cast<std::uint32_t>(result.alive_at_end);
+  out.sink_connected_at_end =
+      static_cast<std::uint32_t>(result.sink_connected_at_end);
+  out.keys_total = static_cast<std::uint32_t>(r.keys_total);
+  out.keys_dead = static_cast<std::uint32_t>(r.keys_dead);
+  out.keys_dead_before_detection =
+      static_cast<std::uint32_t>(r.keys_dead_before_detection);
+  out.sessions_genuine = static_cast<std::uint32_t>(r.sessions_genuine);
+  out.sessions_spoofed = static_cast<std::uint32_t>(r.sessions_spoofed);
+  out.escalations = static_cast<std::uint32_t>(r.escalations);
+  out.deaths_total = static_cast<std::uint32_t>(r.deaths_total);
+  out.plans_computed = result.plans_computed;
+  out.events_executed = result.events_executed;
+  out.detected = r.detected ? 1 : 0;
+  out.detection_time = r.detected ? r.detection_time : 0.0;
+  out.utility_delivered = r.utility_delivered;
+  if (r.detected) {
+    const std::size_t n =
+        std::min(r.detector_name.size(), sizeof(out.detector) - 1);
+    std::memcpy(out.detector, r.detector_name.data(), n);
+  }
+  return out;
+}
+
+}  // namespace wrsn::svc

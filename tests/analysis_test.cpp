@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/fuzz.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
@@ -224,6 +225,30 @@ TEST(Scenario, RunsAreDeterministicPerSeed) {
   EXPECT_EQ(a.trace.sessions.size(), b.trace.sessions.size());
   EXPECT_EQ(a.trace.deaths.size(), b.trace.deaths.size());
   EXPECT_EQ(a.report.detected, b.report.detected);
+}
+
+TEST(Scenario, RunMissionMatchesRunScenarioForSingleCharger) {
+  // run_mission is the one resolution point every front end (fuzzer, CLI,
+  // mission service) funnels through; for fleet_size <= 1 it must be the
+  // identity wrapper around run_scenario, digest-for-digest.
+  ScenarioConfig cfg = default_scenario();
+  cfg.topology.node_count = 40;
+  cfg.topology.region = {{0.0, 0.0}, {220.0, 220.0}};
+  cfg.horizon = 1.5 * 86'400.0;
+  cfg.attack.campaign_deadline = cfg.horizon;
+  cfg.seed = 77;
+  const ScenarioResult direct = run_scenario(cfg, ChargerMode::Attack);
+  const ScenarioResult routed = run_mission(cfg, ChargerMode::Attack);
+  EXPECT_EQ(digest_result(direct), digest_result(routed));
+
+  // Fleet missions route through run_fleet_scenario with the compromised
+  // index clamped into the fleet (attack missions stay attack missions).
+  cfg.fleet_size = 2;
+  cfg.fleet_compromised = 7;  // stale override, clamped to < fleet_size
+  const ScenarioResult fleet_direct =
+      run_fleet_scenario(cfg, 2, /*compromised=*/1);
+  const ScenarioResult fleet_routed = run_mission(cfg, ChargerMode::Attack);
+  EXPECT_EQ(digest_result(fleet_direct), digest_result(fleet_routed));
 }
 
 TEST(Scenario, BenignModeRunsCleanly) {

@@ -170,6 +170,42 @@ TEST(Json, SchemaShapeAndDeterministicSection) {
   EXPECT_EQ(det.find("runner.trial_ns"), std::string::npos);
 }
 
+TEST(MetricDefs, ServiceMetricsAreTimingScoped) {
+  // The mission-server tallies depend on request arrival order and cache
+  // state (load, not simulated work), so every svc.* metric must live in
+  // the timing section — the deterministic section stays a pure function
+  // of the missions executed.
+  const struct {
+    Metric metric;
+    std::string_view name;
+    MetricKind kind;
+  } expected[] = {
+      {Metric::kSvcRequests, "svc.requests", MetricKind::kCounter},
+      {Metric::kSvcExecutions, "svc.executions", MetricKind::kCounter},
+      {Metric::kSvcCacheHits, "svc.cache_hits", MetricKind::kCounter},
+      {Metric::kSvcCacheMisses, "svc.cache_misses", MetricKind::kCounter},
+      {Metric::kSvcCacheEvictions, "svc.cache_evictions",
+       MetricKind::kCounter},
+      {Metric::kSvcCoalesced, "svc.coalesced", MetricKind::kCounter},
+      {Metric::kSvcShed, "svc.shed", MetricKind::kCounter},
+      {Metric::kSvcQueuePeak, "svc.queue_peak", MetricKind::kGaugeMax},
+      {Metric::kSvcRequestNs, "svc.request_ns", MetricKind::kHistogram},
+  };
+  for (const auto& row : expected) {
+    const MetricDef& def = metric_def(row.metric);
+    EXPECT_EQ(def.name, row.name);
+    EXPECT_EQ(def.kind, row.kind);
+    EXPECT_TRUE(def.timing) << row.name << " must be timing-scoped";
+  }
+
+  // And therefore none of them may appear in a deterministic-only export.
+  MetricRegistry reg;
+  reg.add(Metric::kSvcRequests, 5.0);
+  reg.gauge_max(Metric::kSvcQueuePeak, 3.0);
+  const std::string det = to_json(reg, {.include_timing = false});
+  EXPECT_EQ(det.find("svc."), std::string::npos);
+}
+
 TEST(Json, NumberFormattingRoundTrips) {
   EXPECT_EQ(json_number(3.0), "3");
   EXPECT_EQ(json_number(-17.0), "-17");

@@ -15,27 +15,32 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <thread>
 #include <vector>
 
+#include "analysis/scenario.hpp"
 #include "common/rng.hpp"
 #include "core/fleet_planner.hpp"
 #include "core/planners.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "sim/world.hpp"
+#include "svc/service.hpp"
 #include "wpt/charging_model.hpp"
 #include "wpt/wave.hpp"
 
 namespace {
 
-std::atomic<bool> g_counting{false};
-std::atomic<std::size_t> g_allocations{0};
+// Thread-local so multi-threaded service tests can pin the REQUESTING
+// thread's path while worker threads execute missions (which allocate
+// freely) in parallel.
+thread_local bool g_counting = false;
+thread_local std::size_t g_allocations = 0;
 
 void* counted_alloc(std::size_t size) {
-  if (g_counting.load(std::memory_order_relaxed)) {
-    g_allocations.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (g_counting) ++g_allocations;
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc{};
 }
@@ -82,14 +87,14 @@ TEST(WorldAllocation, DeathCascadeHotPathDoesNotAllocate) {
   // From here on, the entire network starves and dies (nobody charges):
   // every remaining request, escalation, emergency, death, routing repair,
   // and reschedule must run allocation-free.
-  g_allocations.store(0);
-  g_counting.store(true);
+  g_allocations = 0;
+  g_counting = true;
   while (world.alive_count() > 0 && sim.step()) {
   }
-  g_counting.store(false);
+  g_counting = false;
 
   EXPECT_EQ(world.alive_count(), 0u);
-  EXPECT_EQ(g_allocations.load(), 0u);
+  EXPECT_EQ(g_allocations, 0u);
 }
 
 csa::Stop random_stop(Rng& gen, std::size_t index, bool key) {
@@ -120,13 +125,13 @@ TEST(PlannerAllocation, CsaPlanIsAllocationFreeAfterWarmup) {
   planner.plan_into(inst, rng, plan);  // warmup sizes every arena
   const double warm_utility = plan.utility;
 
-  g_allocations.store(0);
-  g_counting.store(true);
+  g_allocations = 0;
+  g_counting = true;
   planner.plan_into(inst, rng, plan);
-  g_counting.store(false);
+  g_counting = false;
 
   EXPECT_EQ(plan.utility, warm_utility);
-  EXPECT_EQ(g_allocations.load(), 0u);
+  EXPECT_EQ(g_allocations, 0u);
 }
 
 TEST(PlannerAllocation, FleetReplanIsAllocationFreeAfterWarmup) {
@@ -148,13 +153,13 @@ TEST(PlannerAllocation, FleetReplanIsAllocationFreeAfterWarmup) {
   planner.plan_into(inst, plan);  // warmup: arenas + pair distance memo
   const double warm_utility = plan.utility;
 
-  g_allocations.store(0);
-  g_counting.store(true);
+  g_allocations = 0;
+  g_counting = true;
   planner.plan_into(inst, plan);
-  g_counting.store(false);
+  g_counting = false;
 
   EXPECT_EQ(plan.utility, warm_utility);
-  EXPECT_EQ(g_allocations.load(), 0u);
+  EXPECT_EQ(g_allocations, 0u);
 }
 
 TEST(WptAllocation, BatchKernelsDoNotAllocate) {
@@ -177,14 +182,122 @@ TEST(WptAllocation, BatchKernelsDoNotAllocate) {
   std::vector<Watts> rf(kPoints), dc(kPoints);
   std::vector<double> im(kPoints);
 
-  g_allocations.store(0);
-  g_counting.store(true);
+  g_allocations = 0;
+  g_counting = true;
   wpt::superposed_rf_power_batch(sources, xs, ys, rf, im);
   model.rectifier().harvest_batch(rf, dc);
   model.dc_at_distances(dist, dc);
-  g_counting.store(false);
+  g_counting = false;
 
-  EXPECT_EQ(g_allocations.load(), 0u);
+  EXPECT_EQ(g_allocations, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mission service: the shared request paths (cache hit, coalesced join) are
+// allocation-free on the requesting thread after warmup.  Worker threads
+// executing missions allocate freely — the counters are thread_local
+// precisely so their work is invisible here.
+// ---------------------------------------------------------------------------
+
+svc::MissionRequest service_request(std::uint64_t seed) {
+  svc::MissionRequest request;
+  request.config = analysis::default_scenario();
+  request.config.seed = seed;
+  request.config.topology.node_count = 16;
+  request.config.topology.region = {{0.0, 0.0}, {160.0, 160.0}};
+  request.config.topology.battery_capacity = 2'000.0;
+  request.config.world.drain.sensing_power = 0.05;
+  request.config.horizon = 7'200.0;
+  return request;
+}
+
+TEST(ServiceAllocation, CacheHitPathDoesNotAllocate) {
+  svc::ServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 64;
+  svc::MissionService service(options);
+  const svc::MissionRequest request = service_request(3);
+
+  // Warmup: one execution, one hit (the hit also touches every lazily-built
+  // piece of the submit path — obs span, key digest, shard lookup).
+  const svc::MissionResponse executed = service.submit(request);
+  ASSERT_EQ(executed.status, svc::MissionStatus::kOk);
+  ASSERT_EQ(service.submit(request).route, svc::MissionRoute::kCacheHit);
+
+  g_allocations = 0;
+  g_counting = true;
+  svc::MissionResponse hit;
+  for (int i = 0; i < 100; ++i) {
+    hit = service.submit(request);
+  }
+  g_counting = false;
+
+  ASSERT_EQ(hit.route, svc::MissionRoute::kCacheHit);
+  EXPECT_EQ(std::memcmp(&hit.outcome, &executed.outcome,
+                        sizeof(svc::MissionOutcome)),
+            0);
+  EXPECT_EQ(g_allocations, 0u);
+}
+
+TEST(ServiceAllocation, CoalescedJoinPathDoesNotAllocate) {
+  svc::ServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 64;
+  svc::MissionService service(options);
+
+  // Park every execution until released.  The hook runs on the worker after
+  // the flight is registered in the shard table, so `parked` doubles as the
+  // "safe to join now" signal.
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  service.set_execution_hook([&] {
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+
+  // Warmup round: creator + join, then drain, so the flight pool, the
+  // shard's flight table, and the collector path have all been exercised.
+  const svc::MissionRequest warm = service_request(5);
+  std::thread warm_creator([&] { service.submit(warm); });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::thread warm_releaser([&] {
+    while (service.stats().coalesced < 1) std::this_thread::yield();
+    release.store(true, std::memory_order_release);
+  });
+  service.submit(warm);
+  warm_creator.join();
+  warm_releaser.join();
+  service.drain();
+  parked.store(false, std::memory_order_release);
+  release.store(false, std::memory_order_release);
+
+  // Measured round: a fresh scenario executes (parked); this thread joins
+  // it.  A releaser thread opens the gate once the join is registered, so
+  // the measured thread does nothing but stage-join-wait-copy.
+  const svc::MissionRequest request = service_request(6);
+  svc::MissionResponse created;
+  std::thread creator([&] { created = service.submit(request); });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::thread releaser([&] {
+    while (service.stats().coalesced < 2) std::this_thread::yield();
+    release.store(true, std::memory_order_release);
+  });
+
+  g_allocations = 0;
+  g_counting = true;
+  const svc::MissionResponse joined = service.submit(request);
+  g_counting = false;
+
+  creator.join();
+  releaser.join();
+  ASSERT_EQ(joined.status, svc::MissionStatus::kOk);
+  ASSERT_EQ(joined.route, svc::MissionRoute::kCoalesced);
+  EXPECT_EQ(std::memcmp(&joined.outcome, &created.outcome,
+                        sizeof(svc::MissionOutcome)),
+            0);
+  EXPECT_EQ(g_allocations, 0u);
 }
 
 }  // namespace

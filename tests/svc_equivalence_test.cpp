@@ -1,0 +1,174 @@
+// Service-vs-standalone equivalence: sweeps fuzzer-generated scenarios
+// through the batch API, the socket protocol, and direct execution, and
+// requires equal result digests everywhere — at 1, 2, and 8 worker threads,
+// with duplicate-heavy interleaving so cache hits and coalesced joins are
+// exercised on real missions, not just unit fixtures.
+//
+// This is the PR's acceptance test for the mission service's core claim:
+// responses are bit-identical to standalone runs whichever route served
+// them, at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/fuzz.hpp"
+#include "analysis/scenario.hpp"
+#include "common/rng.hpp"
+#include "svc/digest.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace wrsn::svc {
+namespace {
+
+/// Scenario count: >= 100 per the acceptance criteria.
+constexpr std::size_t kScenarios = 104;
+
+struct Case {
+  std::string repro;
+  MissionRequest request;
+  std::uint64_t direct_digest = 0;  ///< digest_result of the standalone run
+  MissionOutcome direct_outcome;
+};
+
+/// Fuzzer-generated scenarios, horizon-capped so the full sweep (1 direct
+/// + 3 thread counts + socket replay per scenario) stays inside test time.
+/// The cap is an override like any other — the configs remain fuzzed.
+std::vector<Case>& cases() {
+  static std::vector<Case>* cached = [] {
+    auto* out = new std::vector<Case>;
+    out->reserve(kScenarios);
+    Rng gen(20'260'808);
+    for (std::size_t i = 0; i < kScenarios; ++i) {
+      analysis::FuzzOverrides overrides =
+          analysis::generate_fuzz_overrides(gen);
+      overrides["topology.node_count"] = "16";
+      overrides["topology.region_size"] = "160";
+      overrides["horizon"] = "7200";
+      Case c;
+      c.repro = analysis::format_repro(overrides);
+      auto [config, mode] = analysis::resolve_overrides(overrides);
+      c.request.config = config;
+      c.request.mode = mode;
+
+      const analysis::ScenarioResult direct =
+          analysis::run_mission(config, mode);
+      c.direct_digest = analysis::digest_result(direct);
+      c.direct_outcome = make_outcome(scenario_digest(config, mode),
+                                      config.seed, direct);
+      out->push_back(std::move(c));
+    }
+    return out;
+  }();
+  return *cached;
+}
+
+bool same_outcome(const MissionOutcome& a, const MissionOutcome& b) {
+  return std::memcmp(&a, &b, sizeof(MissionOutcome)) == 0;
+}
+
+/// Builds the duplicate-heavy request stream: every scenario once, then the
+/// first half again (cache hits / coalesced joins on real missions), with
+/// adjacent duplicates so batch staging coalesces some of them in flight.
+std::vector<std::size_t> request_stream() {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < cases().size(); ++i) {
+    order.push_back(i);
+    if (i % 2 == 0) order.push_back(i);  // immediate duplicate
+  }
+  for (std::size_t i = 0; i < cases().size() / 2; ++i) order.push_back(i);
+  return order;
+}
+
+void expect_equivalent_at(std::size_t threads) {
+  ServiceOptions options;
+  options.threads = threads;
+  options.cache_capacity = 512;
+  options.queue_limit = 512;
+  MissionService service(options);
+
+  const std::vector<std::size_t> order = request_stream();
+  std::vector<MissionRequest> requests;
+  requests.reserve(order.size());
+  for (const std::size_t idx : order) {
+    requests.push_back(cases()[idx].request);
+  }
+  const std::vector<MissionResponse> responses =
+      service.submit_batch(requests);
+  ASSERT_EQ(responses.size(), order.size());
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Case& c = cases()[order[i]];
+    ASSERT_EQ(responses[i].status, MissionStatus::kOk)
+        << "threads=" << threads << " REPRO " << c.repro;
+    EXPECT_EQ(responses[i].outcome.result_digest, c.direct_digest)
+        << "threads=" << threads << " REPRO " << c.repro;
+    EXPECT_TRUE(same_outcome(responses[i].outcome, c.direct_outcome))
+        << "threads=" << threads << " REPRO " << c.repro;
+  }
+
+  // The duplicate-heavy stream must actually exercise the shared paths.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, order.size());
+  EXPECT_EQ(stats.executions, cases().size());
+  EXPECT_GT(stats.cache_hits + stats.coalesced, cases().size() / 2);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(ServiceEquivalence, BatchMatchesDirectAt1Thread) {
+  expect_equivalent_at(1);
+}
+
+TEST(ServiceEquivalence, BatchMatchesDirectAt2Threads) {
+  expect_equivalent_at(2);
+}
+
+TEST(ServiceEquivalence, BatchMatchesDirectAt8Threads) {
+  expect_equivalent_at(8);
+}
+
+TEST(ServiceEquivalence, SocketReplayMatchesDirect) {
+  ServiceOptions options;
+  options.threads = 8;
+  options.cache_capacity = 512;
+  options.queue_limit = 512;
+  MissionService service(options);
+  const std::string path =
+      "/tmp/wrsn_svc_equiv_" + std::to_string(::getpid()) + ".sock";
+  MissionServer server(service, path);
+  server.start();
+
+  // Every scenario over the JSON protocol (the repro line is the wire
+  // encoding, so this also covers parse_repro round-tripping fuzzed
+  // configs), then a binary-protocol spot check on a warm cache.
+  {
+    MissionClient client(path, /*binary=*/false);
+    for (const Case& c : cases()) {
+      const MissionResponse resp = client.call(1, c.repro);
+      ASSERT_EQ(resp.status, MissionStatus::kOk) << "REPRO " << c.repro;
+      EXPECT_EQ(resp.outcome.result_digest, c.direct_digest)
+          << "REPRO " << c.repro;
+      EXPECT_TRUE(same_outcome(resp.outcome, c.direct_outcome))
+          << "REPRO " << c.repro;
+    }
+  }
+  {
+    MissionClient client(path, /*binary=*/true);
+    for (std::size_t i = 0; i < 16; ++i) {
+      const Case& c = cases()[i];
+      const MissionResponse resp = client.call(2, c.repro);
+      ASSERT_EQ(resp.status, MissionStatus::kOk) << "REPRO " << c.repro;
+      EXPECT_EQ(resp.route, MissionRoute::kCacheHit) << "REPRO " << c.repro;
+      EXPECT_TRUE(same_outcome(resp.outcome, c.direct_outcome))
+          << "REPRO " << c.repro;
+    }
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace wrsn::svc

@@ -1,0 +1,638 @@
+// Mission service: canonical scenario digest, LRU cache core, coalescing,
+// admission control, batch submission, auto-seed streams, wire protocol,
+// and the socket server round trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/fuzz.hpp"
+#include "analysis/scenario.hpp"
+#include "common/check.hpp"
+#include "svc/cache.hpp"
+#include "svc/digest.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+namespace wrsn::svc {
+namespace {
+
+/// Small, activity-dense mission that finishes in a few milliseconds —
+/// service tests run dozens of them.
+analysis::ScenarioConfig quick_scenario(std::uint64_t seed) {
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = seed;
+  cfg.topology.node_count = 16;
+  cfg.topology.region = {{0.0, 0.0}, {160.0, 160.0}};
+  cfg.topology.battery_capacity = 2'000.0;
+  cfg.world.drain.sensing_power = 0.05;
+  cfg.world.initial_level_min = 0.35;
+  cfg.world.initial_level_max = 0.55;
+  cfg.world.patience = 2'400.0;
+  cfg.horizon = 10'800.0;
+  cfg.attack.campaign_deadline = cfg.horizon;
+  return cfg;
+}
+
+MissionRequest quick_request(std::uint64_t seed) {
+  MissionRequest request;
+  request.config = quick_scenario(seed);
+  return request;
+}
+
+std::string quick_repro(std::uint64_t seed) {
+  analysis::FuzzOverrides o;
+  o["mode"] = "attack";
+  o["seed"] = std::to_string(seed);
+  o["topology.node_count"] = "16";
+  o["topology.region_size"] = "160";
+  o["topology.battery_capacity"] = "2000";
+  o["world.sensing_power"] = "0.05";
+  o["world.initial_level_min"] = "0.35";
+  o["world.initial_level_max"] = "0.55";
+  o["world.patience"] = "2400";
+  o["horizon"] = "10800";
+  return analysis::format_repro(o);
+}
+
+bool same_outcome(const MissionOutcome& a, const MissionOutcome& b) {
+  return std::memcmp(&a, &b, sizeof(MissionOutcome)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario digest
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioDigest, OrderInvariantAcrossOverrideOrderings) {
+  // parse_repro yields a sorted map either way; the point pinned here is
+  // that two differently-ordered descriptions of one scenario digest
+  // identically once resolved.
+  const std::string forward =
+      "horizon=10800;mode=attack;seed=7;topology.node_count=20";
+  const std::string reversed =
+      "topology.node_count=20;seed=7;mode=attack;horizon=10800";
+  const auto [cfg_a, mode_a] =
+      analysis::resolve_overrides(analysis::parse_repro(forward));
+  const auto [cfg_b, mode_b] =
+      analysis::resolve_overrides(analysis::parse_repro(reversed));
+  EXPECT_EQ(scenario_digest(cfg_a, mode_a), scenario_digest(cfg_b, mode_b));
+}
+
+TEST(ScenarioDigest, SeedIsExcluded) {
+  analysis::ScenarioConfig a = quick_scenario(1);
+  analysis::ScenarioConfig b = quick_scenario(999);
+  EXPECT_EQ(scenario_digest(a, analysis::ChargerMode::Attack),
+            scenario_digest(b, analysis::ChargerMode::Attack));
+}
+
+TEST(ScenarioDigest, ModeIsIncluded) {
+  const analysis::ScenarioConfig cfg = quick_scenario(1);
+  EXPECT_NE(scenario_digest(cfg, analysis::ChargerMode::Attack),
+            scenario_digest(cfg, analysis::ChargerMode::Benign));
+}
+
+TEST(ScenarioDigest, EveryMutatedFieldChangesTheDigest) {
+  const analysis::ScenarioConfig base = quick_scenario(1);
+  const std::uint64_t base_digest =
+      scenario_digest(base, analysis::ChargerMode::Attack);
+
+  // One mutation per config subsystem (the full field walk lives in
+  // digest.cpp; this sweep catches a forgotten subsystem, the likeliest
+  // regression).
+  std::vector<std::pair<const char*, analysis::ScenarioConfig>> mutants;
+  auto add = [&](const char* name, auto&& mutate) {
+    analysis::ScenarioConfig cfg = base;
+    mutate(cfg);
+    mutants.emplace_back(name, cfg);
+  };
+  add("topology.node_count", [](auto& c) { c.topology.node_count += 1; });
+  add("topology.comm_range", [](auto& c) { c.topology.comm_range += 1.0; });
+  add("world.request_threshold",
+      [](auto& c) { c.world.request_threshold += 0.01; });
+  add("world.charging.beta", [](auto& c) { c.world.charging.beta += 0.1; });
+  add("world.rectifier.knee",
+      [](auto& c) { c.world.charging.rectifier.knee += 0.01; });
+  add("attack.key_count", [](auto& c) { c.attack.key_selection.max_count++; });
+  add("attack.spoof_mode", [](auto& c) {
+    c.attack.spoof_mode = c.attack.spoof_mode == csa::SpoofMode::NoService
+                              ? csa::SpoofMode::PhaseCancel
+                              : csa::SpoofMode::NoService;
+  });
+  add("benign.policy", [](auto& c) {
+    c.benign.policy = c.benign.policy == mc::SchedulePolicy::Fcfs
+                          ? mc::SchedulePolicy::Edf
+                          : mc::SchedulePolicy::Fcfs;
+  });
+  add("faults.mc_breakdown_mtbf",
+      [](auto& c) { c.faults.mc_breakdown_mtbf = 9'999.0; });
+  add("faults.escalation_drop_prob",
+      [](auto& c) { c.faults.escalation_drop_prob = 0.25; });
+  add("horizon", [](auto& c) { c.horizon += 60.0; });
+  add("hardened_detectors", [](auto& c) { c.hardened_detectors = true; });
+  add("fleet_size", [](auto& c) { c.fleet_size = 2; });
+  add("fleet_compromised", [](auto& c) {
+    c.fleet_size = 3;
+    c.fleet_compromised = 1;
+  });
+
+  for (const auto& [name, cfg] : mutants) {
+    EXPECT_NE(scenario_digest(cfg, analysis::ChargerMode::Attack), base_digest)
+        << "digest blind to " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LruCore
+// ---------------------------------------------------------------------------
+
+MissionResponse response_for(std::uint64_t tag) {
+  MissionResponse r;
+  r.status = MissionStatus::kOk;
+  r.outcome.result_digest = tag;
+  return r;
+}
+
+TEST(LruCore, InsertLookupRoundTrip) {
+  LruCore cache;
+  cache.init(4);
+  EXPECT_EQ(cache.capacity(), 4u);
+  const MissionKey key{42, 7};
+  EXPECT_TRUE(cache.insert(key, response_for(1)) == false);  // no eviction
+  MissionResponse out;
+  ASSERT_TRUE(cache.lookup(key, out));
+  EXPECT_EQ(out.outcome.result_digest, 1u);
+  EXPECT_FALSE(cache.lookup(MissionKey{42, 8}, out));
+  EXPECT_FALSE(cache.lookup(MissionKey{43, 7}, out));
+}
+
+TEST(LruCore, EvictsLeastRecentlyUsed) {
+  LruCore cache;
+  cache.init(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cache.insert(MissionKey{i, 0}, response_for(i)));
+  }
+  // Touch key 0 so key 1 becomes the LRU entry.
+  MissionResponse out;
+  ASSERT_TRUE(cache.lookup(MissionKey{0, 0}, out));
+  EXPECT_TRUE(cache.insert(MissionKey{3, 0}, response_for(3)));  // evicts 1
+  EXPECT_FALSE(cache.lookup(MissionKey{1, 0}, out));
+  EXPECT_TRUE(cache.lookup(MissionKey{0, 0}, out));
+  EXPECT_TRUE(cache.lookup(MissionKey{2, 0}, out));
+  EXPECT_TRUE(cache.lookup(MissionKey{3, 0}, out));
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCore, RefreshTouchesRecencyWithoutEviction) {
+  LruCore cache;
+  cache.init(2);
+  cache.insert(MissionKey{1, 0}, response_for(1));
+  cache.insert(MissionKey{2, 0}, response_for(2));
+  // Re-inserting key 1 must not evict; it becomes MRU, so inserting key 3
+  // evicts key 2.
+  EXPECT_FALSE(cache.insert(MissionKey{1, 0}, response_for(1)));
+  EXPECT_TRUE(cache.insert(MissionKey{3, 0}, response_for(3)));
+  MissionResponse out;
+  EXPECT_TRUE(cache.lookup(MissionKey{1, 0}, out));
+  EXPECT_FALSE(cache.lookup(MissionKey{2, 0}, out));
+}
+
+TEST(LruCore, ZeroCapacityDisables) {
+  LruCore cache;
+  cache.init(0);
+  EXPECT_FALSE(cache.insert(MissionKey{1, 0}, response_for(1)));
+  MissionResponse out;
+  EXPECT_FALSE(cache.lookup(MissionKey{1, 0}, out));
+}
+
+// ---------------------------------------------------------------------------
+// MissionService
+// ---------------------------------------------------------------------------
+
+ServiceOptions quick_options(std::size_t threads = 2) {
+  ServiceOptions opt;
+  opt.threads = threads;
+  opt.cache_capacity = 64;
+  opt.shards = 4;
+  opt.queue_limit = 64;
+  return opt;
+}
+
+TEST(MissionService, CacheHitIsByteIdenticalToExecution) {
+  MissionService service(quick_options());
+  const MissionRequest request = quick_request(11);
+
+  const MissionResponse first = service.submit(request);
+  ASSERT_EQ(first.status, MissionStatus::kOk);
+  EXPECT_EQ(first.route, MissionRoute::kExecuted);
+  EXPECT_EQ(first.outcome.seed, 11u);
+  EXPECT_GT(first.outcome.events_executed, 0u);
+
+  const MissionResponse second = service.submit(request);
+  ASSERT_EQ(second.status, MissionStatus::kOk);
+  EXPECT_EQ(second.route, MissionRoute::kCacheHit);
+  EXPECT_TRUE(same_outcome(first.outcome, second.outcome));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(MissionService, MatchesStandaloneRun) {
+  MissionService service(quick_options());
+  const MissionRequest request = quick_request(5);
+  const MissionResponse served = service.submit(request);
+  ASSERT_EQ(served.status, MissionStatus::kOk);
+
+  const analysis::ScenarioResult direct =
+      analysis::run_mission(request.config, request.mode);
+  const MissionOutcome expected = make_outcome(
+      scenario_digest(request.config, request.mode), 5, direct);
+  EXPECT_TRUE(same_outcome(served.outcome, expected));
+}
+
+TEST(MissionService, DifferentSeedsExecuteSeparately) {
+  MissionService service(quick_options());
+  const MissionResponse a = service.submit(quick_request(1));
+  const MissionResponse b = service.submit(quick_request(2));
+  ASSERT_EQ(a.status, MissionStatus::kOk);
+  ASSERT_EQ(b.status, MissionStatus::kOk);
+  EXPECT_EQ(a.outcome.scenario_digest, b.outcome.scenario_digest);
+  EXPECT_NE(a.outcome.result_digest, b.outcome.result_digest);
+  EXPECT_EQ(service.stats().executions, 2u);
+}
+
+TEST(MissionService, CoalescesConcurrentDuplicatesOntoOneExecution) {
+  MissionService service(quick_options(/*threads=*/1));
+
+  // Park the execution until a duplicate has provably joined the flight.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  service.set_execution_hook([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  const MissionRequest request = quick_request(21);
+  MissionResponse first, second;
+  std::thread a([&] { first = service.submit(request); });
+  std::thread b([&] { second = service.submit(request); });
+
+  // One of the two created the flight; the other must coalesce onto it.
+  while (service.stats().coalesced < 1) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  a.join();
+  b.join();
+
+  EXPECT_EQ(first.status, MissionStatus::kOk);
+  EXPECT_EQ(second.status, MissionStatus::kOk);
+  EXPECT_TRUE(same_outcome(first.outcome, second.outcome));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.executions, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  // Exactly one of the two routes is the execution; the other joined it.
+  EXPECT_TRUE((first.route == MissionRoute::kExecuted &&
+               second.route == MissionRoute::kCoalesced) ||
+              (first.route == MissionRoute::kCoalesced &&
+               second.route == MissionRoute::kExecuted));
+}
+
+TEST(MissionService, ShedsDeterministicallyWhenQueueFull) {
+  ServiceOptions opt = quick_options(/*threads=*/1);
+  opt.queue_limit = 1;
+  MissionService service(opt);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  service.set_execution_hook([&] {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  MissionResponse first;
+  std::thread a([&] { first = service.submit(quick_request(1)); });
+  while (service.stats().queue_peak < 1) {
+    std::this_thread::yield();
+  }
+
+  // The queue slot is held by the parked mission: a different scenario must
+  // shed — deterministically, the ARRIVING request.
+  const MissionResponse shed = service.submit(quick_request(2));
+  EXPECT_EQ(shed.status, MissionStatus::kShed);
+  EXPECT_EQ(shed.route, MissionRoute::kNone);
+  EXPECT_EQ(shed.outcome.seed, 2u);
+
+  // A duplicate of the parked mission coalesces instead of shedding: joins
+  // hold no queue slot.
+  MissionResponse joined;
+  std::thread b([&] { joined = service.submit(quick_request(1)); });
+  while (service.stats().coalesced < 1) {
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  a.join();
+  b.join();
+
+  EXPECT_EQ(first.status, MissionStatus::kOk);
+  EXPECT_EQ(joined.status, MissionStatus::kOk);
+  EXPECT_TRUE(same_outcome(first.outcome, joined.outcome));
+  EXPECT_EQ(service.stats().shed, 1u);
+  EXPECT_EQ(service.stats().executions, 1u);
+}
+
+TEST(MissionService, RejectsAfterShutdown) {
+  MissionService service(quick_options());
+  service.submit(quick_request(1));
+  service.shutdown();
+  const MissionResponse resp = service.submit(quick_request(2));
+  EXPECT_EQ(resp.status, MissionStatus::kClosed);
+  EXPECT_EQ(resp.outcome.seed, 2u);
+}
+
+TEST(MissionService, BatchKeepsOrderAndCoalescesDuplicates) {
+  MissionService service(quick_options());
+
+  std::vector<MissionRequest> requests;
+  for (const std::uint64_t seed : {3u, 1u, 3u, 2u, 1u, 3u}) {
+    requests.push_back(quick_request(seed));
+  }
+  const std::vector<MissionResponse> responses =
+      service.submit_batch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, MissionStatus::kOk) << "request " << i;
+    EXPECT_EQ(responses[i].outcome.seed, requests[i].config.seed);
+  }
+  // Duplicates inside the batch are byte-identical however they were routed.
+  EXPECT_TRUE(same_outcome(responses[0].outcome, responses[2].outcome));
+  EXPECT_TRUE(same_outcome(responses[2].outcome, responses[5].outcome));
+  EXPECT_TRUE(same_outcome(responses[1].outcome, responses[4].outcome));
+  // 3 unique seeds -> exactly 3 executions; the rest hit or coalesced.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.executions, 3u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 3u);
+  EXPECT_EQ(stats.requests,
+            stats.executions + stats.cache_hits + stats.coalesced + stats.shed);
+}
+
+TEST(MissionService, AutoSeedStreamsAreDeterministicPerTenant) {
+  std::vector<std::uint64_t> tenant1_a, tenant1_b, tenant2;
+  for (int round = 0; round < 2; ++round) {
+    ServiceOptions opt = quick_options();
+    opt.base_seed = 77;
+    MissionService service(opt);
+    auto run = [&](std::uint64_t tenant) {
+      MissionRequest request = quick_request(0);
+      request.tenant = tenant;
+      request.auto_seed = true;
+      return service.submit(request).outcome.seed;
+    };
+    std::vector<std::uint64_t>& t1 = round == 0 ? tenant1_a : tenant1_b;
+    for (int i = 0; i < 3; ++i) t1.push_back(run(1));
+    if (round == 0) {
+      for (int i = 0; i < 3; ++i) tenant2.push_back(run(2));
+    }
+  }
+  // Same service config, same tenant, same arrival order => same seeds.
+  EXPECT_EQ(tenant1_a, tenant1_b);
+  // Streams are distinct per tenant and non-repeating within a tenant.
+  EXPECT_NE(tenant1_a, tenant2);
+  EXPECT_NE(tenant1_a[0], tenant1_a[1]);
+}
+
+TEST(MissionService, CacheDisabledStillCoalescesButReExecutes) {
+  ServiceOptions opt = quick_options();
+  opt.cache_capacity = 0;
+  MissionService service(opt);
+  const MissionRequest request = quick_request(9);
+  const MissionResponse a = service.submit(request);
+  const MissionResponse b = service.submit(request);
+  EXPECT_EQ(a.route, MissionRoute::kExecuted);
+  EXPECT_EQ(b.route, MissionRoute::kExecuted);
+  EXPECT_TRUE(same_outcome(a.outcome, b.outcome));
+  EXPECT_EQ(service.stats().executions, 2u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(MissionService, EvictionsAreCountedAndBounded) {
+  ServiceOptions opt = quick_options();
+  opt.cache_capacity = 4;  // 4 shards => 1 entry each
+  opt.shards = 4;
+  MissionService service(opt);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    service.submit(quick_request(seed));
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.executions, 12u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(MissionService, InvalidConfigYieldsInvalidNotCrash) {
+  MissionService service(quick_options());
+  MissionRequest request = quick_request(1);
+  // Reaches execution, then topology generation throws (ConfigError).
+  request.config.topology.max_attempts = 0;
+  const MissionResponse resp = service.submit(request);
+  EXPECT_EQ(resp.status, MissionStatus::kInvalid);
+  // The service remains healthy afterwards.
+  EXPECT_EQ(service.submit(quick_request(2)).status, MissionStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, JsonRequestRoundTrip) {
+  WireRequest in;
+  in.id = 7;
+  in.tenant = 3;
+  in.repro = "mode=attack;seed=42;topology.node_count=20";
+  const std::string line = encode_request_json(in);
+  WireRequest out;
+  std::string error;
+  ASSERT_TRUE(decode_request_json(line, out, error)) << error;
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.tenant, in.tenant);
+  EXPECT_EQ(out.repro, in.repro);
+}
+
+WireResponse sample_response() {
+  WireResponse wire;
+  wire.id = 99;
+  wire.response.status = MissionStatus::kOk;
+  wire.response.route = MissionRoute::kCacheHit;
+  MissionOutcome& o = wire.response.outcome;
+  o.scenario_digest = 0xdeadbeefcafef00dull;  // exercises the full 64 bits
+  o.seed = (1ull << 60) + 17;
+  o.result_digest = 0xffffffffffffffffull;
+  o.node_count = 20;
+  o.alive_at_end = 18;
+  o.keys_total = 5;
+  o.keys_dead = 2;
+  o.sessions_genuine = 31;
+  o.sessions_spoofed = 7;
+  o.escalations = 3;
+  o.deaths_total = 2;
+  o.plans_computed = 11;
+  o.events_executed = 123'456;
+  o.detected = 1;
+  o.detection_time = 3'600.25;
+  o.utility_delivered = 1.25e6;
+  std::snprintf(o.detector, sizeof(o.detector), "coulomb");
+  return wire;
+}
+
+TEST(Protocol, JsonResponseRoundTripPreservesFull64BitDigests) {
+  const WireResponse in = sample_response();
+  const std::string line = encode_response_json(in);
+  WireResponse out;
+  std::string error;
+  ASSERT_TRUE(decode_response_json(line, out, error)) << error;
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.response.status, in.response.status);
+  EXPECT_EQ(out.response.route, in.response.route);
+  EXPECT_TRUE(same_outcome(out.response.outcome, in.response.outcome));
+}
+
+TEST(Protocol, BinaryFramesRoundTripByteExactly) {
+  WireRequest rin;
+  rin.id = 5;
+  rin.tenant = 2;
+  rin.repro = "mode=benign;seed=8";
+  std::string payload;
+  encode_request_frame(rin, payload);
+  WireRequest rout;
+  std::string error;
+  ASSERT_TRUE(decode_request_frame(payload, rout, error)) << error;
+  EXPECT_EQ(rout.id, rin.id);
+  EXPECT_EQ(rout.tenant, rin.tenant);
+  EXPECT_EQ(rout.repro, rin.repro);
+
+  const WireResponse win = sample_response();
+  encode_response_frame(win, payload);
+  // Deterministic encoding: same response, same bytes.
+  std::string payload2;
+  encode_response_frame(win, payload2);
+  EXPECT_EQ(payload, payload2);
+  WireResponse wout;
+  ASSERT_TRUE(decode_response_frame(payload, wout, error)) << error;
+  EXPECT_EQ(wout.id, win.id);
+  EXPECT_TRUE(same_outcome(wout.response.outcome, win.response.outcome));
+}
+
+TEST(Protocol, RejectsMalformedInput) {
+  WireRequest req;
+  WireResponse resp;
+  std::string error;
+  EXPECT_FALSE(decode_request_json("not json", req, error));
+  EXPECT_FALSE(decode_request_json("{\"id\":}", req, error));
+  EXPECT_FALSE(decode_request_json("{\"tenant\":1}", req, error));  // no id
+  EXPECT_FALSE(decode_request_json("{\"id\":1,\"repro\":{}}", req, error));
+  EXPECT_FALSE(decode_request_json("{\"id\":\"x\",\"repro\":\"a=1\"}", req,
+                                   error));
+  EXPECT_FALSE(decode_response_json("{\"id\":1,\"status\":\"bogus\"}", resp,
+                                    error));
+  EXPECT_FALSE(decode_request_frame("abc", req, error));  // truncated
+  EXPECT_FALSE(decode_response_frame(std::string(10, '\0'), resp, error));
+}
+
+TEST(Protocol, ToMissionRequestResolvesReproLines) {
+  WireRequest wire;
+  wire.tenant = 4;
+  wire.repro = "mode=benign;seed=31;topology.node_count=24;horizon=7200";
+  const MissionRequest request = to_mission_request(wire);
+  EXPECT_EQ(request.mode, analysis::ChargerMode::Benign);
+  EXPECT_EQ(request.tenant, 4u);
+  EXPECT_EQ(request.config.seed, 31u);
+  EXPECT_EQ(request.config.topology.node_count, 24u);
+  EXPECT_DOUBLE_EQ(request.config.horizon, 7'200.0);
+
+  wire.repro = "mode=attack;bogus.key=1";
+  EXPECT_THROW(to_mission_request(wire), ConfigError);
+  wire.repro = "mode=sideways;seed=1";
+  EXPECT_THROW(to_mission_request(wire), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Socket server
+// ---------------------------------------------------------------------------
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/wrsn_svc_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+TEST(MissionServer, JsonAndBinaryClientsMatchDirectExecution) {
+  MissionService service(quick_options());
+  const std::string path = test_socket_path("rt");
+  MissionServer server(service, path);
+  server.start();
+
+  const std::string repro = quick_repro(33);
+  const auto [cfg, mode] =
+      analysis::resolve_overrides(analysis::parse_repro(repro));
+  const analysis::ScenarioResult direct = analysis::run_mission(cfg, mode);
+  const std::uint64_t expected = analysis::digest_result(direct);
+
+  MissionClient json_client(path, /*binary=*/false);
+  const MissionResponse via_json = json_client.call(1, repro);
+  ASSERT_EQ(via_json.status, MissionStatus::kOk);
+  EXPECT_EQ(via_json.route, MissionRoute::kExecuted);
+  EXPECT_EQ(via_json.outcome.result_digest, expected);
+
+  MissionClient binary_client(path, /*binary=*/true);
+  const MissionResponse via_binary = binary_client.call(1, repro);
+  ASSERT_EQ(via_binary.status, MissionStatus::kOk);
+  EXPECT_EQ(via_binary.route, MissionRoute::kCacheHit);
+  EXPECT_TRUE(same_outcome(via_json.outcome, via_binary.outcome));
+
+  // Malformed repro: explicit kInvalid response, connection stays usable.
+  const MissionResponse bad = json_client.call(1, "mode=attack;bogus=1");
+  EXPECT_EQ(bad.status, MissionStatus::kInvalid);
+  EXPECT_EQ(json_client.call(1, repro).status, MissionStatus::kOk);
+
+  EXPECT_EQ(server.connections(), 2u);
+  server.stop();
+}
+
+TEST(MissionServer, StopIsIdempotentAndUnlinksSocket) {
+  MissionService service(quick_options());
+  const std::string path = test_socket_path("stop");
+  {
+    MissionServer server(service, path);
+    server.start();
+    MissionClient client(path);
+    EXPECT_EQ(client.call(1, quick_repro(1)).status, MissionStatus::kOk);
+    server.stop();
+    server.stop();
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  }
+  // Re-binding the same path works (stale-socket unlink).
+  MissionServer again(service, path);
+  again.start();
+  MissionClient client(path);
+  EXPECT_EQ(client.call(1, quick_repro(1)).status, MissionStatus::kOk);
+}
+
+}  // namespace
+}  // namespace wrsn::svc

@@ -24,16 +24,58 @@ namespace {
 
 using namespace wrsn;
 
+// At the calibrated density the radius a random geometric graph needs for
+// connectivity grows like sqrt(log N): 65 m covers the classic sizes but
+// sits below the threshold at N = 10k (~68.5 m), so the frontier rows get
+// a wider radio rather than a denser field.
+Meters comm_range_for(std::size_t n) { return n >= 10'000 ? 80.0 : 65.0; }
+
 net::Network cascade_network(std::size_t n) {
   net::TopologyConfig topo;
   topo.node_count = n;
   // Hold density at the calibrated default (100 nodes on 400 m x 400 m).
   const double side = 40.0 * std::sqrt(double(n));
   topo.region = {{0.0, 0.0}, {side, side}};
-  topo.comm_range = 65.0;
+  topo.comm_range = comm_range_for(n);
   Rng rng(42);
   return net::generate_topology(topo, rng);
 }
+
+// Topology generation at scale: the grid-bucketed adjacency build plus the
+// separation index.  The 10k row is the frontier deployment target — both
+// passes are O(N + edges), so doubling density should roughly double the
+// time, not quadruple it the way the old O(N^2) pairwise scans did.
+void BM_TopologyGenerate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool heterogeneous = state.range(1) != 0;
+  net::TopologyConfig topo;
+  topo.node_count = n;
+  const double side = 40.0 * std::sqrt(double(n));
+  topo.region = {{0.0, 0.0}, {side, side}};
+  topo.comm_range = comm_range_for(n);
+  if (heterogeneous) {
+    topo.class_count = 3;
+    topo.class_capacity_ratio = 2.0;
+    topo.class_rate_ratio = 1.5;
+  }
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    Rng rng(42);
+    const net::Network network = net::generate_topology(topo, rng);
+    benchmark::DoNotOptimize(network.size());
+    edges = 0;
+    for (net::NodeId id = 0; id < network.size(); ++id) {
+      edges += network.neighbors(id).size();
+    }
+  }
+  state.counters["edges"] = double(edges / 2);
+}
+BENCHMARK(BM_TopologyGenerate)
+    ->ArgNames({"nodes", "hetero"})
+    ->Args({1'600, 0})
+    ->Args({10'000, 0})
+    ->Args({10'000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // A full starvation collapse: nobody charges, all N nodes request, escalate,
 // and die one by one — every death triggers a routing update and (Reference)
@@ -79,6 +121,9 @@ BENCHMARK(BM_WorldDeathCascade)
     // tracks toward the 10k-node frontier.
     ->Args({800, 0})
     ->Args({1600, 0})
+    // The 10k frontier row: an entire deployment-scale collapse on the Fast
+    // path — grid adjacency, SoA lanes, and subtree repair at target size.
+    ->Args({10'000, 0})
     ->Unit(benchmark::kMillisecond);
 
 // Kernel churn: steady-state schedule/cancel pressure with `range` live
@@ -134,6 +179,45 @@ BENCHMARK(BM_Fig5Trial)
     ->ArgName("reference")
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Scenario-frontier trials: the fig5 exhaustion mission with one frontier
+// family enabled at a time, so the sweep shows what waypoint mobility
+// (per-epoch adjacency rebuilds), k-coverage utility (planner reweighing),
+// and heterogeneous classes each cost on top of the plain mission.
+void BM_FrontierTrial(benchmark::State& state) {
+  const auto family = static_cast<int>(state.range(0));
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.seed = 42;
+  switch (family) {
+    case 0:  // mobility
+      cfg.world.mobility.fraction = 0.2;
+      cfg.world.mobility.interval = 1'800.0;
+      break;
+    case 1:  // k-coverage
+      cfg.world.coverage.k = 2;
+      cfg.world.coverage.bonus = 1.0;
+      break;
+    default:  // heterogeneous classes
+      cfg.topology.class_count = 3;
+      cfg.topology.class_capacity_ratio = 2.0;
+      cfg.topology.class_rate_ratio = 1.5;
+      break;
+  }
+  std::size_t alive = 0;
+  for (auto _ : state) {
+    const analysis::ScenarioResult result =
+        analysis::run_scenario(cfg, analysis::ChargerMode::Attack);
+    benchmark::DoNotOptimize(result.alive_at_end);
+    alive = result.alive_at_end;
+  }
+  state.counters["alive_at_end"] = double(alive);
+}
+BENCHMARK(BM_FrontierTrial)
+    ->ArgName("family")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 // Observability overhead: the fig5 trial with a MetricRegistry installed

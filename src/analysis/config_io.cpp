@@ -149,10 +149,70 @@ ScenarioConfig apply_config(
            cfg.topology.deployment = net::Deployment::Grid;
          } else if (v == "clustered") {
            cfg.topology.deployment = net::Deployment::Clustered;
+         } else if (v == "corridor") {
+           cfg.topology.deployment = net::Deployment::Corridor;
          } else {
            throw ConfigError("config key '" + k +
-                             "': expected uniform|grid|clustered");
+                             "': expected uniform|grid|clustered|corridor");
          }
+       }},
+      {"topology.min_separation",
+       [&](const std::string& k, const std::string& v) {
+         cfg.topology.min_separation = to_double(k, v);
+       }},
+      {"topology.corridor_count",
+       [&](const std::string& k, const std::string& v) {
+         cfg.topology.corridor_count = to_size(k, v);
+       }},
+      {"topology.class_count",
+       [&](const std::string& k, const std::string& v) {
+         cfg.topology.class_count = to_size(k, v);
+       }},
+      {"topology.class_capacity_ratio",
+       [&](const std::string& k, const std::string& v) {
+         cfg.topology.class_capacity_ratio = to_double(k, v);
+       }},
+      {"topology.class_rate_ratio",
+       [&](const std::string& k, const std::string& v) {
+         cfg.topology.class_rate_ratio = to_double(k, v);
+       }},
+      // mobility
+      {"mobility.fraction",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.fraction = to_double(k, v);
+       }},
+      {"mobility.interval",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.interval = to_double(k, v);
+       }},
+      {"mobility.speed_min",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.speed_min = to_double(k, v);
+       }},
+      {"mobility.speed_max",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.speed_max = to_double(k, v);
+       }},
+      {"mobility.pause_min",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.pause_min = to_double(k, v);
+       }},
+      {"mobility.pause_max",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.mobility.pause_max = to_double(k, v);
+       }},
+      // k-coverage utility
+      {"coverage.k",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.coverage.k = to_size(k, v);
+       }},
+      {"coverage.radius",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.coverage.radius = to_double(k, v);
+       }},
+      {"coverage.bonus",
+       [&](const std::string& k, const std::string& v) {
+         cfg.world.coverage.bonus = to_double(k, v);
        }},
       // world
       {"world.request_threshold",
@@ -327,8 +387,14 @@ ScenarioConfig apply_config(
   }
   // Fault parameters carry cross-field constraints (e.g. drop + delay
   // probabilities summing past 1), so the whole section validates at load
-  // time rather than at the first run_scenario call.
+  // time rather than at the first run_scenario call.  The topology class /
+  // corridor knobs and the mobility/coverage sections carry the same kind
+  // of constraints (speed and pause ordering, positive ratios), so they
+  // validate here too.
   cfg.faults.validate();
+  cfg.topology.validate();
+  cfg.world.mobility.validate();
+  cfg.world.coverage.validate();
   return cfg;
 }
 

@@ -186,7 +186,10 @@ void check_invariants(const ScenarioConfig& cfg, const ScenarioResult& result,
     fail(failures, "invariant[" + tag + "]: " + what);
   };
   const sim::Trace& trace = result.trace;
-  const double capacity = cfg.topology.battery_capacity;
+  // Heterogeneous classes scale individual capacities by up to the class
+  // ratio; the level bound must cover the largest class, not the base value.
+  const double capacity = cfg.topology.battery_capacity *
+                          std::max(1.0, cfg.topology.class_capacity_ratio);
   const Seconds horizon = cfg.horizon;
 
   std::unordered_map<net::NodeId, Seconds> death_time;
@@ -464,6 +467,33 @@ FuzzOverrides generate_fuzz_overrides(Rng& rng) {
   o["world.initial_level_max"] =
       fmt(std::min(1.0, level_min + rng.uniform(0.05, 0.3)));
   o["world.patience"] = fmt(rng.uniform(1'800.0, 10'800.0));
+
+  // Scenario-frontier families: deployment shape, heterogeneous classes,
+  // waypoint mobility, and k-coverage utility — each drawn independently so
+  // plain, single-family, and compound missions all appear.
+  if (rng.bernoulli(0.25)) {
+    o["topology.deployment"] = "corridor";
+    // 1-3 corridors always pass through the centered sink, so the network
+    // stays connected without retrying topology generation.
+    o["topology.corridor_count"] = fmt(std::size_t(rng.uniform_int(1, 3)));
+  }
+  if (rng.bernoulli(0.35)) {
+    o["topology.class_count"] = fmt(std::size_t(rng.uniform_int(2, 4)));
+    o["topology.class_capacity_ratio"] = fmt(rng.uniform(1.2, 3.0));
+    o["topology.class_rate_ratio"] = fmt(rng.uniform(1.0, 2.5));
+  }
+  if (rng.bernoulli(0.35)) {
+    o["mobility.fraction"] = fmt(rng.uniform(0.05, 0.3));
+    o["mobility.interval"] = fmt(rng.uniform(600.0, 3'600.0));
+    o["mobility.speed_min"] = fmt(rng.uniform(0.3, 1.0));
+    o["mobility.speed_max"] = fmt(rng.uniform(1.0, 2.5));
+    o["mobility.pause_max"] = fmt(rng.uniform(0.0, 1'200.0));
+  }
+  if (rng.bernoulli(0.35)) {
+    o["coverage.k"] = fmt(std::size_t(rng.uniform_int(1, 4)));
+    o["coverage.bonus"] = fmt(rng.uniform(0.2, 2.0));
+    if (rng.bernoulli(0.5)) o["coverage.radius"] = fmt(rng.uniform(40.0, 90.0));
+  }
 
   o["world.emergency_enabled"] = rng.bernoulli(0.5) ? "true" : "false";
   o["world.hardware_mtbf"] =

@@ -140,6 +140,34 @@ ScenarioConfig default_scenario() {
   return cfg;
 }
 
+DetectorSetup make_detector_setup(const ScenarioConfig& config,
+                                  const sim::World& world) {
+  // The defender calibrates its death-rate bound to the fleet's known
+  // background failure rate.
+  const std::size_t node_count = world.network().size();
+  const double expected_deaths_per_window =
+      config.world.hardware_mtbf > 0.0
+          ? double(node_count) * 86'400.0 / config.world.hardware_mtbf
+          : 0.0;
+  DetectorSetup setup{
+      .calibration = detect::SuiteCalibration::for_deployment(
+          node_count, expected_deaths_per_window),
+      .suite = {},
+      .context = {},
+  };
+  setup.suite = config.hardened_detectors
+                    ? detect::make_hardened_suite(setup.calibration)
+                    : detect::make_deployed_suite(setup.calibration);
+  setup.context.network = &world.network();
+  setup.context.charging_model = &world.charging_model();
+  setup.context.nominal_dc = world.nominal_dc_power();
+  setup.context.benign_gain_mean = config.world.benign_gain_mean;
+  setup.context.benign_gain_cv = config.world.benign_gain_cv;
+  setup.context.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  setup.context.horizon = config.horizon;
+  return setup;
+}
+
 ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
                             const csa::Planner* planner) {
   Rng rng(config.seed);
@@ -177,28 +205,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
 
   simulator.run_until(config.horizon);
 
-  // The defender calibrates its death-rate bound to the fleet's known
-  // background failure rate.
-  const double expected_deaths_per_window =
-      config.world.hardware_mtbf > 0.0
-          ? double(result.node_count) * 86'400.0 / config.world.hardware_mtbf
-          : 0.0;
-  const detect::SuiteCalibration calibration =
-      detect::SuiteCalibration::for_deployment(result.node_count,
-                                               expected_deaths_per_window);
-  const detect::DetectorSuite suite =
-      config.hardened_detectors ? detect::make_hardened_suite(calibration)
-                                : detect::make_deployed_suite(calibration);
-  detect::DetectorContext ctx;
-  ctx.network = &world.network();
-  ctx.charging_model = &world.charging_model();
-  ctx.nominal_dc = world.nominal_dc_power();
-  ctx.benign_gain_mean = config.world.benign_gain_mean;
-  ctx.benign_gain_cv = config.world.benign_gain_cv;
-  ctx.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-  ctx.horizon = config.horizon;
-
-  result.detections = suite.run(world.trace(), ctx);
+  const DetectorSetup detectors = make_detector_setup(config, world);
+  result.detections = detectors.suite.run(world.trace(), detectors.context);
   result.report = csa::build_report(world.network(), world.trace(),
                                     result.keys, result.detections);
   finish_result(result, world, simulator, injector.get());
@@ -317,28 +325,8 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
 
   simulator.run_until(config.horizon);
 
-  // The defender calibrates its death-rate bound to the fleet's known
-  // background failure rate.
-  const double expected_deaths_per_window =
-      config.world.hardware_mtbf > 0.0
-          ? double(result.node_count) * 86'400.0 / config.world.hardware_mtbf
-          : 0.0;
-  const detect::SuiteCalibration calibration =
-      detect::SuiteCalibration::for_deployment(result.node_count,
-                                               expected_deaths_per_window);
-  const detect::DetectorSuite suite =
-      config.hardened_detectors ? detect::make_hardened_suite(calibration)
-                                : detect::make_deployed_suite(calibration);
-  detect::DetectorContext ctx;
-  ctx.network = &world.network();
-  ctx.charging_model = &world.charging_model();
-  ctx.nominal_dc = world.nominal_dc_power();
-  ctx.benign_gain_mean = config.world.benign_gain_mean;
-  ctx.benign_gain_cv = config.world.benign_gain_cv;
-  ctx.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-  ctx.horizon = config.horizon;
-
-  result.detections = suite.run(world.trace(), ctx);
+  const DetectorSetup detectors = make_detector_setup(config, world);
+  result.detections = detectors.suite.run(world.trace(), detectors.context);
   result.report = csa::build_report(world.network(), world.trace(),
                                     result.keys, result.detections);
   finish_result(result, world, simulator, injector.get());

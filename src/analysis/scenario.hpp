@@ -76,6 +76,21 @@ struct ScenarioResult {
 /// harvest, 3 m/s charger — request load ~45 % of charger capacity.
 ScenarioConfig default_scenario();
 
+/// The calibrated detector suite and its evaluation context for one
+/// scenario.  Single source of truth shared by the single-charger and fleet
+/// paths (they used to carry hand-duplicated copies of this block, which
+/// could silently drift apart).
+struct DetectorSetup {
+  detect::SuiteCalibration calibration;
+  detect::DetectorSuite suite;
+  detect::DetectorContext context;
+};
+
+/// Builds the deployment-calibrated suite (hardened or standard per
+/// `config`) and the detector context for a world built from `config`.
+DetectorSetup make_detector_setup(const ScenarioConfig& config,
+                                  const sim::World& world);
+
 /// Runs one mission.  In Attack mode, `planner` selects the attacker's
 /// route strategy (defaults to CsaPlanner when null).
 ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,

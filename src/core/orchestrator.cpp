@@ -287,7 +287,12 @@ void AttackAgent::build_instance(TideInstance& instance) const {
     stop.service_time =
         world_.planned_session_duration(believed_deficit(node));
     stop.is_key = is_key(node);
-    stop.utility = stop.is_key ? 0.0 : believed_deficit(node);
+    // k-coverage utility mode: under-covered nodes are worth more to keep
+    // alive, so their genuine-service utility is scaled up (weight 1 when
+    // the mode is off).  Key nodes stay utility 0 — they are spoof targets.
+    stop.utility = stop.is_key
+                       ? 0.0
+                       : believed_deficit(node) * world_.coverage_weight(node);
     instance.stops.push_back(stop);
   }
 
@@ -324,6 +329,12 @@ void AttackAgent::prime_travel_matrix(TideInstance& instance) const {
   // memo_hits_/memo_misses_ are plain member tallies flushed once by the
   // destructor: the memo lambda runs O(stops²) per replan, far too hot for
   // a registry write per lookup.
+  if (memo_topology_version_ != world_.topology_version()) {
+    // Mobility moved nodes since the memo was filled: every cached pair
+    // distance is stale.
+    stop_pair_distance_.clear();
+    memo_topology_version_ = world_.topology_version();
+  }
   if (!travel_matrix_) travel_matrix_ = std::make_shared<TravelMatrix>();
   travel_matrix_->rebuild(
       instance, [this](const Stop& a, const Stop& b) -> Meters {

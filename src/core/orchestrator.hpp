@@ -188,10 +188,13 @@ class AttackAgent {
   /// Keys already spoof-killed (their deaths are pre-counted predictively).
   std::unordered_set<net::NodeId> spoof_killed_;
   /// Node-pair distances memoized across replans: consecutive TIDE
-  /// snapshots overlap heavily in stops (node positions never move), so the
-  /// travel matrix of each instance is primed from here instead of
-  /// recomputing sqrt per pair.  Keyed by packed (min id, max id).
+  /// snapshots overlap heavily in stops (node positions only move on
+  /// mobility epochs), so the travel matrix of each instance is primed from
+  /// here instead of recomputing sqrt per pair.  Keyed by packed
+  /// (min id, max id); invalidated wholesale whenever the world's topology
+  /// version moves (a mobility epoch changed positions).
   mutable std::unordered_map<std::uint64_t, Meters> stop_pair_distance_;
+  mutable std::uint64_t memo_topology_version_ = 0;
   /// Replan arenas: the instance snapshot, its travel matrix, and the plan
   /// are rebuilt in place every replan, so steady-state replanning (stop
   /// set previously seen) performs no heap allocation (sim_alloc_test).

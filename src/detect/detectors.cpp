@@ -166,7 +166,13 @@ std::optional<Detection> DeathRateDetector::analyze(
   std::deque<Seconds> window_deaths;
   for (const sim::DeathRecord& d : trace.deaths) {
     window_deaths.push_back(d.time);
-    while (!window_deaths.empty() && window_deaths.front() < d.time - window_) {
+    // The monitoring window is OPEN at its left edge, (t - window_, t]: a
+    // death exactly window_ seconds old has aged out, matching the
+    // calibration's expected-deaths-per-window model.  (The old `<`
+    // eviction kept that boundary death, silently firing on threshold
+    // deaths spanning a closed window of length window_.)
+    while (!window_deaths.empty() &&
+           window_deaths.front() <= d.time - window_) {
       window_deaths.pop_front();
     }
     if (window_deaths.size() >= death_threshold_) {

@@ -1,0 +1,119 @@
+#include "net/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace wrsn::net {
+
+void CoverageParams::validate() const {
+  if (radius < 0.0) throw ConfigError("coverage radius must be >= 0");
+  if (bonus < 0.0) throw ConfigError("coverage bonus must be >= 0");
+}
+
+void CoverageIndex::build(const Network& network, const Bitmap& alive,
+                          Meters radius) {
+  WRSN_REQUIRE(radius > 0.0, "coverage radius must be positive");
+  radius_ = radius;
+  const std::size_t n = network.size();
+
+  geom::Vec2 lo = network.node(0).position;
+  geom::Vec2 hi = lo;
+  for (const SensorSpec& s : network.nodes()) {
+    lo.x = std::min(lo.x, s.position.x);
+    lo.y = std::min(lo.y, s.position.y);
+    hi.x = std::max(hi.x, s.position.x);
+    hi.y = std::max(hi.y, s.position.y);
+  }
+  origin_ = lo;
+  Meters cell = radius_;
+  const auto dims = [&](Meters side) {
+    const std::size_t cx = static_cast<std::size_t>((hi.x - lo.x) / side) + 1;
+    const std::size_t cy = static_cast<std::size_t>((hi.y - lo.y) / side) + 1;
+    return std::pair{cx, cy};
+  };
+  auto [nx, ny] = dims(cell);
+  const std::size_t max_cells = 4 * n + 64;
+  while (nx * ny > max_cells) {
+    cell *= 2.0;
+    std::tie(nx, ny) = dims(cell);
+  }
+  cell_ = cell;
+  nx_ = nx;
+  ny_ = ny;
+
+  const auto cell_xy = [&](geom::Vec2 p) {
+    const auto cx = static_cast<std::size_t>((p.x - origin_.x) / cell_);
+    const auto cy = static_cast<std::size_t>((p.y - origin_.y) / cell_);
+    return std::pair{std::min(cx, nx_ - 1), std::min(cy, ny_ - 1)};
+  };
+
+  cell_start_.assign(nx_ * ny_ + 1, 0);
+  for (const SensorSpec& s : network.nodes()) {
+    const auto [cx, cy] = cell_xy(s.position);
+    ++cell_start_[cy * nx_ + cx + 1];
+  }
+  for (std::size_t c = 0; c < nx_ * ny_; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  cell_items_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_xy(network.node(NodeId(i)).position);
+    cell_items_[cell_cursor_[cy * nx_ + cx]++] = static_cast<NodeId>(i);
+  }
+
+  counts_.assign(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const geom::Vec2 p = network.node(NodeId(j)).position;
+    const auto [cx, cy] = cell_xy(p);
+    const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::size_t x1 = std::min(cx + 1, nx_ - 1);
+    const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::size_t y1 = std::min(cy + 1, ny_ - 1);
+    std::uint32_t count = 0;
+    for (std::size_t gy = y0; gy <= y1; ++gy) {
+      for (std::size_t gx = x0; gx <= x1; ++gx) {
+        const std::size_t c = gy * nx_ + gx;
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const NodeId i = cell_items_[k];
+          if (i == static_cast<NodeId>(j) || !alive.test(i)) continue;
+          if (geom::distance(p, network.node(i).position) <= radius_) {
+            ++count;
+          }
+        }
+      }
+    }
+    counts_[j] = count;
+  }
+}
+
+void CoverageIndex::on_death(const Network& network, NodeId dead) {
+  WRSN_REQUIRE(built(), "CoverageIndex::on_death before build");
+  const geom::Vec2 p = network.node(dead).position;
+  const auto cx = std::min(
+      static_cast<std::size_t>((p.x - origin_.x) / cell_), nx_ - 1);
+  const auto cy = std::min(
+      static_cast<std::size_t>((p.y - origin_.y) / cell_), ny_ - 1);
+  const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+  const std::size_t x1 = std::min(cx + 1, nx_ - 1);
+  const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+  const std::size_t y1 = std::min(cy + 1, ny_ - 1);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      const std::size_t c = gy * nx_ + gx;
+      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const NodeId j = cell_items_[k];
+        if (j == dead) continue;
+        if (geom::distance(p, network.node(j).position) <= radius_) {
+          WRSN_ASSERT(counts_[j] > 0);
+          --counts_[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace wrsn::net

@@ -1,0 +1,70 @@
+// k-coverage index: how many alive sensors cover each node's region.
+//
+// The k-coverage utility mode (Optimal k-Coverage Charging Problem,
+// PAPERS.md) makes a node's charging utility depend on its redundancy: a
+// node whose region is watched by fewer than k alive peers is more valuable
+// to keep alive than one in a densely covered patch.  The index maintains,
+// for every node, the number of OTHER alive nodes within the coverage
+// radius.  The world rebuilds it from scratch on topology changes (initial
+// construction, mobility epochs) and decrements incrementally on each
+// death; both paths are exact integer counts over the same position
+// snapshot, so Fast and Reference worlds — which retire nodes in the same
+// order — always agree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::net {
+
+/// k-coverage utility knobs (lives in WorldParams as `coverage`).
+struct CoverageParams {
+  /// Desired coverage degree; 0 disables the mode entirely.
+  std::size_t k = 0;
+  /// Coverage radius [m]; 0 means "use the network's comm_range".
+  Meters radius = 0.0;
+  /// Utility multiplier ramp: a node covered by c < k alive peers gets its
+  /// charging utility scaled by 1 + bonus * (k - c) / k.
+  double bonus = 1.0;
+
+  void validate() const;
+};
+
+/// Alive-coverer counts per node, grid-bucketed for O(N + pairs) rebuilds.
+class CoverageIndex {
+ public:
+  /// Recounts every node's alive coverers from the network's current
+  /// positions.  Allocation-free once internal buffers reach their
+  /// high-water sizes (mobility epochs call this on the steady-state path).
+  void build(const Network& network, const Bitmap& alive, Meters radius);
+
+  /// Incremental update for one death: every node within `radius` of the
+  /// dead node loses one coverer.  Positions must be unchanged since the
+  /// last build (the world rebuilds on every mobility epoch, and deaths
+  /// never move nodes).
+  void on_death(const Network& network, NodeId dead);
+
+  /// Number of alive nodes (excluding `id` itself) within the coverage
+  /// radius of `id` as of the last build/on_death.
+  std::size_t coverers(NodeId id) const { return counts_[id]; }
+
+  bool built() const { return !counts_.empty(); }
+
+ private:
+  Meters radius_ = 0.0;
+  std::vector<std::uint32_t> counts_;
+  // Grid over the positions at the last build (shared by on_death).
+  geom::Vec2 origin_;
+  Meters cell_ = 1.0;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_cursor_;
+  std::vector<NodeId> cell_items_;
+};
+
+}  // namespace wrsn::net

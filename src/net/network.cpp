@@ -1,5 +1,9 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
 #include "common/check.hpp"
 
 namespace wrsn::net {
@@ -18,49 +22,121 @@ Network::Network(std::vector<SensorSpec> nodes, geom::Vec2 sink_position,
     WRSN_REQUIRE(nodes_[i].battery_capacity > 0.0,
                  "battery capacity must be positive");
   }
+  build_adjacency();
+}
 
+void Network::build_adjacency() {
   const std::size_t n = nodes_.size();
-  // Pass 1: in-range pairs (each distance computed once) and degrees.
-  struct Edge {
-    NodeId a;
-    NodeId b;
-    Meters d;
+
+  // Bucket nodes into a grid of square cells with side >= comm_range, so
+  // every in-range neighbour of a node lives in the 3x3 stencil around its
+  // cell.  Cell count is capped at ~4N so sparse giant regions don't blow
+  // up the bucket arrays (a larger cell side stays correct, just scans a
+  // few more candidates).
+  geom::Vec2 lo = nodes_[0].position;
+  geom::Vec2 hi = nodes_[0].position;
+  for (const SensorSpec& s : nodes_) {
+    lo.x = std::min(lo.x, s.position.x);
+    lo.y = std::min(lo.y, s.position.y);
+    hi.x = std::max(hi.x, s.position.x);
+    hi.y = std::max(hi.y, s.position.y);
+  }
+  Meters cell = comm_range_;
+  const auto dims = [&](Meters side) {
+    const std::size_t nx =
+        static_cast<std::size_t>((hi.x - lo.x) / side) + 1;
+    const std::size_t ny =
+        static_cast<std::size_t>((hi.y - lo.y) / side) + 1;
+    return std::pair{nx, ny};
   };
-  std::vector<Edge> edges;
-  std::vector<std::uint32_t> degree(n, 0);
+  auto [nx, ny] = dims(cell);
+  const std::size_t max_cells = 4 * n + 64;
+  while (nx * ny > max_cells) {
+    cell *= 2.0;
+    std::tie(nx, ny) = dims(cell);
+  }
+  const std::size_t cells = nx * ny;
+  const auto cell_of = [&](geom::Vec2 p) {
+    std::size_t cx = static_cast<std::size_t>((p.x - lo.x) / cell);
+    std::size_t cy = static_cast<std::size_t>((p.y - lo.y) / cell);
+    cx = std::min(cx, nx - 1);
+    cy = std::min(cy, ny - 1);
+    return cy * nx + cx;
+  };
+
+  // Counting sort of node ids by cell.  Because ids are assigned in
+  // ascending order within each bucket, a node's 3x3 candidate scan visits
+  // each neighbouring cell's members in ascending id order.
+  cell_start_.assign(cells + 1, 0);
+  for (const SensorSpec& s : nodes_) ++cell_start_[cell_of(s.position) + 1];
+  for (std::size_t c = 0; c < cells; ++c) cell_start_[c + 1] += cell_start_[c];
+  cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  cell_items_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const Meters d =
-          geom::distance(nodes_[i].position, nodes_[j].position);
-      if (d <= comm_range_) {
-        edges.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j), d});
-        ++degree[i];
-        ++degree[j];
-      }
-    }
+    cell_items_[cell_cursor_[cell_of(nodes_[i].position)]++] =
+        static_cast<NodeId>(i);
   }
 
-  // Pass 2: CSR fill.  Edges were found in ascending (i, j) order, so
-  // appending each endpoint's entry in discovery order reproduces the
-  // ascending neighbour lists of the old per-node vectors exactly.
+  // Pass 1: degrees.  The distance predicate is the exact expression the
+  // old O(N^2) scan used; geom::distance is sign-symmetric (hypot of the
+  // component deltas), so evaluating it from both endpoints yields the
+  // same bits and the CSR stays bitwise identical to the pairwise build.
+  degree_.assign(n, 0);
+  const auto for_each_in_range = [&](std::size_t i, auto&& fn) {
+    const geom::Vec2 p = nodes_[i].position;
+    std::size_t cx = static_cast<std::size_t>((p.x - lo.x) / cell);
+    std::size_t cy = static_cast<std::size_t>((p.y - lo.y) / cell);
+    cx = std::min(cx, nx - 1);
+    cy = std::min(cy, ny - 1);
+    const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::size_t x1 = std::min(cx + 1, nx - 1);
+    const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::size_t y1 = std::min(cy + 1, ny - 1);
+    for (std::size_t gy = y0; gy <= y1; ++gy) {
+      for (std::size_t gx = x0; gx <= x1; ++gx) {
+        const std::size_t c = gy * nx + gx;
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          const NodeId j = cell_items_[k];
+          if (j == static_cast<NodeId>(i)) continue;
+          const Meters d = geom::distance(p, nodes_[j].position);
+          if (d <= comm_range_) fn(j, d);
+        }
+      }
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for_each_in_range(i, [&](NodeId, Meters) { ++degree_[i]; });
+  }
+
+  // Pass 2: CSR fill.  Each row gathers its candidates cell by cell, then
+  // an in-place insertion sort restores ascending-id order (rows are short
+  // — the unit-disk degree — so this beats allocating sort scratch).
   adj_offset_.resize(n + 1);
   adj_offset_[0] = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    adj_offset_[i + 1] = adj_offset_[i] + degree[i];
+    adj_offset_[i + 1] = adj_offset_[i] + degree_[i];
   }
   adj_nodes_.resize(adj_offset_[n]);
   adj_dist_.resize(adj_offset_[n]);
-  std::vector<std::uint32_t> cursor(adj_offset_.begin(),
-                                    adj_offset_.end() - 1);
-  for (const Edge& e : edges) {
-    adj_nodes_[cursor[e.a]] = e.b;
-    adj_dist_[cursor[e.a]++] = e.d;
-    adj_nodes_[cursor[e.b]] = e.a;
-    adj_dist_[cursor[e.b]++] = e.d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t row = adj_offset_[i];
+    std::uint32_t len = 0;
+    for_each_in_range(i, [&](NodeId j, Meters d) {
+      std::uint32_t at = row + len;
+      while (at > row && adj_nodes_[at - 1] > j) {
+        adj_nodes_[at] = adj_nodes_[at - 1];
+        adj_dist_[at] = adj_dist_[at - 1];
+        --at;
+      }
+      adj_nodes_[at] = j;
+      adj_dist_[at] = d;
+      ++len;
+    });
   }
 
-  sink_adjacent_.resize(n, false);
-  sink_distance_.resize(n, 0.0);
+  sink_adjacent_.assign(n, false);
+  sink_distance_.resize(n);
+  sink_neighbors_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const Meters d = geom::distance(nodes_[i].position, sink_position_);
     sink_distance_[i] = d;
@@ -70,6 +146,13 @@ Network::Network(std::vector<SensorSpec> nodes, geom::Vec2 sink_position,
     }
   }
 }
+
+void Network::set_position(NodeId id, geom::Vec2 position) {
+  WRSN_REQUIRE(id < nodes_.size(), "node id out of range");
+  nodes_[id].position = position;
+}
+
+void Network::rebuild_adjacency() { build_adjacency(); }
 
 const SensorSpec& Network::node(NodeId id) const {
   WRSN_REQUIRE(id < nodes_.size(), "node id out of range");

@@ -1,9 +1,19 @@
 // Static description of a deployed wireless rechargeable sensor network:
 // node positions, data rates, the sink, and the unit-disk communication graph.
 //
-// The Network is immutable after construction; live state (battery levels,
-// alive flags) belongs to the simulation world, which passes alive masks into
+// The Network is immutable after construction EXCEPT for the waypoint-
+// mobility seam: set_position + rebuild_adjacency let the simulation world
+// batch position updates on its mobility epochs and refresh the unit-disk
+// graph in place (allocation-free after warmup).  Live state (battery
+// levels, alive flags) belongs to the world, which passes alive masks into
 // the routing and key-node routines.
+//
+// The adjacency build is grid-bucketed (cells >= comm_range, 3x3 stencil),
+// O(N + edges) instead of the naive O(N^2) pairwise scan, which is what
+// makes 10k-node deployments and per-epoch rebuilds affordable.  It emits
+// the exact CSR the pairwise scan produced: neighbour lists ascending by id
+// and every edge length computed with the same geom::distance expression
+// (hypot is sign-symmetric, so the (i,j) and (j,i) entries agree bitwise).
 #pragma once
 
 #include <cstdint>
@@ -64,7 +74,20 @@ class Network {
   /// Euclidean distance from a node to the sink.
   Meters distance_to_sink(NodeId id) const;
 
+  /// Moves one node (waypoint-mobility seam).  Does NOT touch the adjacency:
+  /// the caller batches all position updates for an epoch and then calls
+  /// rebuild_adjacency() once.
+  void set_position(NodeId id, geom::Vec2 position);
+
+  /// Rebuilds the CSR adjacency and the sink tables in place from the
+  /// current node positions.  Allocation-free once the internal buffers have
+  /// reached their high-water sizes, so the world's mobility epochs can call
+  /// it on the steady-state path.
+  void rebuild_adjacency();
+
  private:
+  void build_adjacency();
+
   std::vector<SensorSpec> nodes_;
   geom::Vec2 sink_position_;
   Meters comm_range_;
@@ -79,6 +102,12 @@ class Network {
   std::vector<NodeId> sink_neighbors_;
   std::vector<bool> sink_adjacent_;
   std::vector<Meters> sink_distance_;
+  // Grid-bucket scratch for build_adjacency, persistent so per-epoch
+  // rebuilds under mobility are allocation-free after warmup.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_cursor_;
+  std::vector<NodeId> cell_items_;
+  std::vector<std::uint32_t> degree_;
 };
 
 }  // namespace wrsn::net

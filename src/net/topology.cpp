@@ -14,26 +14,125 @@ geom::Vec2 uniform_point(const geom::Rect& region, Rng& rng) {
           rng.uniform(region.lo.y, region.hi.y)};
 }
 
-bool respects_separation(const std::vector<geom::Vec2>& placed,
-                         geom::Vec2 candidate, Meters min_sep) {
-  if (min_sep <= 0.0) return true;
-  return std::none_of(placed.begin(), placed.end(), [&](geom::Vec2 p) {
-    return geom::distance(p, candidate) < min_sep;
-  });
-}
+// Grid-bucketed index answering "is any accepted point within min_sep of
+// this candidate?" in O(1) expected time, so 10k-node deployments don't pay
+// the old O(placed) scan per candidate.  It evaluates the exact predicate
+// the linear scan used (distance < min_sep), so every accept/reject
+// decision — and therefore the RNG draw sequence and the resulting
+// topology — is unchanged.
+class SeparationIndex {
+ public:
+  SeparationIndex(const geom::Rect& region, Meters min_sep,
+                  std::size_t expected)
+      : min_sep_(min_sep) {
+    if (min_sep_ <= 0.0) return;
+    origin_ = region.lo;
+    // Target ~1 point per cell, but never below min_sep: cells at least
+    // min_sep wide keep the 3x3 stencil sufficient.
+    cell_ = std::max(min_sep_,
+                     std::sqrt(region.width() * region.height() /
+                               double(std::max<std::size_t>(expected, 1))));
+    nx_ = static_cast<std::size_t>(region.width() / cell_) + 1;
+    ny_ = static_cast<std::size_t>(region.height() / cell_) + 1;
+    heads_.assign(nx_ * ny_, -1);
+    points_.reserve(expected);
+    next_.reserve(expected);
+  }
+
+  bool ok(geom::Vec2 candidate) const {
+    if (min_sep_ <= 0.0) return true;
+    const auto [cx, cy] = cell_of(candidate);
+    const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::size_t x1 = std::min(cx + 1, nx_ - 1);
+    const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::size_t y1 = std::min(cy + 1, ny_ - 1);
+    for (std::size_t gy = y0; gy <= y1; ++gy) {
+      for (std::size_t gx = x0; gx <= x1; ++gx) {
+        for (std::int32_t k = heads_[gy * nx_ + gx]; k >= 0; k = next_[k]) {
+          if (geom::distance(points_[k], candidate) < min_sep_) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void insert(geom::Vec2 p) {
+    if (min_sep_ <= 0.0) return;
+    const auto [cx, cy] = cell_of(p);
+    points_.push_back(p);
+    next_.push_back(heads_[cy * nx_ + cx]);
+    heads_[cy * nx_ + cx] = static_cast<std::int32_t>(points_.size()) - 1;
+  }
+
+ private:
+  std::pair<std::size_t, std::size_t> cell_of(geom::Vec2 p) const {
+    const auto cx = static_cast<std::size_t>(
+        std::max(0.0, (p.x - origin_.x) / cell_));
+    const auto cy = static_cast<std::size_t>(
+        std::max(0.0, (p.y - origin_.y) / cell_));
+    return {std::min(cx, nx_ - 1), std::min(cy, ny_ - 1)};
+  }
+
+  Meters min_sep_ = 0.0;
+  geom::Vec2 origin_;
+  Meters cell_ = 1.0;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  std::vector<std::int32_t> heads_;
+  std::vector<std::int32_t> next_;
+  std::vector<geom::Vec2> points_;
+};
 
 std::vector<geom::Vec2> place_uniform(const TopologyConfig& cfg, Rng& rng) {
   std::vector<geom::Vec2> points;
   points.reserve(cfg.node_count);
+  SeparationIndex sep(cfg.region, cfg.min_separation, cfg.node_count);
   // Bounded rejection sampling for min separation; falls back to accepting
   // the candidate if the region is too crowded to honor the separation.
   while (points.size() < cfg.node_count) {
     geom::Vec2 candidate = uniform_point(cfg.region, rng);
-    for (int tries = 0;
-         tries < 32 && !respects_separation(points, candidate, cfg.min_separation);
-         ++tries) {
+    for (int tries = 0; tries < 32 && !sep.ok(candidate); ++tries) {
       candidate = uniform_point(cfg.region, rng);
     }
+    sep.insert(candidate);
+    points.push_back(candidate);
+  }
+  return points;
+}
+
+std::vector<geom::Vec2> place_corridor(const TopologyConfig& cfg, Rng& rng) {
+  const std::size_t count = cfg.corridor_count;
+  const std::size_t nh = (count + 1) / 2;  // horizontal bands
+  const std::size_t nv = count - nh;       // vertical bands
+  const Meters band = 0.1 * std::min(cfg.region.width(), cfg.region.height());
+  const auto corridor_point = [&] {
+    const auto c = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1));
+    geom::Vec2 p;
+    if (c < nh) {
+      const Meters yc = cfg.region.lo.y +
+                        (double(c) + 0.5) * cfg.region.height() / double(nh);
+      p.x = rng.uniform(cfg.region.lo.x, cfg.region.hi.x);
+      p.y = std::clamp(yc + rng.uniform(-0.5 * band, 0.5 * band),
+                       cfg.region.lo.y, cfg.region.hi.y);
+    } else {
+      const Meters xc = cfg.region.lo.x +
+                        (double(c - nh) + 0.5) * cfg.region.width() / double(nv);
+      p.y = rng.uniform(cfg.region.lo.y, cfg.region.hi.y);
+      p.x = std::clamp(xc + rng.uniform(-0.5 * band, 0.5 * band),
+                       cfg.region.lo.x, cfg.region.hi.x);
+    }
+    return p;
+  };
+  std::vector<geom::Vec2> points;
+  points.reserve(cfg.node_count);
+  SeparationIndex sep(cfg.region, cfg.min_separation, cfg.node_count);
+  while (points.size() < cfg.node_count) {
+    geom::Vec2 candidate = corridor_point();
+    for (int tries = 0; tries < 32 && !sep.ok(candidate); ++tries) {
+      candidate = corridor_point();
+    }
+    sep.insert(candidate);
     points.push_back(candidate);
   }
   return points;
@@ -98,6 +197,17 @@ Network build_network(const TopologyConfig& cfg,
     spec.data_rate_bps =
         rng.uniform(0.5 * cfg.mean_data_rate_bps, 1.5 * cfg.mean_data_rate_bps);
     spec.battery_capacity = cfg.battery_capacity;
+    if (cfg.class_count > 1) {
+      // Heterogeneous classes: a linear ramp from factor 1 (class 0) to the
+      // configured ratio (top class).  Guarded so the homogeneous default
+      // draws nothing and leaves existing seeded topologies untouched.
+      const double t =
+          double(rng.uniform_int(
+              0, static_cast<std::int64_t>(cfg.class_count) - 1)) /
+          double(cfg.class_count - 1);
+      spec.battery_capacity *= 1.0 + (cfg.class_capacity_ratio - 1.0) * t;
+      spec.data_rate_bps *= 1.0 + (cfg.class_rate_ratio - 1.0) * t;
+    }
     nodes.push_back(spec);
   }
   const geom::Vec2 sink =
@@ -116,6 +226,14 @@ void TopologyConfig::validate() const {
   if (mean_data_rate_bps < 0.0) throw ConfigError("negative data rate");
   if (battery_capacity <= 0.0) throw ConfigError("battery capacity must be > 0");
   if (max_attempts == 0) throw ConfigError("max_attempts must be > 0");
+  if (corridor_count == 0) throw ConfigError("corridor_count must be > 0");
+  if (class_count == 0) throw ConfigError("class_count must be > 0");
+  if (class_capacity_ratio <= 0.0) {
+    throw ConfigError("class_capacity_ratio must be > 0");
+  }
+  if (class_rate_ratio <= 0.0) {
+    throw ConfigError("class_rate_ratio must be > 0");
+  }
   if (!sink_at_center && !region.contains(sink_position)) {
     throw ConfigError("sink_position outside the deployment region");
   }
@@ -129,6 +247,7 @@ Network generate_topology(const TopologyConfig& config, Rng& rng) {
       case Deployment::Uniform: points = place_uniform(config, rng); break;
       case Deployment::Grid: points = place_grid(config, rng); break;
       case Deployment::Clustered: points = place_clustered(config, rng); break;
+      case Deployment::Corridor: points = place_corridor(config, rng); break;
     }
     Network net = build_network(config, points, rng);
     if (is_connected(net)) return net;

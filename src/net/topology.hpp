@@ -18,6 +18,7 @@ enum class Deployment {
   Uniform,   ///< independent uniform positions in the region
   Grid,      ///< jittered grid covering the region
   Clustered, ///< Gaussian clusters plus a uniform background sprinkle
+  Corridor,  ///< nodes strung along crossing road-like bands
 };
 
 /// Parameters shared by all generators.
@@ -49,6 +50,23 @@ struct TopologyConfig {
 
   /// Fraction of nodes sprinkled uniformly instead of into clusters.
   double cluster_background_fraction = 0.2;
+
+  /// Number of bands (Corridor deployment only).  Corridors alternate
+  /// horizontal / vertical: the first ceil(count/2) are horizontal at
+  /// heights (i + 0.5) / nh, the rest vertical.  For counts 1-3 one band
+  /// always passes through the region center, so a centered sink sits on a
+  /// corridor; larger counts may need an explicit sink_position to connect.
+  std::size_t corridor_count = 3;
+
+  /// Heterogeneous node classes.  Each node draws a class c uniformly in
+  /// [0, class_count); class c scales battery capacity by
+  /// 1 + (class_capacity_ratio - 1) * c / (class_count - 1) and the drawn
+  /// data rate by the same ramp on class_rate_ratio.  class_count = 1 (the
+  /// default) is homogeneous and draws no extra randomness, so existing
+  /// seeded topologies are unchanged.
+  std::size_t class_count = 1;
+  double class_capacity_ratio = 1.0;
+  double class_rate_ratio = 1.0;
 
   /// Attempts before generation gives up with SimulationError.
   std::size_t max_attempts = 64;

@@ -1,0 +1,78 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace wrsn::sim {
+
+void MobilityParams::validate() const {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw ConfigError("mobility fraction must be in [0, 1]");
+  }
+  if (fraction > 0.0) {
+    if (interval <= 0.0) throw ConfigError("mobility interval must be > 0");
+    if (speed_min <= 0.0) throw ConfigError("mobility speed_min must be > 0");
+    if (speed_max < speed_min) {
+      throw ConfigError("mobility speed_max must be >= speed_min");
+    }
+    if (pause_min < 0.0) throw ConfigError("mobility pause_min must be >= 0");
+    if (pause_max < pause_min) {
+      throw ConfigError("mobility pause_max must be >= pause_min");
+    }
+  }
+}
+
+MobilityModel::MobilityModel(const MobilityParams& params,
+                             const net::Network& network, const Rng& rng)
+    : params_(params) {
+  params_.validate();
+  if (params_.fraction <= 0.0 || network.size() == 0) return;
+
+  geom::Vec2 lo = network.node(0).position;
+  geom::Vec2 hi = lo;
+  for (const net::SensorSpec& s : network.nodes()) {
+    lo.x = std::min(lo.x, s.position.x);
+    lo.y = std::min(lo.y, s.position.y);
+    hi.x = std::max(hi.x, s.position.x);
+    hi.y = std::max(hi.y, s.position.y);
+  }
+  area_ = {lo, hi};
+
+  Rng select = rng.fork("select");
+  for (std::size_t i = 0; i < network.size(); ++i) {
+    if (!select.bernoulli(params_.fraction)) continue;
+    Mobile m;
+    m.id = static_cast<net::NodeId>(i);
+    m.rng = rng.fork("node-" + std::to_string(i));
+    m.from = m.to = network.node(m.id).position;
+    m.depart = m.arrive = 0.0;
+    mobiles_.push_back(std::move(m));
+  }
+}
+
+void MobilityModel::next_segment(Mobile& m) {
+  m.from = m.to;
+  m.depart = m.arrive + m.rng.uniform(params_.pause_min, params_.pause_max);
+  m.to = {m.rng.uniform(area_.lo.x, area_.hi.x),
+          m.rng.uniform(area_.lo.y, area_.hi.y)};
+  const double speed = m.rng.uniform(params_.speed_min, params_.speed_max);
+  m.arrive = m.depart + geom::distance(m.from, m.to) / speed;
+}
+
+void MobilityModel::advance_to(Seconds t, net::Network& network) {
+  for (Mobile& m : mobiles_) {
+    while (m.arrive <= t) next_segment(m);
+    geom::Vec2 p;
+    if (t <= m.depart) {
+      p = m.from;  // pausing at the previous waypoint
+    } else {
+      p = geom::lerp(m.from, m.to,
+                     (t - m.depart) / (m.arrive - m.depart));
+    }
+    network.set_position(m.id, p);
+  }
+}
+
+}  // namespace wrsn::sim

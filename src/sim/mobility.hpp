@@ -1,0 +1,77 @@
+// Random-waypoint mobility for sensor nodes.
+//
+// A configured fraction of nodes walk the deployment area: each mobile node
+// owns a private forked RNG stream and repeats pause -> pick waypoint ->
+// travel at a drawn speed.  A node's position is a pure function of (its
+// stream, t), so advancing the model to the same epoch times yields
+// identical positions in Fast and Reference worlds — the world batches
+// position updates on fixed-interval mobility epochs and pushes them
+// through the existing routing/drain resync seam.
+//
+// Motivated by "Adaptive wireless power transfer in mobile Ad Hoc networks"
+// (PAPERS.md): churn continuously re-shapes the routing tree, so key-node
+// identity — the heart of the charging-spoofing attack — shifts over time.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "geom/vec2.hpp"
+#include "net/network.hpp"
+
+namespace wrsn::sim {
+
+/// Waypoint-mobility knobs (lives in WorldParams as `mobility`).
+struct MobilityParams {
+  /// Fraction of nodes that move; 0 disables mobility entirely.
+  double fraction = 0.0;
+  /// Epoch length [s]: positions, adjacency, routing, and drains are
+  /// refreshed this often while mobility is enabled.
+  Seconds interval = 900.0;
+  /// Waypoint travel speed range [m/s].
+  double speed_min = 0.5;
+  double speed_max = 1.5;
+  /// Pause at each waypoint [s].
+  Seconds pause_min = 0.0;
+  Seconds pause_max = 600.0;
+
+  void validate() const;
+};
+
+/// Seeded per-node waypoint streams over the deployment's bounding box.
+class MobilityModel {
+ public:
+  MobilityModel() = default;
+
+  /// Selects the mobile subset (one bernoulli per node in id order from a
+  /// fork of `rng`) and anchors each mobile node at its deployed position.
+  /// The walk area is the bounding box of the initial deployment.
+  MobilityModel(const MobilityParams& params, const net::Network& network,
+                const Rng& rng);
+
+  bool enabled() const { return !mobiles_.empty(); }
+  std::size_t mobile_count() const { return mobiles_.size(); }
+
+  /// Advances every mobile node's waypoint schedule to time `t` and writes
+  /// the interpolated positions into `network`.  Allocation-free.
+  void advance_to(Seconds t, net::Network& network);
+
+ private:
+  struct Mobile {
+    net::NodeId id = net::kInvalidNode;
+    Rng rng{0};  ///< private waypoint stream (re-seeded by fork at setup)
+    geom::Vec2 from;
+    geom::Vec2 to;
+    Seconds depart = 0.0;
+    Seconds arrive = 0.0;
+  };
+
+  void next_segment(Mobile& m);
+
+  MobilityParams params_;
+  geom::Rect area_;
+  std::vector<Mobile> mobiles_;
+};
+
+}  // namespace wrsn::sim

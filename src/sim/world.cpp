@@ -54,6 +54,8 @@ void WorldParams::validate() const {
   if (hardware_mtbf < 0.0) throw ConfigError("hardware_mtbf < 0");
   charging.validate();
   drain.radio.validate();
+  mobility.validate();
+  coverage.validate();
 }
 
 World::~World() {
@@ -116,6 +118,26 @@ World::World(Simulator& sim, net::Network network, const WorldParams& params,
           sim_.now() + failure_rng.exponential(1.0 / params_.hardware_mtbf);
       cold_[id].hardware_event =
           sim_.schedule_at(at, [this, id] { fire_hardware_failure(id); });
+    }
+  }
+
+  // k-coverage utility: count each node's alive coverers up front; deaths
+  // decrement incrementally, mobility epochs rebuild.
+  if (params_.coverage.k > 0) {
+    coverage_radius_ = params_.coverage.radius > 0.0 ? params_.coverage.radius
+                                                     : network_.comm_range();
+    coverage_.build(network_, alive_mask_, coverage_radius_);
+  }
+
+  // Waypoint mobility: forked streams (fork does not perturb the parent, so
+  // the init-levels / hardware-failures sequences above are unchanged when
+  // mobility is off OR on), epochs batched on the event kernel.
+  if (params_.mobility.fraction > 0.0) {
+    mobility_ = MobilityModel(params_.mobility, network_, rng_.fork("mobility"));
+    if (mobility_.enabled()) {
+      mobility_event_ =
+          sim_.schedule_at(sim_.now() + params_.mobility.interval,
+                           [this] { fire_mobility_epoch(); });
     }
   }
 
@@ -367,6 +389,9 @@ void World::retire_node(net::NodeId id) {
   charge_[id] = 0.0;
   alive_mask_.reset(id);
   --alive_count_;
+  // Nodes the dead one covered lose a coverer.  Exact integer update in
+  // death order, so Fast and Reference (identical death sequences) agree.
+  if (params_.coverage.k > 0) coverage_.on_death(network_, id);
   if (c.pending) pending_erase(id);
   // Cancel every event the node still owns; a dead node never fires again.
   for (EventId* ev : {&c.death_event, &c.request_event, &c.emergency_event,
@@ -421,6 +446,36 @@ bool World::inject_hardware_failure(net::NodeId id) {
   if (!alive(id)) return false;
   kill_node_hardware(id);
   return true;
+}
+
+void World::fire_mobility_epoch() {
+  mobility_event_ = kInvalidEvent;  // this event just fired
+  // A dead network has nothing left to route or drain; stop the epoch chain
+  // so run_all() terminates on worlds with mobility enabled.
+  if (alive_count_ == 0) return;
+  mobility_.advance_to(sim_.now(), network_);
+  network_.rebuild_adjacency();
+  ++topology_version_;
+  if (params_.coverage.k > 0) {
+    coverage_.build(network_, alive_mask_, coverage_radius_);
+  }
+  // The mode-dispatching seam: Fast rebuilds routing in place and resyncs
+  // only bitwise-drain-changed nodes; Reference rebuilds into fresh vectors
+  // and resyncs everyone.  Positions, adjacency, and coverage are pure
+  // functions of (streams, t) and identical across modes, so the epoch
+  // preserves the Fast == Reference equivalence exactly like a death does.
+  recompute_routing();
+  ++update_stats_.mobility_epochs;
+  mobility_event_ = sim_.schedule_at(sim_.now() + params_.mobility.interval,
+                                     [this] { fire_mobility_epoch(); });
+}
+
+double World::coverage_weight(net::NodeId id) const {
+  const std::size_t k = params_.coverage.k;
+  if (k == 0) return 1.0;
+  const std::size_t covering = coverage_.coverers(id);
+  if (covering >= k) return 1.0;
+  return 1.0 + params_.coverage.bonus * double(k - covering) / double(k);
 }
 
 bool World::set_self_discharge(net::NodeId id, Watts power) {

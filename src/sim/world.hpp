@@ -50,9 +50,11 @@
 #include "common/bitset.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "net/coverage.hpp"
 #include "net/keynodes.hpp"
 #include "net/network.hpp"
 #include "net/routing.hpp"
+#include "sim/mobility.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "wpt/charging_model.hpp"
@@ -115,6 +117,15 @@ struct WorldParams {
   net::RoutingParams routing;
   net::DrainParams drain;
 
+  /// Waypoint mobility: fraction > 0 makes that share of nodes walk the
+  /// deployment, with positions/adjacency/routing/drains refreshed on
+  /// fixed-interval epochs (pure function of time, so Fast == Reference).
+  MobilityParams mobility;
+
+  /// k-coverage utility: k > 0 scales a node's charging utility by how
+  /// many alive sensors cover its region (fewer coverers => more valuable).
+  net::CoverageParams coverage;
+
   void validate() const;
 };
 
@@ -125,6 +136,7 @@ struct WorldUpdateStats {
   std::uint64_t repairs = 0;    ///< subtree repairs taken
   std::uint64_t rebuilds = 0;   ///< full rebuilds (fallback or Reference)
   std::uint64_t reschedules = 0;  ///< nodes resynced+rescheduled by updates
+  std::uint64_t mobility_epochs = 0;  ///< batched position/routing refreshes
 };
 
 /// What the base-station uplink does with one escalation report
@@ -203,6 +215,18 @@ class World {
   /// Alive nodes currently connected to the sink.
   std::size_t sink_connected_count() const;
   const WorldUpdateStats& update_stats() const { return update_stats_; }
+
+  /// Bumped on every adjacency change (mobility epochs); planners key
+  /// their node-pair distance memos on this so cached travel distances
+  /// never survive a position change.  Deaths don't move nodes and so
+  /// don't bump it.
+  std::uint64_t topology_version() const { return topology_version_; }
+
+  /// Multiplier a planner applies to the node's charging utility under the
+  /// k-coverage mode: 1 when disabled or the node has >= k alive coverers,
+  /// ramping up to 1 + bonus for a completely uncovered node.  Identical
+  /// in Fast and Reference (exact integer counts, same death order).
+  double coverage_weight(net::NodeId id) const;
 
   // --- charging-service API (benign charger and attacker both use this) -----
   /// Nominal harvest rate of a docked genuine session [W].
@@ -305,6 +329,11 @@ class World {
   void reschedule(net::NodeId id);
   void fire_death(net::NodeId id);
   void fire_hardware_failure(net::NodeId id);
+  /// One mobility epoch: interpolate every mobile node to `now`, rebuild
+  /// the adjacency + coverage index in place, and push the new topology
+  /// through the mode-dispatching routing/drain seam (Fast reschedules
+  /// only bitwise-changed drains; Reference resyncs everyone).
+  void fire_mobility_epoch();
   /// Shared hardware-death path (background failure and injected fault):
   /// bricks the battery, retires the node, records the death, and reacts.
   void kill_node_hardware(net::NodeId id);
@@ -381,6 +410,11 @@ class World {
   std::vector<net::NodeId> pending_ids_;
   /// Nodes whose drain was recomputed by the latest post-repair refresh.
   std::vector<net::NodeId> dirty_ids_;
+  MobilityModel mobility_;
+  EventId mobility_event_ = kInvalidEvent;
+  std::uint64_t topology_version_ = 0;
+  net::CoverageIndex coverage_;
+  Meters coverage_radius_ = 0.0;
   WorldUpdateStats update_stats_;
   Trace trace_;
   // Observability tallies flushed by the destructor (the trace itself may

@@ -41,6 +41,10 @@ void mix_topology(Fnv& fnv, const net::TopologyConfig& t) {
   fnv.mix(std::uint64_t{t.cluster_count});
   fnv.mix(t.cluster_sigma_fraction);
   fnv.mix(t.cluster_background_fraction);
+  fnv.mix(std::uint64_t{t.corridor_count});
+  fnv.mix(std::uint64_t{t.class_count});
+  fnv.mix(t.class_capacity_ratio);
+  fnv.mix(t.class_rate_ratio);
   fnv.mix(std::uint64_t{t.max_attempts});
 }
 
@@ -72,6 +76,15 @@ void mix_world(Fnv& fnv, const sim::WorldParams& w) {
   fnv.mix(w.drain.sensing_power);
   fnv.mix(w.drain.radio.e_elec);
   fnv.mix(w.drain.radio.e_amp);
+  fnv.mix(w.mobility.fraction);
+  fnv.mix(w.mobility.interval);
+  fnv.mix(w.mobility.speed_min);
+  fnv.mix(w.mobility.speed_max);
+  fnv.mix(w.mobility.pause_min);
+  fnv.mix(w.mobility.pause_max);
+  fnv.mix(std::uint64_t{w.coverage.k});
+  fnv.mix(w.coverage.radius);
+  fnv.mix(w.coverage.bonus);
 }
 
 void mix_attack(Fnv& fnv, const csa::AttackParams& a) {

@@ -13,6 +13,8 @@
 #include "analysis/table.hpp"
 #include "analysis/trace_io.hpp"
 #include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
 
 namespace wrsn::analysis {
 namespace {
@@ -278,6 +280,61 @@ TEST(Scenario, AttackAndBenignShareKeyDefinition) {
   // empty when the benign set is non-empty on these small worlds.
   EXPECT_FALSE(benign.keys.empty());
   EXPECT_FALSE(attack.keys.empty());
+}
+
+TEST(Scenario, DetectorSetupMatchesCalibrationFormula) {
+  // run_scenario and run_fleet_scenario used to carry hand-duplicated
+  // copies of this calibration block; make_detector_setup is now the single
+  // source of truth, pinned here against the documented formula.
+  ScenarioConfig cfg = default_scenario();
+  cfg.topology.node_count = 40;
+  cfg.topology.region = {{0.0, 0.0}, {220.0, 220.0}};
+  cfg.world.hardware_mtbf = 12.0 * 86'400.0;
+  cfg.seed = 99;
+
+  Rng rng(cfg.seed);
+  Rng topo_rng = rng.fork("topology");
+  net::Network network = net::generate_topology(cfg.topology, topo_rng);
+  sim::Simulator simulator;
+  sim::World world(simulator, std::move(network), cfg.world,
+                   rng.fork("world"));
+
+  const DetectorSetup setup = make_detector_setup(cfg, world);
+
+  const std::size_t n = world.network().size();
+  const double expected = double(n) * 86'400.0 / cfg.world.hardware_mtbf;
+  const detect::SuiteCalibration want =
+      detect::SuiteCalibration::for_deployment(n, expected);
+  EXPECT_EQ(setup.calibration.death_threshold, want.death_threshold);
+  EXPECT_EQ(setup.calibration.escalation_limit, want.escalation_limit);
+  EXPECT_EQ(setup.calibration.died_waiting_limit, want.died_waiting_limit);
+
+  EXPECT_EQ(setup.context.network, &world.network());
+  EXPECT_EQ(setup.context.charging_model, &world.charging_model());
+  EXPECT_DOUBLE_EQ(setup.context.nominal_dc, world.nominal_dc_power());
+  EXPECT_DOUBLE_EQ(setup.context.benign_gain_mean,
+                   cfg.world.benign_gain_mean);
+  EXPECT_DOUBLE_EQ(setup.context.benign_gain_cv, cfg.world.benign_gain_cv);
+  EXPECT_EQ(setup.context.noise_seed, cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  EXPECT_DOUBLE_EQ(setup.context.horizon, cfg.horizon);
+
+  // Identical config -> identical setup, whichever path (single-charger or
+  // fleet) asks for it.
+  const DetectorSetup again = make_detector_setup(cfg, world);
+  EXPECT_EQ(again.calibration.death_threshold,
+            setup.calibration.death_threshold);
+  EXPECT_EQ(again.calibration.escalation_limit,
+            setup.calibration.escalation_limit);
+  EXPECT_EQ(again.calibration.died_waiting_limit,
+            setup.calibration.died_waiting_limit);
+  EXPECT_EQ(again.context.noise_seed, setup.context.noise_seed);
+  EXPECT_EQ(again.suite.size(), setup.suite.size());
+
+  // The hardened flag must select the larger coulomb-counter suite.
+  ScenarioConfig hardened_cfg = cfg;
+  hardened_cfg.hardened_detectors = true;
+  const DetectorSetup hardened = make_detector_setup(hardened_cfg, world);
+  EXPECT_GT(hardened.suite.size(), setup.suite.size());
 }
 
 }  // namespace

@@ -61,6 +61,65 @@ TEST(Config, AppliesOverridesOnDefaults) {
   EXPECT_EQ(cfg.seed, 77u);
 }
 
+TEST(Config, ScenarioFrontierKeysApply) {
+  std::istringstream in(
+      "topology.deployment = corridor\n"
+      "topology.corridor_count = 2\n"
+      "topology.min_separation = 4\n"
+      "topology.class_count = 3\n"
+      "topology.class_capacity_ratio = 2.5\n"
+      "topology.class_rate_ratio = 1.5\n"
+      "mobility.fraction = 0.25\n"
+      "mobility.interval = 1200\n"
+      "mobility.speed_min = 0.4\n"
+      "mobility.speed_max = 2.0\n"
+      "mobility.pause_min = 30\n"
+      "mobility.pause_max = 300\n"
+      "coverage.k = 2\n"
+      "coverage.radius = 55\n"
+      "coverage.bonus = 1.5\n");
+  const ScenarioConfig cfg = load_config(in);
+  EXPECT_EQ(cfg.topology.deployment, net::Deployment::Corridor);
+  EXPECT_EQ(cfg.topology.corridor_count, 2u);
+  EXPECT_DOUBLE_EQ(cfg.topology.min_separation, 4.0);
+  EXPECT_EQ(cfg.topology.class_count, 3u);
+  EXPECT_DOUBLE_EQ(cfg.topology.class_capacity_ratio, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.topology.class_rate_ratio, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.interval, 1'200.0);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.speed_min, 0.4);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.speed_max, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.pause_min, 30.0);
+  EXPECT_DOUBLE_EQ(cfg.world.mobility.pause_max, 300.0);
+  EXPECT_EQ(cfg.world.coverage.k, 2u);
+  EXPECT_DOUBLE_EQ(cfg.world.coverage.radius, 55.0);
+  EXPECT_DOUBLE_EQ(cfg.world.coverage.bonus, 1.5);
+}
+
+TEST(Config, ScenarioFrontierBadValuesThrow) {
+  {
+    std::istringstream in("topology.deployment = ring\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("mobility.fraction = 2.0\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in(
+        "mobility.fraction = 0.5\nmobility.speed_max = 0.1\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("topology.class_count = 0\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+  {
+    std::istringstream in("coverage.k = 1\ncoverage.bonus = -1\n");
+    EXPECT_THROW(load_config(in), ConfigError);
+  }
+}
+
 TEST(Config, UnsetKeysKeepDefaults) {
   std::istringstream in("seed = 3\n");
   const ScenarioConfig cfg = load_config(in);

@@ -201,6 +201,33 @@ TEST(DeathRate, SpreadDeathsStayUnderThreshold) {
   EXPECT_FALSE(detector.analyze(trace, f.ctx).has_value());
 }
 
+TEST(DeathRate, WindowBoundaryIsOpen) {
+  // The sliding window is (t - window, t]: a death exactly `window` old has
+  // aged out and must NOT count.  The eviction used `<` instead of `<=`,
+  // keeping the boundary death and firing one death early — calibration
+  // sizes the threshold assuming the open window, so the off-by-one
+  // inflated the false-positive rate on benign missions.
+  Fixture f;
+  DeathRateDetector detector(/*death_threshold=*/3, /*window=*/1'000.0);
+
+  // Deaths at 0 and 400; the third lands exactly at window age of the
+  // first.  Open window: {400, 1000} -> only 2 in window, no detection.
+  sim::Trace boundary;
+  boundary.deaths.push_back({0.0, 0, false});
+  boundary.deaths.push_back({400.0, 1, false});
+  boundary.deaths.push_back({1'000.0, 2, false});
+  EXPECT_FALSE(detector.analyze(boundary, f.ctx).has_value());
+
+  // One tick inside the window and the cluster is real: fires.
+  sim::Trace inside;
+  inside.deaths.push_back({0.0, 0, false});
+  inside.deaths.push_back({400.0, 1, false});
+  inside.deaths.push_back({999.999, 2, false});
+  const auto detection = detector.analyze(inside, f.ctx);
+  ASSERT_TRUE(detection.has_value());
+  EXPECT_DOUBLE_EQ(detection->time, 999.999);
+}
+
 TEST(EnergyDelta, FiresOnSpoofedSession) {
   Fixture f;
   sim::Trace trace;

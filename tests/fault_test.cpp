@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <string>
 
 #include "analysis/fuzz.hpp"
 #include "analysis/scenario.hpp"
@@ -466,12 +468,51 @@ TEST(Fuzzer, SmokeCampaignAllOraclesGreen) {
 }
 
 TEST(Fuzzer, CampaignDigestIsThreadCountIndependent) {
+  // Pinned at 1/2/8 workers: trial generation is sequential from a fixed
+  // fork and the fold walks verdicts in trial order, so the digest must be
+  // a pure function of (trials, seed) however the pool is sized.
   const analysis::FuzzReport one =
       analysis::run_fuzz_campaign(/*trials=*/40, /*seed=*/13, /*threads=*/1);
-  const analysis::FuzzReport four =
-      analysis::run_fuzz_campaign(/*trials=*/40, /*seed=*/13, /*threads=*/4);
-  EXPECT_EQ(one.digest, four.digest);
-  EXPECT_EQ(one.failed_trials, four.failed_trials);
+  const analysis::FuzzReport two =
+      analysis::run_fuzz_campaign(/*trials=*/40, /*seed=*/13, /*threads=*/2);
+  const analysis::FuzzReport eight =
+      analysis::run_fuzz_campaign(/*trials=*/40, /*seed=*/13, /*threads=*/8);
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.digest, eight.digest);
+  EXPECT_EQ(one.failed_trials, two.failed_trials);
+  EXPECT_EQ(one.failed_trials, eight.failed_trials);
+}
+
+TEST(Fuzzer, MutationPoolCoversEveryScenarioFamily) {
+  // Each scenario-frontier family must actually appear in the generator's
+  // output — a family that never mutates is a family the differential
+  // oracle never exercises.
+  Rng rng(99);
+  std::map<std::string, std::size_t> seen;
+  constexpr std::size_t kDraws = 400;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    for (const auto& [key, value] : analysis::generate_fuzz_overrides(rng)) {
+      ++seen[key];
+    }
+  }
+  for (const char* key :
+       {"topology.deployment", "topology.corridor_count",
+        "topology.class_count", "topology.class_capacity_ratio",
+        "topology.class_rate_ratio", "mobility.fraction", "mobility.interval",
+        "coverage.k", "coverage.bonus", "fleet.size",
+        "faults.mc_breakdown_mtbf"}) {
+    EXPECT_GT(seen[key], 0u) << "family never generated: " << key;
+  }
+  // Corridor counts stay in 1-3: wider draws can disconnect the sink.
+  Rng check(7);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const analysis::FuzzOverrides o = analysis::generate_fuzz_overrides(check);
+    const auto it = o.find("topology.corridor_count");
+    if (it == o.end()) continue;
+    const int count = std::stoi(it->second);
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 3);
+  }
 }
 
 TEST(Fuzzer, SelfTestCatchesInjectedPlannerBug) {

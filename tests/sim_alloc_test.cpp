@@ -97,6 +97,38 @@ TEST(WorldAllocation, DeathCascadeHotPathDoesNotAllocate) {
   EXPECT_EQ(g_allocations, 0u);
 }
 
+TEST(WorldAllocation, MobilityEpochSteadyStateDoesNotAllocate) {
+  Simulator sim;
+  net::TopologyConfig topo;
+  topo.node_count = 100;
+  topo.region = {{0.0, 0.0}, {400.0, 400.0}};
+  topo.comm_range = 65.0;
+  topo.battery_capacity = 1e9;  // death-free: only mobility events fire
+  Rng topo_rng(42);
+  net::Network network = net::generate_topology(topo, topo_rng);
+
+  WorldParams params;
+  params.update_mode = WorldUpdateMode::Fast;
+  params.mobility.fraction = 0.3;
+  params.mobility.interval = 600.0;
+  World world(sim, std::move(network), params, Rng(7));
+
+  // Warm up: early epochs grow the grid buckets, the CSR high-water marks,
+  // and the routing scratch to their steady sizes.
+  sim.run_until(8 * params.mobility.interval);
+  ASSERT_GE(world.update_stats().mobility_epochs, 8u);
+
+  // Steady state: interpolate walkers, rebuild adjacency into persistent
+  // buffers, full Dijkstra refresh, drain-diff reschedule — zero heap.
+  g_allocations = 0;
+  g_counting = true;
+  sim.run_until(16 * params.mobility.interval);
+  g_counting = false;
+
+  EXPECT_EQ(world.update_stats().mobility_epochs, 16u);
+  EXPECT_EQ(g_allocations, 0u);
+}
+
 csa::Stop random_stop(Rng& gen, std::size_t index, bool key) {
   csa::Stop stop;
   stop.node = static_cast<net::NodeId>(index);

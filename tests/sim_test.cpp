@@ -575,5 +575,129 @@ TEST(World, GainFactorStatistics) {
   EXPECT_NEAR(sum / n, 0.85, 0.02);  // clamped draw stays unbiased
 }
 
+// --- waypoint mobility ----------------------------------------------------
+
+/// Small random cloud with every node sink-connected, roomy batteries so no
+/// one dies during short mobility horizons.
+net::Network cloud(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<net::SensorSpec> nodes(count);
+  for (net::NodeId i = 0; i < count; ++i) {
+    nodes[i].id = i;
+    nodes[i].position = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    nodes[i].data_rate_bps = 500.0;
+    nodes[i].battery_capacity = 1e7;
+  }
+  return net::Network(std::move(nodes), {50.0, 50.0}, 160.0);
+}
+
+TEST(Mobility, ParamsValidation) {
+  MobilityParams p;
+  EXPECT_NO_THROW(p.validate());  // disabled by default
+  p.fraction = 1.5;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = MobilityParams{};
+  p.fraction = 0.5;
+  p.interval = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = MobilityParams{};
+  p.fraction = 0.5;
+  p.speed_max = 0.1;  // below speed_min default
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = MobilityParams{};
+  p.fraction = 0.5;
+  p.pause_max = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Mobility, WalksStayInsideInitialHull) {
+  const net::Network base = cloud(30, 9);
+  MobilityParams p;
+  p.fraction = 1.0;
+  p.speed_max = 3.0;
+  net::Network net = cloud(30, 9);
+  MobilityModel model(p, net, Rng(4).fork("mobility"));
+  ASSERT_TRUE(model.enabled());
+  EXPECT_EQ(model.mobile_count(), 30u);
+
+  geom::Vec2 lo = base.node(0).position, hi = lo;
+  for (const auto& spec : base.nodes()) {
+    lo.x = std::min(lo.x, spec.position.x);
+    lo.y = std::min(lo.y, spec.position.y);
+    hi.x = std::max(hi.x, spec.position.x);
+    hi.y = std::max(hi.y, spec.position.y);
+  }
+  for (const Seconds t : {600.0, 1'200.0, 7'200.0, 86'400.0}) {
+    model.advance_to(t, net);
+    for (const auto& spec : net.nodes()) {
+      EXPECT_GE(spec.position.x, lo.x - 1e-9);
+      EXPECT_LE(spec.position.x, hi.x + 1e-9);
+      EXPECT_GE(spec.position.y, lo.y - 1e-9);
+      EXPECT_LE(spec.position.y, hi.y + 1e-9);
+    }
+  }
+}
+
+TEST(Mobility, AdvanceIsAPureFunctionOfTime) {
+  // Two models with the same rng must land every node on identical
+  // positions for the same epoch time — this is what makes Fast and
+  // Reference worlds see the same geometry.
+  MobilityParams p;
+  p.fraction = 0.6;
+  net::Network a = cloud(25, 13);
+  net::Network b = cloud(25, 13);
+  MobilityModel ma(p, a, Rng(21).fork("mobility"));
+  MobilityModel mb(p, b, Rng(21).fork("mobility"));
+  EXPECT_EQ(ma.mobile_count(), mb.mobile_count());
+  for (const Seconds t : {900.0, 1'800.0, 10'000.0}) {
+    ma.advance_to(t, a);
+    mb.advance_to(t, b);
+    for (net::NodeId i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.node(i).position, b.node(i).position) << "node " << i;
+    }
+  }
+}
+
+TEST(World, MobilityEpochsAdvanceTopologyVersion) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.drain.sensing_power = 1e-4;  // nobody dies in this horizon
+  params.mobility.fraction = 0.5;
+  params.mobility.interval = 600.0;
+  World world(sim, cloud(20, 5), params, Rng(3));
+  EXPECT_EQ(world.topology_version(), 0u);
+  sim.run_until(3'000.0);
+  EXPECT_EQ(world.update_stats().mobility_epochs, 5u);
+  EXPECT_EQ(world.topology_version(), 5u);
+}
+
+TEST(World, MobilityEpochChainStopsWhenAllDead) {
+  // run_all() must terminate: the epoch chain ends once nobody is alive.
+  Simulator sim;
+  WorldParams params = small_params();
+  params.drain.sensing_power = 5.0;  // tiny batteries drain in ~200 s
+  params.mobility.fraction = 1.0;
+  params.mobility.interval = 50.0;
+  net::Network net = line2();
+  World world(sim, std::move(net), params, Rng(6));
+  sim.run_all();
+  EXPECT_EQ(world.alive_count(), 0u);
+}
+
+TEST(World, CoverageWeightBoostsUncoveredNodes) {
+  Simulator sim;
+  WorldParams params = small_params();
+  params.coverage.k = 3;
+  params.coverage.bonus = 2.0;
+  World world(sim, line2(), params, Rng(1));
+  // Node 0 and 1 cover each other only: 1 coverer < k = 3 for both.
+  const double w = world.coverage_weight(0);
+  EXPECT_NEAR(w, 1.0 + 2.0 * (3.0 - 1.0) / 3.0, 1e-12);
+  // With coverage disabled, the weight is identically 1.
+  Simulator sim2;
+  World plain(sim2, line2(), small_params(), Rng(1));
+  EXPECT_DOUBLE_EQ(plain.coverage_weight(0), 1.0);
+}
+
 }  // namespace
 }  // namespace wrsn::sim

@@ -103,37 +103,218 @@ TEST(ScenarioDigest, EveryMutatedFieldChangesTheDigest) {
   const std::uint64_t base_digest =
       scenario_digest(base, analysis::ChargerMode::Attack);
 
-  // One mutation per config subsystem (the full field walk lives in
-  // digest.cpp; this sweep catches a forgotten subsystem, the likeliest
-  // regression).
+  // EVERY field the digest walks, one mutation each.  When a field is added
+  // to a config struct, digest.cpp must gain a mixer and this sweep a line —
+  // a forgotten mixer makes the mission cache serve stale results for
+  // configs that differ only in that field.
   std::vector<std::pair<const char*, analysis::ScenarioConfig>> mutants;
   auto add = [&](const char* name, auto&& mutate) {
     analysis::ScenarioConfig cfg = base;
     mutate(cfg);
     mutants.emplace_back(name, cfg);
   };
+
+  // --- topology ---
+  add("topology.region.lo.x", [](auto& c) { c.topology.region.lo.x -= 1.0; });
+  add("topology.region.lo.y", [](auto& c) { c.topology.region.lo.y -= 1.0; });
+  add("topology.region.hi.x", [](auto& c) { c.topology.region.hi.x += 1.0; });
+  add("topology.region.hi.y", [](auto& c) { c.topology.region.hi.y += 1.0; });
   add("topology.node_count", [](auto& c) { c.topology.node_count += 1; });
   add("topology.comm_range", [](auto& c) { c.topology.comm_range += 1.0; });
+  add("topology.deployment",
+      [](auto& c) { c.topology.deployment = net::Deployment::Grid; });
+  add("topology.sink_at_center", [](auto& c) {
+    c.topology.sink_at_center = false;
+    c.topology.sink_position = {1.0, 1.0};
+  });
+  add("topology.sink_position.x",
+      [](auto& c) { c.topology.sink_position.x += 1.0; });
+  add("topology.sink_position.y",
+      [](auto& c) { c.topology.sink_position.y += 1.0; });
+  add("topology.mean_data_rate_bps",
+      [](auto& c) { c.topology.mean_data_rate_bps += 10.0; });
+  add("topology.battery_capacity",
+      [](auto& c) { c.topology.battery_capacity += 100.0; });
+  add("topology.min_separation",
+      [](auto& c) { c.topology.min_separation += 0.5; });
+  add("topology.cluster_count", [](auto& c) { c.topology.cluster_count += 1; });
+  add("topology.cluster_sigma_fraction",
+      [](auto& c) { c.topology.cluster_sigma_fraction += 0.01; });
+  add("topology.cluster_background_fraction",
+      [](auto& c) { c.topology.cluster_background_fraction += 0.01; });
+  add("topology.corridor_count",
+      [](auto& c) { c.topology.corridor_count += 1; });
+  add("topology.class_count", [](auto& c) { c.topology.class_count += 1; });
+  add("topology.class_capacity_ratio",
+      [](auto& c) { c.topology.class_capacity_ratio += 0.5; });
+  add("topology.class_rate_ratio",
+      [](auto& c) { c.topology.class_rate_ratio += 0.5; });
+  add("topology.max_attempts", [](auto& c) { c.topology.max_attempts += 1; });
+
+  // --- world ---
   add("world.request_threshold",
       [](auto& c) { c.world.request_threshold += 0.01; });
+  add("world.min_request_gap", [](auto& c) { c.world.min_request_gap += 1.0; });
+  add("world.patience", [](auto& c) { c.world.patience += 60.0; });
+  add("world.charge_target_fraction",
+      [](auto& c) { c.world.charge_target_fraction -= 0.01; });
+  add("world.benign_gain_mean",
+      [](auto& c) { c.world.benign_gain_mean += 0.01; });
+  add("world.benign_gain_cv", [](auto& c) { c.world.benign_gain_cv += 0.01; });
+  add("world.initial_level_min",
+      [](auto& c) { c.world.initial_level_min += 0.01; });
+  add("world.initial_level_max",
+      [](auto& c) { c.world.initial_level_max -= 0.01; });
+  add("world.emergency_enabled",
+      [](auto& c) { c.world.emergency_enabled = !c.world.emergency_enabled; });
+  add("world.emergency_fraction",
+      [](auto& c) { c.world.emergency_fraction += 0.01; });
+  add("world.emergency_patience",
+      [](auto& c) { c.world.emergency_patience += 60.0; });
+  add("world.hardware_mtbf", [](auto& c) { c.world.hardware_mtbf += 3'600.0; });
+  add("world.update_mode", [](auto& c) {
+    c.world.update_mode = c.world.update_mode == sim::WorldUpdateMode::Fast
+                              ? sim::WorldUpdateMode::Reference
+                              : sim::WorldUpdateMode::Fast;
+  });
+  add("world.charging.source_power",
+      [](auto& c) { c.world.charging.source_power += 1.0; });
+  add("world.charging.gain_product",
+      [](auto& c) { c.world.charging.gain_product += 0.1; });
   add("world.charging.beta", [](auto& c) { c.world.charging.beta += 0.1; });
+  add("world.charging.max_range",
+      [](auto& c) { c.world.charging.max_range += 0.5; });
+  add("world.charging.dock_distance",
+      [](auto& c) { c.world.charging.dock_distance += 0.1; });
+  add("world.charging.wavelength",
+      [](auto& c) { c.world.charging.wavelength += 0.01; });
+  add("world.rectifier.sensitivity",
+      [](auto& c) { c.world.charging.rectifier.sensitivity += 1e-4; });
+  add("world.rectifier.max_efficiency",
+      [](auto& c) { c.world.charging.rectifier.max_efficiency -= 0.01; });
   add("world.rectifier.knee",
       [](auto& c) { c.world.charging.rectifier.knee += 0.01; });
+  add("world.rectifier.dc_cap",
+      [](auto& c) { c.world.charging.rectifier.dc_cap += 0.1; });
+  add("world.routing.hop_cost",
+      [](auto& c) { c.world.routing.hop_cost += 1.0; });
+  add("world.drain.sensing_power",
+      [](auto& c) { c.world.drain.sensing_power += 1e-3; });
+  add("world.drain.radio.e_elec",
+      [](auto& c) { c.world.drain.radio.e_elec += 1e-9; });
+  add("world.drain.radio.e_amp",
+      [](auto& c) { c.world.drain.radio.e_amp += 1e-12; });
+  add("world.mobility.fraction",
+      [](auto& c) { c.world.mobility.fraction += 0.1; });
+  add("world.mobility.interval",
+      [](auto& c) { c.world.mobility.interval += 60.0; });
+  add("world.mobility.speed_min",
+      [](auto& c) { c.world.mobility.speed_min += 0.1; });
+  add("world.mobility.speed_max",
+      [](auto& c) { c.world.mobility.speed_max += 0.1; });
+  add("world.mobility.pause_min",
+      [](auto& c) { c.world.mobility.pause_min += 10.0; });
+  add("world.mobility.pause_max",
+      [](auto& c) { c.world.mobility.pause_max += 10.0; });
+  add("world.coverage.k", [](auto& c) { c.world.coverage.k += 1; });
+  add("world.coverage.radius", [](auto& c) { c.world.coverage.radius += 5.0; });
+  add("world.coverage.bonus", [](auto& c) { c.world.coverage.bonus += 0.1; });
+
+  // --- attack (mix_charger is covered field-by-field through this copy) ---
+  add("attack.charger.depot.x",
+      [](auto& c) { c.attack.charger.depot.x += 1.0; });
+  add("attack.charger.depot.y",
+      [](auto& c) { c.attack.charger.depot.y += 1.0; });
+  add("attack.charger.speed", [](auto& c) { c.attack.charger.speed += 0.1; });
+  add("attack.charger.battery_capacity",
+      [](auto& c) { c.attack.charger.battery_capacity += 100.0; });
+  add("attack.charger.travel_cost_per_meter",
+      [](auto& c) { c.attack.charger.travel_cost_per_meter += 0.1; });
+  add("attack.charger.pa_efficiency",
+      [](auto& c) { c.attack.charger.pa_efficiency -= 0.01; });
+  add("attack.charger.depot_recharge_power",
+      [](auto& c) { c.attack.charger.depot_recharge_power += 1.0; });
+  add("attack.key_rule", [](auto& c) {
+    c.attack.key_selection.rule = net::KeyNodeRule::TopTraffic;
+  });
   add("attack.key_count", [](auto& c) { c.attack.key_selection.max_count++; });
+  add("attack.key_min_disconnect",
+      [](auto& c) { c.attack.key_selection.min_disconnect += 1; });
+  add("attack.spoofing.antenna_separation",
+      [](auto& c) { c.attack.spoofing.antenna_separation += 0.01; });
+  add("attack.spoofing.phase_jitter_sigma",
+      [](auto& c) { c.attack.spoofing.phase_jitter_sigma += 0.01; });
+  add("attack.spoofing.amplitude_imbalance",
+      [](auto& c) { c.attack.spoofing.amplitude_imbalance += 0.01; });
   add("attack.spoof_mode", [](auto& c) {
     c.attack.spoof_mode = c.attack.spoof_mode == csa::SpoofMode::NoService
                               ? csa::SpoofMode::PhaseCancel
                               : csa::SpoofMode::NoService;
   });
+  add("attack.partial_leak_ratio",
+      [](auto& c) { c.attack.partial_leak_ratio += 0.01; });
+  add("attack.window_margin", [](auto& c) { c.attack.window_margin += 60.0; });
+  add("attack.lookahead", [](auto& c) { c.attack.lookahead += 60.0; });
+  add("attack.campaign_deadline",
+      [](auto& c) { c.attack.campaign_deadline += 60.0; });
+  add("attack.campaign_slack",
+      [](auto& c) { c.attack.campaign_slack += 60.0; });
+  add("attack.pace_limit", [](auto& c) { c.attack.pace_limit += 1; });
+  add("attack.pace_window", [](auto& c) { c.attack.pace_window += 60.0; });
+  add("attack.comm_antenna_offset",
+      [](auto& c) { c.attack.comm_antenna_offset += 0.01; });
+  add("attack.battery_reserve_fraction",
+      [](auto& c) { c.attack.battery_reserve_fraction += 0.01; });
+  add("attack.territory", [](auto& c) { c.attack.territory.push_back(3); });
+
+  // --- benign ---
+  add("benign.charger.speed", [](auto& c) { c.benign.charger.speed += 0.1; });
   add("benign.policy", [](auto& c) {
     c.benign.policy = c.benign.policy == mc::SchedulePolicy::Fcfs
                           ? mc::SchedulePolicy::Edf
                           : mc::SchedulePolicy::Fcfs;
   });
+  add("benign.preempt_travel",
+      [](auto& c) { c.benign.preempt_travel = !c.benign.preempt_travel; });
+  add("benign.battery_reserve_fraction",
+      [](auto& c) { c.benign.battery_reserve_fraction += 0.01; });
+  add("benign.territory", [](auto& c) { c.benign.territory.push_back(3); });
+  add("benign.tour_batch", [](auto& c) { c.benign.tour_batch += 1; });
+  add("benign.tour_max_wait",
+      [](auto& c) { c.benign.tour_max_wait += 60.0; });
+
+  // --- faults ---
   add("faults.mc_breakdown_mtbf",
       [](auto& c) { c.faults.mc_breakdown_mtbf = 9'999.0; });
+  add("faults.mc_repair_mean",
+      [](auto& c) { c.faults.mc_repair_mean += 60.0; });
+  add("faults.mc_budget_loss",
+      [](auto& c) { c.faults.mc_budget_loss += 0.05; });
+  add("faults.mc_permanent_at",
+      [](auto& c) { c.faults.mc_permanent_at = 7'200.0; });
+  add("faults.node_burst_mtbf",
+      [](auto& c) { c.faults.node_burst_mtbf = 9'999.0; });
+  add("faults.node_burst_size", [](auto& c) { c.faults.node_burst_size += 1; });
+  add("faults.phase_noise_mtbf",
+      [](auto& c) { c.faults.phase_noise_mtbf = 9'999.0; });
+  add("faults.phase_noise_duration",
+      [](auto& c) { c.faults.phase_noise_duration += 60.0; });
+  add("faults.phase_noise_scale",
+      [](auto& c) { c.faults.phase_noise_scale += 1.0; });
   add("faults.escalation_drop_prob",
       [](auto& c) { c.faults.escalation_drop_prob = 0.25; });
+  add("faults.escalation_delay_prob",
+      [](auto& c) { c.faults.escalation_delay_prob = 0.25; });
+  add("faults.escalation_delay_max",
+      [](auto& c) { c.faults.escalation_delay_max += 60.0; });
+  add("faults.battery_drift_mtbf",
+      [](auto& c) { c.faults.battery_drift_mtbf = 9'999.0; });
+  add("faults.battery_drift_power",
+      [](auto& c) { c.faults.battery_drift_power += 1e-3; });
+  add("faults.battery_drift_duration",
+      [](auto& c) { c.faults.battery_drift_duration += 60.0; });
+
+  // --- top level ---
   add("horizon", [](auto& c) { c.horizon += 60.0; });
   add("hardened_detectors", [](auto& c) { c.hardened_detectors = true; });
   add("fleet_size", [](auto& c) { c.fleet_size = 2; });

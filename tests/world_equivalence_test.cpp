@@ -85,8 +85,32 @@ ScenarioConfig scenario_for(std::uint64_t index) {
   const double side = 40.0 * std::sqrt(double(n));
   cfg.topology.node_count = n;
   cfg.topology.region = {{0.0, 0.0}, {side, side}};
-  cfg.topology.deployment = (index % 5 == 0) ? net::Deployment::Clustered
-                                             : net::Deployment::Uniform;
+  cfg.topology.deployment = (index % 5 == 0)   ? net::Deployment::Clustered
+                            : (index % 5 == 3) ? net::Deployment::Corridor
+                                               : net::Deployment::Uniform;
+  cfg.topology.corridor_count = 1 + index % 3;
+
+  // Heterogeneous battery/drain classes: the per-node scaling draws ride the
+  // topology rng, so both modes see identical hardware.
+  if (index % 4 == 1) {
+    cfg.topology.class_count = 3;
+    cfg.topology.class_capacity_ratio = 2.0;
+    cfg.topology.class_rate_ratio = 1.5;
+  }
+
+  // Waypoint mobility: epochs rebuild adjacency and resync through the mode
+  // seam, the strongest topology churn the simulator has.
+  if (index % 6 == 2) {
+    cfg.world.mobility.fraction = 0.2;
+    cfg.world.mobility.interval = 1'800.0;
+    cfg.world.mobility.speed_max = 2.0;
+  }
+
+  // k-coverage utility reweighs planner stops; both planners must agree.
+  if (index % 5 == 2) {
+    cfg.world.coverage.k = 2;
+    cfg.world.coverage.bonus = 1.0;
+  }
 
   // Mix in every topology-churn source across the sweep.
   cfg.world.emergency_enabled = (index % 3 == 0);
@@ -162,6 +186,42 @@ TEST_P(WorldEquivalence, FastMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Sweep, WorldEquivalence,
                          ::testing::Range(std::uint64_t{0},
                                           std::uint64_t{100}));
+
+// Compound frontier scenario: mobile nodes AND heterogeneous classes AND
+// k-coverage utility in one mission, under attack, with hardware failures —
+// every new scenario family interacting at once.  Mobility epochs force
+// full adjacency rebuilds that must resync identically through both update
+// modes while the coverage index reweighs the planner's stop utilities.
+TEST(WorldEquivalenceFrontier, MobileHeterogeneousCoverageMatches) {
+  ScenarioConfig cfg = default_scenario();
+  const std::size_t n = 64;
+  const double side = 40.0 * std::sqrt(double(n));
+  cfg.topology.node_count = n;
+  cfg.topology.region = {{0.0, 0.0}, {side, side}};
+  cfg.topology.class_count = 4;
+  cfg.topology.class_capacity_ratio = 2.5;
+  cfg.topology.class_rate_ratio = 1.8;
+  cfg.world.mobility.fraction = 0.25;
+  cfg.world.mobility.interval = 1'200.0;
+  cfg.world.mobility.speed_max = 2.5;
+  cfg.world.coverage.k = 3;
+  cfg.world.coverage.bonus = 1.5;
+  cfg.world.emergency_enabled = true;
+  cfg.world.hardware_mtbf = 10.0 * 86'400.0;
+  cfg.horizon = 1.5 * 86'400.0;
+  cfg.seed = 0xF00DF00Dull;
+
+  cfg.world.update_mode = sim::WorldUpdateMode::Fast;
+  const ScenarioResult fast = run_scenario(cfg, ChargerMode::Attack);
+  cfg.world.update_mode = sim::WorldUpdateMode::Reference;
+  const ScenarioResult ref = run_scenario(cfg, ChargerMode::Attack);
+
+  expect_traces_equal(fast.trace, ref.trace, "frontier compound (attack)");
+  EXPECT_EQ(fast.alive_at_end, ref.alive_at_end);
+  EXPECT_EQ(fast.sink_connected_at_end, ref.sink_connected_at_end);
+  EXPECT_EQ(fast.keys, ref.keys);
+  EXPECT_EQ(fast.plans_computed, ref.plans_computed);
+}
 
 // One target-scale scenario: N = 1600 exercises the SoA hot lanes and the
 // word bitmap far past any cache the small sweep sizes stay inside, and the

@@ -1,0 +1,130 @@
+// Policy tournament (DESIGN.md §15) — round-robin attacker spoof-scheduling
+// policies vs defender threshold policies, charting the stealth/damage
+// Pareto frontier behind the paper's ">=80% of key nodes exhausted before
+// detection" claim (EXPERIMENTS.md).
+//
+//   $ ./tournament [--trials N] [--benign N] [--seed S] [--quick] [out.json]
+//
+// Emits the wrsn-tournament-v1 JSON document (BENCH_tournament.json by
+// default; digests serialized as strings — JSON numbers cannot hold 64-bit
+// hashes) plus a printed grid and per-attacker frontier summary.  The whole
+// grid runs through one runner::run_trials call, so the report digest is
+// bit-identical at any WRSN_THREADS.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/perf.hpp"
+#include "analysis/table.hpp"
+#include "analysis/tournament.hpp"
+
+namespace {
+
+// Activity-dense mission (fuzzer-style knobs): small batteries and a low
+// initial charge band make exhaustion, pacing, and detection all land
+// inside a half-day horizon, so cells differ measurably at modest trial
+// counts.
+wrsn::analysis::ScenarioConfig tournament_scenario() {
+  using namespace wrsn;
+  analysis::ScenarioConfig cfg = analysis::default_scenario();
+  cfg.topology.node_count = 36;
+  const double side = 240.0;
+  cfg.topology.region = {{0.0, 0.0}, {side, side}};
+  cfg.topology.battery_capacity = 2'500.0;
+  cfg.horizon = 43'200.0;
+  cfg.world.drain.sensing_power = 0.05;
+  cfg.world.initial_level_min = 0.4;
+  cfg.world.initial_level_max = 0.55;
+  cfg.world.patience = 5'400.0;
+  cfg.attack.key_selection.max_count = 6;
+  // Mild benign fault load prices the defenders' false positives against
+  // fault-laden honest missions, not sterile ones (the PR 5 FP finding).
+  cfg.faults.node_burst_mtbf = 20'000.0;
+  cfg.faults.node_burst_size = 2;
+  cfg.faults.battery_drift_mtbf = 30'000.0;
+  cfg.faults.battery_drift_power = 0.01;
+  // Policy epochs/windows sized so several complete inside the horizon.
+  cfg.policy.attacker.epoch = 7'200.0;
+  cfg.policy.defender.window = 7'200.0;
+  return cfg;
+}
+
+std::string fmt3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string fmt0(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wrsn;
+
+  std::string out_path = "BENCH_tournament.json";
+  std::size_t attack_trials = 12;
+  std::size_t benign_trials = 12;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trials" && i + 1 < argc) {
+      attack_trials = std::size_t(std::stoul(argv[++i]));
+    } else if (arg == "--benign" && i + 1 < argc) {
+      benign_trials = std::size_t(std::stoul(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::uint64_t(std::stoull(argv[++i]));
+    } else if (arg == "--quick") {
+      attack_trials = 2;
+      benign_trials = 2;
+    } else if (!arg.empty() && arg[0] != '-') {
+      out_path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials N] [--benign N] [--seed S] [--quick] "
+                   "[out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  analysis::TournamentConfig config =
+      analysis::default_tournament(tournament_scenario());
+  config.attack_trials = attack_trials;
+  config.benign_trials = benign_trials;
+  config.seed = seed;
+  const analysis::TournamentRunner runner(config);
+  const analysis::TournamentReport report = runner.run();
+
+  analysis::Table table("Policy tournament: damage vs stealth (" +
+                        std::to_string(attack_trials) + " attack + " +
+                        std::to_string(benign_trials) +
+                        " benign missions per cell/column, seed " +
+                        std::to_string(seed) + ")");
+  table.headers({"attacker", "defender", "damage", "undetected damage",
+                 "detected", "mean TTD [s]", "benign FP rate"});
+  for (const analysis::TournamentCell& cell : report.cells) {
+    table.row({cell.attacker, cell.defender, fmt3(cell.damage),
+               fmt3(cell.undetected_damage), fmt3(cell.detection_rate),
+               fmt0(cell.mean_time_to_detection), fmt3(cell.fp_rate)});
+  }
+  table.print(std::cout);
+  analysis::print_perf(std::cout, report.stats);
+
+  const std::string out = analysis::tournament_json(runner.config(), report);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::cout << "\nwrote " << out_path << " (" << report.trials
+            << " missions, digest " << report.digest << ")\n";
+  return 0;
+}

@@ -17,6 +17,12 @@ Accepts either document shape in bench/metrics_schema.json (top-level oneOf):
     (bench/service_throughput.cpp).  Applies the service accounting
     invariant (requests = executions + cache_hits + coalesced + shed per
     case) and latency sanity (p50 <= p99).
+  * wrsn-tournament-v1 — the attacker-vs-defender tournament grid
+    (bench/tournament.cpp).  Applies grid invariants: cells length =
+    attackers x defenders, damage/rates within [0, 1],
+    undetected_damage <= damage, and digest strings parsing as unsigned
+    integers (the Fnv fold, serialised as a string to survive JSON's
+    53-bit number precision).
 
 Checks run with a small built-in validator (the CI image carries no
 jsonschema package).
@@ -138,6 +144,34 @@ def check_service_invariants(doc):
         raise ValidationError("derived.dup90_speedup must be positive")
 
 
+def check_tournament_invariants(doc):
+    """wrsn-tournament-v1: the cell list must cover the full grid, the
+    per-cell aggregates must be proper rates, and every digest must be a
+    decimal uint64 (emitted as strings; JSON numbers only carry 53 bits)."""
+    grid = doc["grid"]
+    expected_cells = grid["attackers"] * grid["defenders"]
+    if len(doc["cells"]) != expected_cells:
+        raise ValidationError(
+            f"cells: {len(doc['cells'])} entries for a "
+            f"{grid['attackers']}x{grid['defenders']} grid "
+            f"(want {expected_cells})")
+    for digest in [doc["digest"]] + [c["digest"] for c in doc["cells"]]:
+        if not digest.isdigit() or int(digest) >= 2 ** 64:
+            raise ValidationError(f"digest {digest!r} is not a decimal uint64")
+    for cell in doc["cells"]:
+        name = f"{cell['attacker']} vs {cell['defender']}"
+        for key in ("damage", "undetected_damage", "detection_rate",
+                    "fp_rate"):
+            if not 0.0 <= cell[key] <= 1.0:
+                raise ValidationError(
+                    f"{name}: {key}={cell[key]} outside [0, 1]")
+        # %.6f rounding can move each side by half an ulp.
+        if cell["undetected_damage"] > cell["damage"] + 1e-6:
+            raise ValidationError(
+                f"{name}: undetected_damage {cell['undetected_damage']} "
+                f"exceeds damage {cell['damage']}")
+
+
 def iter_metrics(doc):
     for section in ("deterministic", "timing"):
         for name, value in doc.get(section, {}).items():
@@ -216,6 +250,11 @@ def main(argv):
             check_service_invariants(doc)
             print(f"{metrics_path}: schema OK, "
                   f"{len(doc['cases'])} service cases balanced")
+            return 0
+        if doc.get("schema") == "wrsn-tournament-v1":
+            check_tournament_invariants(doc)
+            print(f"{metrics_path}: schema OK, "
+                  f"{len(doc['cells'])} tournament cells in range")
             return 0
         for name, value in iter_metrics(doc):
             if isinstance(value, dict):

@@ -21,6 +21,7 @@
 #include "analysis/metrics_io.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/table.hpp"
+#include "analysis/tournament.hpp"
 #include "analysis/trace_io.hpp"
 #include "obs/metrics.hpp"
 #include "svc/digest.hpp"
@@ -43,6 +44,10 @@ void usage() {
       "  --metrics <file.json> collect obs metrics during the run; print the\n"
       "                        table and write the wrsn-metrics-v1 JSON\n"
       "  --repro <line>        replay a scenario_fuzzer repro line (k=v;k=v)\n"
+      "  --tournament <out>    run the default attacker-policy x defender-\n"
+      "                        policy grid over this scenario and write the\n"
+      "                        wrsn-tournament-v1 JSON (--trials sizes it)\n"
+      "  --trials <N>          tournament only: missions per cell/column\n"
       "  --serve <socket>      run the mission server on a unix socket\n"
       "                        (honors WRSN_THREADS; --cache/--queue size it;\n"
       "                        SIGINT/SIGTERM drain and print stats)\n"
@@ -174,6 +179,8 @@ int main(int argc, char** argv) {
   std::string export_prefix;
   std::string metrics_path;
   std::string repro_line;
+  std::string tournament_path;
+  std::size_t tournament_trials = 4;
   std::string serve_path;
   std::string client_path;
   bool client_binary = false;
@@ -213,6 +220,10 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (arg == "--repro") {
       repro_line = next();
+    } else if (arg == "--tournament") {
+      tournament_path = next();
+    } else if (arg == "--trials") {
+      tournament_trials = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--serve") {
       serve_path = next();
     } else if (arg == "--client") {
@@ -275,6 +286,40 @@ int main(int argc, char** argv) {
       cfg = analysis::apply_config(cfg, overrides);
     }
     if (seed_set) cfg.seed = seed;
+
+    if (!tournament_path.empty()) {
+      // Default 3x3 policy grid over the resolved scenario; the tournament
+      // re-seeds each mission itself, forked from --seed (default 1).
+      analysis::TournamentConfig tc = analysis::default_tournament(cfg);
+      tc.attack_trials = tournament_trials;
+      tc.benign_trials = tournament_trials;
+      tc.seed = seed_set ? seed : 1;
+      const analysis::TournamentRunner runner(tc);
+      const analysis::TournamentReport report = runner.run();
+
+      analysis::Table table("Policy tournament (seed " +
+                            std::to_string(tc.seed) + ", " +
+                            std::to_string(tournament_trials) +
+                            " missions per cell)");
+      table.headers({"attacker", "defender", "damage", "detected",
+                     "benign FP rate"});
+      for (const analysis::TournamentCell& cell : report.cells) {
+        table.row({cell.attacker, cell.defender,
+                   analysis::fmt(cell.damage, 3),
+                   analysis::fmt(cell.detection_rate, 3),
+                   analysis::fmt(cell.fp_rate, 3)});
+      }
+      table.print(std::cout);
+
+      const std::string json = analysis::tournament_json(tc, report);
+      std::ofstream out(tournament_path);
+      if (!out) throw ConfigError("cannot write " + tournament_path);
+      out << json;
+      std::cout << "tournament JSON written to " << tournament_path
+                << " (digest " << report.digest << ")\n";
+      return 0;
+    }
+
     // Config-file / repro-line fleet keys take effect unless the matching
     // flag was given, so `--repro 'fleet.size=3;...'` replays the fleet
     // mission the fuzzer actually ran.

@@ -362,6 +362,47 @@ ScenarioConfig apply_config(
        [&](const std::string& k, const std::string& v) {
          cfg.fleet_compromised = to_size(k, v);
        }},
+      // policy (DESIGN.md §15)
+      {"policy.attacker",
+       [&](const std::string&, const std::string& v) {
+         cfg.policy.attacker.kind = policy::parse_attack_policy(v);
+       }},
+      {"policy.epsilon",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.attacker.epsilon = to_double(k, v);
+       }},
+      {"policy.ucb_c",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.attacker.ucb_c = to_double(k, v);
+       }},
+      {"policy.epoch",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.attacker.epoch = to_double(k, v);
+       }},
+      {"policy.risk_weight",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.attacker.risk_weight = to_double(k, v);
+       }},
+      {"policy.risk_budget",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.attacker.risk_budget = to_size(k, v);
+       }},
+      {"policy.defender",
+       [&](const std::string&, const std::string& v) {
+         cfg.policy.defender.kind = policy::parse_defender_policy(v);
+       }},
+      {"policy.defender_window",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.defender.window = to_double(k, v);
+       }},
+      {"policy.defender_quantile",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.defender.quantile = to_double(k, v);
+       }},
+      {"policy.defender_min_samples",
+       [&](const std::string& k, const std::string& v) {
+         cfg.policy.defender.min_samples = to_size(k, v);
+       }},
       // run
       {"horizon",
        [&](const std::string& k, const std::string& v) {
@@ -395,6 +436,7 @@ ScenarioConfig apply_config(
   cfg.topology.validate();
   cfg.world.mobility.validate();
   cfg.world.coverage.validate();
+  cfg.policy.validate();
   return cfg;
 }
 

@@ -319,38 +319,65 @@ void check_liveness(const ScenarioConfig& cfg, const ScenarioResult& result,
   }
 
   // Starvation: unless escalation reports can be dropped by a fault, every
-  // request old enough must be answered by a session, an escalation, or the
-  // node's death — even when the charger broke down permanently.
+  // request CYCLE old enough must be answered by a session, an escalation,
+  // or the node's death — even when the charger broke down permanently.
+  // The grouping into cycles matters: an emergency upgrade of a
+  // still-pending request re-logs a trace request, and the node
+  // deliberately does not re-escalate when the cycle's escalation already
+  // fired (see World::fire_emergency), so the guarantee attaches to the
+  // first request of a pending cycle, not to every trace entry.
   if (cfg.faults.escalation_drop_prob > 0.0) return;
   const Seconds slack =
       cfg.world.patience + cfg.faults.escalation_delay_max + 3'600.0;
 
-  std::unordered_map<net::NodeId, Seconds> last_session_start;
-  for (const auto& s : result.trace.sessions) {
-    auto [it, inserted] = last_session_start.emplace(s.node, s.start);
-    if (!inserted) it->second = std::max(it->second, s.start);
-  }
-  std::unordered_map<net::NodeId, Seconds> last_escalation;
-  for (const auto& e : result.trace.escalations) {
-    auto [it, inserted] = last_escalation.emplace(e.node, e.time);
-    if (!inserted) it->second = std::max(it->second, e.time);
-  }
-  std::unordered_map<net::NodeId, Seconds> death_time;
-  for (const auto& d : result.trace.deaths) death_time.emplace(d.node, d.time);
-
-  const auto answered_after = [](const auto& map, net::NodeId node,
-                                 Seconds t) {
-    const auto it = map.find(node);
-    return it != map.end() && it->second >= t - 1e-6;
+  // kind order breaks time ties so a same-instant answer satisfies the
+  // request it answers; requests sort 1e-6 early to keep the old tolerance.
+  enum Kind { kRequest = 0, kEscalation = 1, kClose = 2 };
+  struct NodeEvent {
+    Seconds time;
+    int kind;
   };
+  std::unordered_map<net::NodeId, std::vector<NodeEvent>> timelines;
   for (const auto& r : result.trace.requests) {
-    if (r.time + slack >= cfg.horizon) continue;
-    if (answered_after(last_session_start, r.node, r.time)) continue;
-    if (answered_after(last_escalation, r.node, r.time)) continue;
-    if (answered_after(death_time, r.node, r.time)) continue;
-    bad("request from node " + fmt(std::size_t(r.node)) + " at t=" +
-        fmt(r.time) + " never answered (starved protocol)");
-    return;
+    timelines[r.node].push_back({r.time - 1e-6, kRequest});
+  }
+  for (const auto& e : result.trace.escalations) {
+    timelines[e.node].push_back({e.time, kEscalation});
+  }
+  for (const auto& s : result.trace.sessions) {
+    timelines[s.node].push_back({s.start, kClose});
+  }
+  for (const auto& d : result.trace.deaths) {
+    timelines[d.node].push_back({d.time, kClose});
+  }
+  std::vector<std::pair<Seconds, net::NodeId>> starved;
+  for (auto& [node, events] : timelines) {
+    std::sort(events.begin(), events.end(),
+              [](const NodeEvent& a, const NodeEvent& b) {
+                return a.time != b.time ? a.time < b.time : a.kind < b.kind;
+              });
+    Seconds cycle_start = -1.0;  // < 0: no open cycle
+    bool answered = false;
+    for (const NodeEvent& event : events) {
+      if (event.kind == kRequest) {
+        if (cycle_start < 0.0) {
+          cycle_start = event.time + 1e-6;
+          answered = false;
+        }
+      } else if (event.kind == kEscalation) {
+        answered = true;  // cycle stays pending but the sink was told
+      } else {
+        cycle_start = -1.0;  // session start / death closes the cycle
+      }
+    }
+    if (cycle_start >= 0.0 && !answered && cycle_start + slack < cfg.horizon) {
+      starved.push_back({cycle_start, node});
+    }
+  }
+  if (!starved.empty()) {
+    const auto worst = *std::min_element(starved.begin(), starved.end());
+    bad("request from node " + fmt(std::size_t(worst.second)) + " at t=" +
+        fmt(worst.first) + " never answered (starved protocol)");
   }
 }
 
@@ -505,6 +532,24 @@ FuzzOverrides generate_fuzz_overrides(Rng& rng) {
     static constexpr const char* kSpoofModes[] = {
         "phase-cancel", "partial-cancel", "silent-skip", "no-service"};
     o["attack.spoof_mode"] = kSpoofModes[rng.uniform_int(0, 3)];
+  }
+
+  // Policy family (DESIGN.md §15): adaptive attacker spoof-scheduling and
+  // defender threshold re-tuning, so the differential oracle exercises the
+  // bandit epoch arithmetic and the adaptive suite in both world modes.
+  if (attack && rng.bernoulli(0.35)) {
+    o["policy.attacker"] = rng.bernoulli(0.5) ? "eps-greedy" : "ucb";
+    o["policy.epsilon"] = fmt(rng.uniform(0.0, 0.4));
+    o["policy.ucb_c"] = fmt(rng.uniform(0.5, 3.0));
+    o["policy.epoch"] = fmt(rng.uniform(0.1, 0.5) * horizon);
+    o["policy.risk_weight"] = fmt(rng.uniform(0.0, 5.0));
+    o["policy.risk_budget"] = fmt(std::size_t(rng.uniform_int(0, 6)));
+  }
+  if (rng.bernoulli(0.35)) {
+    o["policy.defender"] = "adaptive";
+    o["policy.defender_window"] = fmt(rng.uniform(0.1, 0.4) * horizon);
+    o["policy.defender_quantile"] = fmt(rng.uniform(1.0, 4.0));
+    o["policy.defender_min_samples"] = fmt(std::size_t(rng.uniform_int(1, 4)));
   }
 
   // Fleet mix: a quarter of missions run 2-3 territory-partitioned

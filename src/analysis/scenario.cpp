@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "detect/adaptive.hpp"
 #include "fault/injector.hpp"
 #include "mc/fleet.hpp"
 #include "obs/metrics.hpp"
@@ -155,9 +156,17 @@ DetectorSetup make_detector_setup(const ScenarioConfig& config,
       .suite = {},
       .context = {},
   };
-  setup.suite = config.hardened_detectors
-                    ? detect::make_hardened_suite(setup.calibration)
-                    : detect::make_deployed_suite(setup.calibration);
+  // The defender policy selects the suite: Static deploys the fixed PR-4
+  // calibration; Adaptive swaps in the per-window threshold re-tuners
+  // (detect/adaptive.hpp), same lineup and size either way.
+  setup.suite =
+      config.policy.defender.kind == policy::DefenderPolicyKind::Adaptive
+          ? detect::make_adaptive_suite(setup.calibration,
+                                        config.policy.defender,
+                                        config.hardened_detectors)
+          : (config.hardened_detectors
+                 ? detect::make_hardened_suite(setup.calibration)
+                 : detect::make_deployed_suite(setup.calibration));
   setup.context.network = &world.network();
   setup.context.charging_model = &world.charging_model();
   setup.context.nominal_dc = world.nominal_dc_power();
@@ -165,6 +174,7 @@ DetectorSetup make_detector_setup(const ScenarioConfig& config,
   setup.context.benign_gain_cv = config.world.benign_gain_cv;
   setup.context.noise_seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
   setup.context.horizon = config.horizon;
+  setup.context.expected_deaths_per_window = expected_deaths_per_window;
   return setup;
 }
 
@@ -195,7 +205,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config, ChargerMode mode,
   } else {
     attacker = std::make_unique<csa::AttackAgent>(
         world, config.attack, planner != nullptr ? *planner : default_planner,
-        rng.fork("attack"));
+        rng.fork("attack"), config.policy.attacker);
     attacker->start();
     result.keys = attacker->key_targets();
   }
@@ -255,7 +265,7 @@ ScenarioResult run_fleet_scenario(const ScenarioConfig& config,
       params.territory = cells[k];
       attacker = std::make_unique<csa::AttackAgent>(
           world, params, planner != nullptr ? *planner : default_planner,
-          rng.fork("attack-" + std::to_string(k)));
+          rng.fork("attack-" + std::to_string(k)), config.policy.attacker);
       attacker->start();
     } else {
       mc::AgentParams params = config.benign;

@@ -14,6 +14,7 @@
 #include "fault/fault.hpp"
 #include "mc/agent.hpp"
 #include "net/topology.hpp"
+#include "policy/policy.hpp"
 #include "sim/world.hpp"
 
 namespace wrsn::analysis {
@@ -42,6 +43,10 @@ struct ScenarioConfig {
   /// Fleet member running the CSA attack in Attack mode; SIZE_MAX (or any
   /// value >= fleet_size) = wholly honest fleet.
   std::size_t fleet_compromised = SIZE_MAX;
+  /// Adaptive-policy plug-ins for both sides ([policy.*] INI section,
+  /// DESIGN.md §15).  Defaults are the static policies, which reproduce
+  /// pre-policy behavior bit-for-bit.
+  policy::PolicyParams policy;
 };
 
 /// Everything a bench needs from one simulated mission.

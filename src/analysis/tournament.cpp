@@ -1,0 +1,222 @@
+#include "analysis/tournament.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "analysis/fuzz.hpp"
+#include "common/check.hpp"
+#include "common/fnv.hpp"
+
+namespace wrsn::analysis {
+namespace {
+
+/// One flattened mission of the tournament grid.
+struct TrialSpec {
+  ScenarioConfig config;
+  ChargerMode mode = ChargerMode::Attack;
+  /// Cell index for attack trials; defender index for benign trials.
+  std::size_t cell = 0;
+  std::size_t defender = 0;
+  bool benign = false;
+};
+
+struct TrialOutcome {
+  std::uint64_t digest = 0;
+  double exhaustion = 0.0;
+  double undetected_exhaustion = 0.0;
+  bool detected = false;
+  double detection_time = 0.0;
+};
+
+}  // namespace
+
+TournamentConfig default_tournament(ScenarioConfig base) {
+  TournamentConfig config;
+  config.base = std::move(base);
+
+  policy::AttackPolicyParams attacker;
+  config.attackers.push_back({"static", attacker});
+  attacker.kind = policy::AttackPolicyKind::EpsilonGreedy;
+  config.attackers.push_back({"eps-greedy", attacker});
+  attacker.kind = policy::AttackPolicyKind::Ucb;
+  config.attackers.push_back({"ucb", attacker});
+
+  policy::DefenderPolicyParams defender;
+  config.defenders.push_back({"static", defender});
+  defender.kind = policy::DefenderPolicyKind::Adaptive;
+  config.defenders.push_back({"adaptive", defender});
+  defender.quantile = 2.0;
+  defender.window = defender.window / 2.0;
+  config.defenders.push_back({"adaptive-tight", defender});
+  return config;
+}
+
+TournamentRunner::TournamentRunner(TournamentConfig config)
+    : config_(std::move(config)) {
+  WRSN_REQUIRE(!config_.attackers.empty(), "tournament needs attackers");
+  WRSN_REQUIRE(!config_.defenders.empty(), "tournament needs defenders");
+  WRSN_REQUIRE(config_.attack_trials > 0, "tournament needs attack trials");
+  for (const TournamentEntrant& a : config_.attackers) a.params.validate();
+  for (const TournamentDefender& d : config_.defenders) d.params.validate();
+}
+
+TournamentReport TournamentRunner::run() const {
+  const std::size_t attackers = config_.attackers.size();
+  const std::size_t defenders = config_.defenders.size();
+  const std::size_t cells = attackers * defenders;
+
+  // Flatten the grid in a fixed order — attack cells attacker-major, then
+  // the per-defender benign columns — so trial index, and with it every
+  // forked stream, is a pure function of the tournament configuration.
+  std::vector<TrialSpec> specs;
+  specs.reserve(cells * config_.attack_trials +
+                defenders * config_.benign_trials);
+  for (std::size_t a = 0; a < attackers; ++a) {
+    for (std::size_t d = 0; d < defenders; ++d) {
+      for (std::size_t t = 0; t < config_.attack_trials; ++t) {
+        TrialSpec spec;
+        spec.config = config_.base;
+        spec.config.policy.attacker = config_.attackers[a].params;
+        spec.config.policy.defender = config_.defenders[d].params;
+        spec.mode = ChargerMode::Attack;
+        spec.cell = a * defenders + d;
+        spec.defender = d;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  for (std::size_t d = 0; d < defenders; ++d) {
+    for (std::size_t t = 0; t < config_.benign_trials; ++t) {
+      TrialSpec spec;
+      spec.config = config_.base;
+      spec.config.policy.defender = config_.defenders[d].params;
+      spec.mode = ChargerMode::Benign;
+      spec.defender = d;
+      spec.benign = true;
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  TournamentReport report;
+  runner::TrialOptions options;
+  options.threads = config_.threads;
+  options.seed = config_.seed;
+  options.label = "tournament";
+  const std::vector<TrialOutcome> outcomes = runner::run_trials(
+      std::span<const TrialSpec>(specs),
+      [](const TrialSpec& spec, Rng& rng) {
+        ScenarioConfig cfg = spec.config;
+        cfg.seed = std::uint64_t(rng.uniform_int(1, 1'000'000'000));
+        const ScenarioResult result = run_mission(cfg, spec.mode);
+        TrialOutcome outcome;
+        outcome.digest = digest_result(result);
+        outcome.exhaustion = result.report.exhaustion_ratio;
+        outcome.undetected_exhaustion =
+            result.report.undetected_exhaustion_ratio;
+        outcome.detected = result.report.detected;
+        outcome.detection_time = result.report.detection_time;
+        return outcome;
+      },
+      options, &report.stats);
+
+  report.trials = outcomes.size();
+  report.cells.resize(cells);
+  std::vector<std::size_t> benign_runs(defenders, 0);
+  std::vector<std::size_t> benign_fps(defenders, 0);
+  std::vector<std::size_t> detected_counts(cells, 0);
+  std::vector<double> detection_time_sums(cells, 0.0);
+  std::vector<Fnv> cell_folds(cells);
+  Fnv fold;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TrialSpec& spec = specs[i];
+    const TrialOutcome& outcome = outcomes[i];
+    fold.mix(outcome.digest);
+    if (spec.benign) {
+      ++benign_runs[spec.defender];
+      if (outcome.detected) ++benign_fps[spec.defender];
+      continue;
+    }
+    TournamentCell& cell = report.cells[spec.cell];
+    ++cell.attack_trials;
+    cell.damage += outcome.exhaustion;
+    cell.undetected_damage += outcome.undetected_exhaustion;
+    if (outcome.detected) {
+      ++detected_counts[spec.cell];
+      detection_time_sums[spec.cell] += outcome.detection_time;
+    }
+    cell_folds[spec.cell].mix(outcome.digest);
+  }
+  report.digest = fold.hash();
+
+  for (std::size_t a = 0; a < attackers; ++a) {
+    for (std::size_t d = 0; d < defenders; ++d) {
+      const std::size_t index = a * defenders + d;
+      TournamentCell& cell = report.cells[index];
+      cell.attacker = config_.attackers[a].label;
+      cell.defender = config_.defenders[d].label;
+      const double n = double(cell.attack_trials);
+      cell.damage /= n;
+      cell.undetected_damage /= n;
+      cell.detection_rate = double(detected_counts[index]) / n;
+      cell.mean_time_to_detection =
+          detected_counts[index] > 0
+              ? detection_time_sums[index] / double(detected_counts[index])
+              : config_.base.horizon;
+      cell.fp_rate = benign_runs[d] > 0
+                         ? double(benign_fps[d]) / double(benign_runs[d])
+                         : 0.0;
+      cell.digest = cell_folds[index].hash();
+    }
+  }
+  return report;
+}
+
+std::string tournament_json(const TournamentConfig& config,
+                            const TournamentReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"wrsn-tournament-v1\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"grid\": {\n"
+                "    \"attackers\": %zu,\n"
+                "    \"defenders\": %zu,\n"
+                "    \"attack_trials\": %zu,\n"
+                "    \"benign_trials\": %zu,\n"
+                "    \"seed\": %llu\n"
+                "  },\n",
+                config.attackers.size(), config.defenders.size(),
+                config.attack_trials, config.benign_trials,
+                (unsigned long long)config.seed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  \"digest\": \"%llu\",\n",
+                (unsigned long long)report.digest);
+  out += buf;
+  out += "  \"cells\": [\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const TournamentCell& c = report.cells[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\n"
+                  "      \"attacker\": \"%s\",\n"
+                  "      \"defender\": \"%s\",\n"
+                  "      \"attack_trials\": %zu,\n"
+                  "      \"damage\": %.6f,\n"
+                  "      \"undetected_damage\": %.6f,\n"
+                  "      \"detection_rate\": %.6f,\n"
+                  "      \"mean_time_to_detection_s\": %.3f,\n"
+                  "      \"fp_rate\": %.6f,\n"
+                  "      \"digest\": \"%llu\"\n"
+                  "    }%s\n",
+                  c.attacker.c_str(), c.defender.c_str(), c.attack_trials,
+                  c.damage, c.undetected_damage, c.detection_rate,
+                  c.mean_time_to_detection, c.fp_rate,
+                  (unsigned long long)c.digest,
+                  i + 1 == report.cells.size() ? "" : ",");
+    out += buf;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace wrsn::analysis

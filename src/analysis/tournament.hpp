@@ -1,0 +1,102 @@
+// Attacker-policy x defender-policy tournaments (DESIGN.md §15).
+//
+// A tournament runs a round-robin grid: every attacker spoof-scheduling
+// policy against every defender threshold policy, `attack_trials` seeded
+// missions per cell, plus `benign_trials` honest missions per defender to
+// price its false-positive rate.  All missions flatten into ONE
+// runner::run_trials call — per-trial Rng streams are forked by flat index
+// from the tournament seed, and every aggregate folds results in submission
+// order, so the whole report (including its digest) is bit-identical at any
+// WRSN_THREADS.
+//
+// Cell metrics chart the stealth/damage frontier of the paper's central
+// claim: damage = mean key-node exhaustion fraction, stealth = (detection
+// rate, mean time-to-first-true-positive on detected attack runs, benign
+// FP rate of the defender column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "policy/policy.hpp"
+#include "runner/runner.hpp"
+
+namespace wrsn::analysis {
+
+struct TournamentEntrant {
+  std::string label;
+  policy::AttackPolicyParams params;
+};
+
+struct TournamentDefender {
+  std::string label;
+  policy::DefenderPolicyParams params;
+};
+
+struct TournamentConfig {
+  /// Scenario template; each trial overwrites `policy.*` and `seed`.
+  ScenarioConfig base;
+  std::vector<TournamentEntrant> attackers;
+  std::vector<TournamentDefender> defenders;
+  /// Attack missions per (attacker, defender) cell.
+  std::size_t attack_trials = 4;
+  /// Benign missions per defender (the FP-rate column).
+  std::size_t benign_trials = 4;
+  std::size_t threads = 0;  ///< 0 = WRSN_THREADS / hardware
+  std::uint64_t seed = 1;
+};
+
+/// The built-in 3-attacker x 3-defender grid: static / eps-greedy / UCB
+/// attackers vs. static / adaptive / adaptive-tight (quantile 2, half
+/// window) defenders, over `base`.
+TournamentConfig default_tournament(ScenarioConfig base);
+
+struct TournamentCell {
+  std::string attacker;
+  std::string defender;
+  std::size_t attack_trials = 0;
+  /// Damage: mean key-node exhaustion fraction over the cell's attack runs.
+  double damage = 0.0;
+  /// Mean exhaustion fraction reached before first detection (= damage on
+  /// undetected runs).
+  double undetected_damage = 0.0;
+  /// Fraction of attack runs the defender detected at all.
+  double detection_rate = 0.0;
+  /// Mean time-to-first-true-positive over DETECTED attack runs [s];
+  /// horizon when the cell had none.
+  double mean_time_to_detection = 0.0;
+  /// Benign FP rate of this defender (shared across its column).
+  double fp_rate = 0.0;
+  /// Fold of the cell's per-trial result digests, submission order.
+  std::uint64_t digest = 0;
+};
+
+struct TournamentReport {
+  std::vector<TournamentCell> cells;  ///< attacker-major grid order
+  std::size_t trials = 0;             ///< attack + benign missions run
+  /// Fold of every trial digest in submission order — the quantity the
+  /// WRSN_THREADS=1/2/8 determinism test pins.
+  std::uint64_t digest = 0;
+  runner::RunStats stats;
+};
+
+/// Renders the `wrsn-tournament-v1` JSON document (bench/metrics_schema.json).
+/// Digests serialize as strings: JSON numbers cannot hold 64-bit hashes.
+std::string tournament_json(const TournamentConfig& config,
+                            const TournamentReport& report);
+
+/// Round-robin tournament on the PR 1 runner.
+class TournamentRunner {
+ public:
+  explicit TournamentRunner(TournamentConfig config);
+  TournamentReport run() const;
+
+  const TournamentConfig& config() const { return config_; }
+
+ private:
+  TournamentConfig config_;
+};
+
+}  // namespace wrsn::analysis

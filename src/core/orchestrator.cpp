@@ -37,7 +37,8 @@ void AttackParams::validate() const {
 }
 
 AttackAgent::AttackAgent(sim::World& world, const AttackParams& params,
-                         const Planner& planner, Rng rng)
+                         const Planner& planner, Rng rng,
+                         const policy::AttackPolicyParams& policy)
     : world_(world),
       params_(params),
       planner_(planner),
@@ -46,6 +47,12 @@ AttackAgent::AttackAgent(sim::World& world, const AttackParams& params,
   params_.validate();
   territory_.insert(params_.territory.begin(), params_.territory.end());
   emitter_.emplace(world_.charging_model(), params_.spoofing);
+  // fork() is const — the policy stream never advances rng_, so the static
+  // policy (which consumes nothing) leaves every existing draw sequence,
+  // and therefore every pre-policy result, bit-identical.
+  policy_ = policy::make_attack_policy(policy, rng_.fork("policy"),
+                                       params_.pace_limit,
+                                       params_.partial_leak_ratio);
 }
 
 AttackAgent::~AttackAgent() {
@@ -126,9 +133,11 @@ void AttackAgent::on_death(net::NodeId id) {
   // Every death is visible in the base-station logs the attacker operates
   // under; deaths it did not schedule (hardware failures, starvation) join
   // the pacing window so kills keep hiding in the total rate.
-  if (spoof_killed_.count(id) == 0) {
+  const bool own_kill = spoof_killed_.count(id) != 0;
+  if (!own_kill) {
     kill_schedule_.push_back(world_.simulator().now());
   }
+  policy_->observe_death(world_.simulator().now(), own_kill);
   if (id != target_) return;
   const Seconds now = world_.simulator().now();
   if (state_ == State::Traveling) {
@@ -203,12 +212,12 @@ void AttackAgent::adopt_territory(std::span<const net::NodeId> nodes) {
   if (started_ && !broken_ && state_ == State::Idle) replan();
 }
 
-bool AttackAgent::kill_paced_out(Seconds death_at) const {
-  if (params_.pace_limit == 0) return false;
-  // Simulate the defender's trailing window: after adding this kill, does
-  // any window of length pace_window contain more than pace_limit deaths
-  // (scheduled kills + observed background deaths)?  Candidate window ends
-  // are the entry times themselves plus the new kill.
+std::size_t AttackAgent::kill_window_count(Seconds death_at) const {
+  // Simulate the defender's trailing window: after adding this kill, the
+  // worst window of length pace_window over deaths (scheduled kills +
+  // observed background deaths).  Candidate window ends are the entry times
+  // themselves plus the new kill.  The static policy's paced-out verdict is
+  // `count > pace_limit` — exactly the pre-policy arithmetic.
   const auto count_in = [&](Seconds end) {
     const Seconds begin = end - params_.pace_window;
     std::size_t n = (death_at >= begin && death_at <= end) ? 1 : 0;
@@ -217,31 +226,36 @@ bool AttackAgent::kill_paced_out(Seconds death_at) const {
     }
     return n;
   };
-  if (count_in(death_at + params_.pace_window) > params_.pace_limit) {
-    return true;
-  }
-  if (count_in(death_at) > params_.pace_limit) return true;
+  std::size_t worst = count_in(death_at + params_.pace_window);
+  worst = std::max(worst, count_in(death_at));
   for (const Seconds t : kill_schedule_) {
-    if (t >= death_at && t <= death_at + params_.pace_window &&
-        count_in(t) > params_.pace_limit) {
-      return true;
+    if (t >= death_at && t <= death_at + params_.pace_window) {
+      worst = std::max(worst, count_in(t));
     }
   }
-  return false;
+  return worst;
 }
 
-bool AttackAgent::should_spoof_now(net::NodeId id) const {
-  if (!is_key(id)) return false;
-  if (params_.spoof_mode == SpoofMode::NoService) return false;
+policy::SpoofDecision AttackAgent::spoof_decision(net::NodeId id) {
+  // Non-targets and NoService campaigns never spoof; both short-circuit
+  // before the policy (they are mode structure, not scheduling).
+  if (!is_key(id)) return {false, params_.partial_leak_ratio};
+  if (params_.spoof_mode == SpoofMode::NoService) {
+    return {false, params_.partial_leak_ratio};
+  }
   const Watts drain = world_.drain_rate(id);
-  if (drain <= 0.0) return true;
-  const Seconds now = world_.simulator().now();
-  const Seconds death_at = now + world_.level(id) / drain;
-  if (!kill_paced_out(death_at)) return true;
+  // No measurable drain means no death to pace; spoof unconditionally.
+  if (drain <= 0.0) return {true, params_.partial_leak_ratio};
 
-  // Pacing says defer (serve genuinely, kill on the node's next request).
-  // But if the deferred kill would no longer fit inside the campaign, this
-  // is the last chance: take the kill and accept the radar risk.
+  const Seconds now = world_.simulator().now();
+  policy::SpoofQuery query;
+  query.now = now;
+  query.death_at = now + world_.level(id) / drain;
+  query.window_deaths = kill_window_count(query.death_at);
+
+  // Deferring means serving genuinely and killing on the node's NEXT
+  // request; if that redo cycle no longer fits inside the campaign, this is
+  // the last chance and every policy takes the kill.
   const Joules capacity = world_.network().node(id).battery_capacity;
   const Seconds redo_cycle =
       (world_.params().charge_target_fraction -
@@ -249,8 +263,11 @@ bool AttackAgent::should_spoof_now(net::NodeId id) const {
       capacity / drain;
   const Seconds kill_time =
       world_.params().request_threshold * capacity / drain;
-  return now + redo_cycle + kill_time >
-         params_.campaign_deadline * params_.campaign_slack;
+  query.last_chance = now + redo_cycle + kill_time >
+                      params_.campaign_deadline * params_.campaign_slack;
+  query.keys_killed = spoof_killed_.size();
+  query.keys_total = key_targets_.size();
+  return policy_->decide(query);
 }
 
 void AttackAgent::build_instance(TideInstance& instance) const {
@@ -487,7 +504,8 @@ void AttackAgent::start_session(net::NodeId id) {
   // Spoofed sessions mimic a nominal-rate service; genuine ones stretch to
   // the realized rate (set below).
   session_genuine_duration_ = world_.planned_session_duration(believed_deficit);
-  const bool spoof = should_spoof_now(id);
+  const policy::SpoofDecision decision = spoof_decision(id);
+  const bool spoof = decision.spoof;
   if (spoof) {
     const Watts drain = world_.drain_rate(id);
     kill_schedule_.push_back(drain > 0.0
@@ -523,7 +541,7 @@ void AttackAgent::start_session(net::NodeId id) {
         params_.spoof_mode == SpoofMode::PartialCancel
             ? emitter_->configure_partial(
                   charger_pos, node_pos,
-                  params_.partial_leak_ratio * expected_rate, &rng_,
+                  decision.leak_ratio * expected_rate, &rng_,
                   &comm_antenna)
             : emitter_->configure(charger_pos, node_pos, &rng_);
     session_dc_ = outcome.dc_at_target;

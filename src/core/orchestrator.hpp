@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "core/planners.hpp"
 #include "mc/charger.hpp"
+#include "policy/policy.hpp"
 #include "sim/world.hpp"
 #include "wpt/spoofing.hpp"
 
@@ -93,8 +94,13 @@ struct AttackParams {
 /// The attack agent; bind one to a world instead of a benign ChargerAgent.
 class AttackAgent {
  public:
+  /// `policy` selects the spoof-scheduling policy (DESIGN.md §15); the
+  /// default Static kind reproduces the fixed pacing arithmetic bit-for-bit
+  /// and consumes no randomness.  Bandit kinds draw from rng.fork("policy"),
+  /// a stream no other consumer touches.
   AttackAgent(sim::World& world, const AttackParams& params,
-              const Planner& planner, Rng rng);
+              const Planner& planner, Rng rng,
+              const policy::AttackPolicyParams& policy = {});
 
   AttackAgent(const AttackAgent&) = delete;
   AttackAgent& operator=(const AttackAgent&) = delete;
@@ -147,11 +153,13 @@ class AttackAgent {
     return territory_.empty() || territory_.count(id) > 0;
   }
 
-  /// True when pacing forbids scheduling another kill around `death_at`.
-  bool kill_paced_out(Seconds death_at) const;
-  /// Decides whether a key node gets spoofed right now or served genuinely
-  /// for cover (kill pacing).
-  bool should_spoof_now(net::NodeId id) const;
+  /// Deaths (scheduled kills + observed background deaths) in the worst
+  /// pace_window interval a kill at `death_at` would join, that kill
+  /// included — the pacing pressure the spoof policy decides against.
+  std::size_t kill_window_count(Seconds death_at) const;
+  /// Consults the spoof-scheduling policy: spoofed right now vs. served
+  /// genuinely for cover, and the PartialCancel leak ratio to use.
+  policy::SpoofDecision spoof_decision(net::NodeId id);
 
   void on_request(net::NodeId id);
   void on_death(net::NodeId id);
@@ -178,6 +186,7 @@ class AttackAgent {
   Rng rng_;
   mc::MobileCharger mc_;
   std::optional<wpt::SpoofingEmitter> emitter_;
+  std::unique_ptr<policy::AttackPolicy> policy_;
 
   std::vector<net::NodeId> key_targets_;
   std::unordered_set<net::NodeId> key_set_;

@@ -1,0 +1,208 @@
+#include "detect/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "common/check.hpp"
+#include "detect/metered.hpp"
+
+namespace wrsn::detect {
+namespace {
+
+/// The calibration rule shared with calibrated_death_threshold, without the
+/// small-fleet floor (the adaptive detectors floor at the STATIC threshold
+/// instead, which already carries it).
+std::size_t recalibrated_bound(double expected, double quantile) {
+  WRSN_ASSERT(expected >= 0.0);
+  const double bound = expected + quantile * std::sqrt(expected) + 1.0;
+  return static_cast<std::size_t>(std::ceil(bound));
+}
+
+/// Deterministic median: middle element of the sorted copy (upper-middle on
+/// even counts) — no averaging, so the estimate is always a sample value.
+double median_of(std::vector<double> values) {
+  WRSN_ASSERT(!values.empty());
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + std::ptrdiff_t(mid),
+                   values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+std::optional<Detection> AdaptiveDeathRateDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  const Seconds tune = params_.window;
+  // Shrink the observed rate toward the deployment prior (the context's
+  // expected background deaths per monitoring window) with min_samples
+  // pseudo-windows of weight, so one quiet or stormy early window cannot
+  // whipsaw the bound.
+  const double prior = ctx.expected_deaths_per_window;
+  const double pseudo = double(params_.min_samples);
+
+  std::deque<Seconds> recent;
+  Seconds tune_end = tune;
+  std::size_t completed = 0;
+  std::size_t seen = 0;  // deaths inside completed tuning windows
+  std::size_t threshold = base_threshold_;
+  for (const sim::DeathRecord& d : trace.deaths) {
+    while (tune_end <= d.time) {
+      ++completed;
+      if (completed >= params_.min_samples) {
+        const double observed_rate =
+            double(seen) / double(completed) * (monitor_window_ / tune);
+        const double rate = (prior * pseudo + observed_rate * completed) /
+                            (pseudo + double(completed));
+        threshold = std::max(base_threshold_,
+                             recalibrated_bound(rate, params_.quantile));
+      }
+      tune_end += tune;
+    }
+    ++seen;
+    recent.push_back(d.time);
+    // Same OPEN left edge as the static detector: (t - window, t].
+    while (!recent.empty() && recent.front() <= d.time - monitor_window_) {
+      recent.pop_front();
+    }
+    if (recent.size() >= threshold) {
+      return Detection{d.time, d.node,
+                       "death rate exceeds adaptively re-tuned bound"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Detection> AdaptiveServiceAuditDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  std::optional<Detection> best;
+  const auto consider = [&best](Seconds time, net::NodeId node,
+                                std::string reason) {
+    if (!best.has_value() || time < best->time) {
+      best = Detection{time, node, std::move(reason)};
+    }
+  };
+
+  // Escalation budget, re-tuned per window: the cumulative count is tested
+  // against expected-so-far + q*sigma + 1 under the estimated benign
+  // escalation rate, never below the static budget.  The estimate only uses
+  // COMPLETED windows; its prior spreads the static budget over the horizon.
+  const Seconds tune = params_.window;
+  const double prior_per_window =
+      ctx.horizon > 0.0 ? double(cal_.escalation_limit) * tune / ctx.horizon
+                        : 0.0;
+  const double pseudo = double(params_.min_samples);
+  Seconds tune_end = tune;
+  std::size_t completed = 0;
+  std::size_t seen = 0;
+  double rate = prior_per_window;  // per tuning window
+  for (std::size_t i = 0; i < trace.escalations.size(); ++i) {
+    const sim::EscalationRecord& e = trace.escalations[i];
+    while (tune_end <= e.time) {
+      ++completed;
+      if (completed >= params_.min_samples) {
+        rate = (prior_per_window * pseudo + double(seen)) /
+               (pseudo + double(completed));
+      }
+      tune_end += tune;
+    }
+    ++seen;
+    const double expected_so_far = rate * (e.time / tune);
+    const std::size_t budget =
+        std::max(cal_.escalation_limit,
+                 recalibrated_bound(expected_so_far, params_.quantile));
+    if (i + 1 >= budget) {
+      consider(e.time, e.node,
+               "escalation count exceeds adaptively re-tuned budget");
+      break;  // escalations are time-ordered; first breach is earliest
+    }
+  }
+
+  // Died-waiting and repeated-emergency rules are the static ones: both are
+  // event-quality signals (honest service never produces them in volume),
+  // not rate statistics worth re-tuning.
+  std::size_t died_waiting = 0;
+  for (const sim::DeathRecord& d : trace.deaths) {
+    if (d.request_outstanding && ++died_waiting >= cal_.died_waiting_limit) {
+      consider(d.time, d.node, "nodes keep dying with requests outstanding");
+      break;
+    }
+  }
+  std::map<net::NodeId, std::size_t> emergency_counts;
+  for (const sim::RequestRecord& r : trace.requests) {
+    if (!r.emergency) continue;
+    if (++emergency_counts[r.node] >= emergency_limit_) {
+      consider(r.time, r.node, "repeated emergency requests from one node");
+      break;
+    }
+  }
+  return best;
+}
+
+std::optional<Detection> AdaptiveEnergyDeltaDetector::analyze(
+    const sim::Trace& trace, const DetectorContext& ctx) const {
+  WRSN_REQUIRE(ctx.network != nullptr, "context missing network");
+  const Seconds tune = params_.window;
+  const double cv = std::max(1e-9, ctx.benign_gain_cv);
+
+  SessionOrdinals ordinals;
+  std::vector<double> window_ratios;
+  std::vector<double> window_medians;
+  Seconds tune_end = tune;
+  double threshold = base_threshold_;
+  for (const sim::SessionRecord& s : trace.sessions) {
+    const std::uint64_t ordinal = ordinals.next(s.node);
+    while (tune_end <= s.end) {
+      // Windows with too few audited samples do not contribute a median —
+      // an empty window says nothing about the benign ratio distribution.
+      if (window_ratios.size() >= 3) {
+        window_medians.push_back(median_of(std::move(window_ratios)));
+        window_ratios.clear();
+        if (window_medians.size() >= params_.min_samples) {
+          const double m = median_of(window_medians);
+          threshold = std::clamp(m - params_.quantile * cv * m,
+                                 base_threshold_, 0.9);
+        }
+      }
+      tune_end += tune;
+    }
+    if (s.expected_gain < min_expected_) continue;
+    if (!node_audited(/*use_set=*/false, /*audited=*/{}, audit_fraction_,
+                      ctx.noise_seed, s.node)) {
+      continue;
+    }
+    const Joules capacity = ctx.network->node(s.node).battery_capacity;
+    const Joules measured = std::max(
+        0.0, s.delivered + session_noise(ctx, s.node, ordinal, capacity));
+    const double ratio = measured / s.expected_gain;
+    // The current session is judged by thresholds tuned on PRIOR windows
+    // only, then joins the estimation sample.
+    if (ratio < threshold) {
+      return Detection{s.end, s.node,
+                       "metered harvest below adaptively re-tuned bound"};
+    }
+    window_ratios.push_back(ratio);
+  }
+  return std::nullopt;
+}
+
+DetectorSuite make_adaptive_suite(const SuiteCalibration& cal,
+                                  const policy::DefenderPolicyParams& params,
+                                  bool hardened) {
+  params.validate();
+  DetectorSuite suite;
+  suite.add(std::make_unique<RssiPresenceDetector>());
+  suite.add(std::make_unique<NeighborVotingDetector>());
+  suite.add(std::make_unique<AdaptiveServiceAuditDetector>(cal, params));
+  suite.add(std::make_unique<AdaptiveDeathRateDetector>(cal.death_threshold,
+                                                        params));
+  if (hardened) {
+    suite.add(std::make_unique<AdaptiveEnergyDeltaDetector>(params));
+    suite.add(std::make_unique<CusumShortfallDetector>());
+    suite.add(std::make_unique<FleetCusumDetector>());
+  }
+  return suite;
+}
+
+}  // namespace wrsn::detect

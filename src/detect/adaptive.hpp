@@ -1,0 +1,101 @@
+// Threshold-adapting defenses (the defender half of the policy seam,
+// DESIGN.md §15).
+//
+// Each adaptive detector re-tunes one knob of its static counterpart per
+// trace window: it walks the trace chronologically, closes an estimation
+// window every `DefenderPolicyParams::window` seconds, and recalibrates the
+// knob from everything observed BEFORE the current window (never from it —
+// the statistic under test must not tune its own threshold).  All of it is
+// plain deterministic arithmetic over the trace; no randomness is consumed,
+// so the adaptive suite keeps every bit-identical-replay guarantee the
+// static one has.
+//
+//   AdaptiveDeathRateDetector    — death-rate knob: the death threshold is
+//     re-derived from the observed background death rate with the same
+//     mean + q*sqrt(mean) + 1 rule the deployment calibration uses, floored
+//     at the static threshold.  Under a benign standing-fault mix the
+//     observed rate rises, the bound rises, and the PR-5 false-positive
+//     storm shrinks; the floor guarantees the adaptive detector never fires
+//     where the static one stays silent.
+//   AdaptiveServiceAuditDetector — audit-budget knob: the escalation budget
+//     becomes a time-scaled cumulative bound (expected escalations so far
+//     + q sigma + 1, floored at the static budget); died-waiting and
+//     emergency rules stay static.
+//   AdaptiveEnergyDeltaDetector  — gain knob (hardened tier): the
+//     single-session audit threshold is re-derived from the MEDIAN audited
+//     measured/expected ratio of completed windows (median, not mean, so a
+//     minority of spoofed sessions cannot drag the estimate down), raised
+//     toward median - q*cv*median when the observed fleet runs tight.
+//     Sharper than static 0.30 against partial-cancel leaks; never drops
+//     below the static threshold.
+#pragma once
+
+#include "detect/detector.hpp"
+#include "detect/detectors.hpp"
+#include "policy/policy.hpp"
+
+namespace wrsn::detect {
+
+class AdaptiveDeathRateDetector final : public Detector {
+ public:
+  AdaptiveDeathRateDetector(std::size_t base_threshold,
+                            const policy::DefenderPolicyParams& params,
+                            Seconds monitor_window = 86'400.0)
+      : base_threshold_(base_threshold),
+        params_(params),
+        monitor_window_(monitor_window) {}
+  std::string_view name() const override { return "death-rate-adaptive"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  std::size_t base_threshold_;
+  policy::DefenderPolicyParams params_;
+  Seconds monitor_window_;
+};
+
+class AdaptiveServiceAuditDetector final : public Detector {
+ public:
+  AdaptiveServiceAuditDetector(const SuiteCalibration& cal,
+                               const policy::DefenderPolicyParams& params,
+                               std::size_t emergency_limit = 3)
+      : cal_(cal), params_(params), emergency_limit_(emergency_limit) {}
+  std::string_view name() const override { return "service-audit-adaptive"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  SuiteCalibration cal_;
+  policy::DefenderPolicyParams params_;
+  std::size_t emergency_limit_;
+};
+
+class AdaptiveEnergyDeltaDetector final : public Detector {
+ public:
+  AdaptiveEnergyDeltaDetector(const policy::DefenderPolicyParams& params,
+                              double audit_fraction = 1.0,
+                              double base_threshold = 0.30,
+                              Joules min_expected = 500.0)
+      : params_(params),
+        audit_fraction_(audit_fraction),
+        base_threshold_(base_threshold),
+        min_expected_(min_expected) {}
+  std::string_view name() const override { return "energy-delta-adaptive"; }
+  std::optional<Detection> analyze(const sim::Trace& trace,
+                                   const DetectorContext& ctx) const override;
+
+ private:
+  policy::DefenderPolicyParams params_;
+  double audit_fraction_;
+  double base_threshold_;
+  Joules min_expected_;
+};
+
+/// The adaptive counterpart of make_deployed_suite / make_hardened_suite:
+/// same detector lineup, with the death-rate, service-audit, and (hardened
+/// only) energy-delta members replaced by their threshold-adapting versions.
+DetectorSuite make_adaptive_suite(const SuiteCalibration& cal,
+                                  const policy::DefenderPolicyParams& params,
+                                  bool hardened);
+
+}  // namespace wrsn::detect

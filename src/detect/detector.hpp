@@ -37,6 +37,10 @@ struct DetectorContext {
   std::uint64_t noise_seed = 0x5eed;
   /// Mission end [s] (analysis horizon).
   Seconds horizon = 0.0;
+  /// Deployment prior for threshold-adapting detectors: expected background
+  /// deaths per death-rate monitoring window (what the static calibration
+  /// was computed from; 0 = unknown).
+  double expected_deaths_per_window = 0.0;
 };
 
 /// A detector verdict: the first moment the defense fires.

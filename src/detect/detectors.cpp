@@ -8,25 +8,20 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "detect/metered.hpp"
 #include "obs/metrics.hpp"
 
 namespace wrsn::detect {
-namespace {
 
-/// Deterministic per-(seed, node) uniform draw; used to pick which nodes
-/// carry audit hardware so results are reproducible across detectors.
+// Definitions for detect/metered.hpp — shared with the adaptive detectors,
+// which must draw noise and decide placement exactly like the static suite.
+
 double node_uniform(std::uint64_t seed, net::NodeId node,
                     std::string_view purpose) {
   Rng rng(seed);
   return rng.fork(purpose).fork(std::to_string(node)).uniform();
 }
 
-/// Deterministic per-(seed, node, per-node ordinal) gauge noise draw.  The
-/// ordinal counts the node's *own* sessions in trace order, so a node's
-/// noise stream is a pure function of its own session history — an
-/// unrelated session elsewhere in the trace cannot shift the draws and flip
-/// detection outcomes between otherwise-identical scenarios.  (The old key
-/// was the global session index, which did exactly that.)
 double session_noise(const DetectorContext& ctx, net::NodeId node,
                      std::uint64_t ordinal, Joules capacity) {
   Rng rng(ctx.noise_seed);
@@ -36,25 +31,11 @@ double session_noise(const DetectorContext& ctx, net::NodeId node,
       .normal(0.0, ctx.soc_noise_fraction * capacity);
 }
 
-/// Tracks per-node session ordinals while walking a trace.  Every session
-/// of a node advances its ordinal — including ones a detector then skips —
-/// so the noise draw for a given (node, nth-session) pair is stable across
-/// detectors with different filters.
-class SessionOrdinals {
- public:
-  std::uint64_t next(net::NodeId node) { return counts_[node]++; }
-
- private:
-  std::map<net::NodeId, std::uint64_t> counts_;
-};
-
 bool node_audited(bool use_set, const std::set<net::NodeId>& audited,
                   double fraction, std::uint64_t seed, net::NodeId node) {
   if (use_set) return audited.count(node) > 0;
   return node_uniform(seed, node, "coulomb-equip") < fraction;
 }
-
-}  // namespace
 
 void DetectorSuite::add(std::unique_ptr<Detector> detector) {
   WRSN_REQUIRE(detector != nullptr, "null detector");

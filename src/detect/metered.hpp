@@ -1,0 +1,48 @@
+// Shared deterministic-measurement helpers for metered-node detectors.
+//
+// Every detector that reads a coulomb-counter measurement MUST draw its
+// gauge noise through `session_noise` keyed by the node's own session
+// ordinal, and decide hardware placement through `node_audited` — the
+// ordinal keying is a pinned regression (detect_test), and two detectors
+// disagreeing on either would make their verdicts incomparable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "detect/detector.hpp"
+
+namespace wrsn::detect {
+
+/// Deterministic per-(seed, node) uniform draw; used to pick which nodes
+/// carry audit hardware so results are reproducible across detectors.
+double node_uniform(std::uint64_t seed, net::NodeId node,
+                    std::string_view purpose);
+
+/// Deterministic per-(seed, node, per-node ordinal) gauge noise draw.  The
+/// ordinal counts the node's *own* sessions in trace order, so a node's
+/// noise stream is a pure function of its own session history — an
+/// unrelated session elsewhere in the trace cannot shift the draws and flip
+/// detection outcomes between otherwise-identical scenarios.  (The old key
+/// was the global session index, which did exactly that.)
+double session_noise(const DetectorContext& ctx, net::NodeId node,
+                     std::uint64_t ordinal, Joules capacity);
+
+/// Tracks per-node session ordinals while walking a trace.  Every session
+/// of a node advances its ordinal — including ones a detector then skips —
+/// so the noise draw for a given (node, nth-session) pair is stable across
+/// detectors with different filters.
+class SessionOrdinals {
+ public:
+  std::uint64_t next(net::NodeId node) { return counts_[node]++; }
+
+ private:
+  std::map<net::NodeId, std::uint64_t> counts_;
+};
+
+bool node_audited(bool use_set, const std::set<net::NodeId>& audited,
+                  double fraction, std::uint64_t seed, net::NodeId node);
+
+}  // namespace wrsn::detect

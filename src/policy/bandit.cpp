@@ -1,0 +1,72 @@
+#include "policy/bandit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace wrsn::policy {
+
+Bandit::Bandit(BanditKind kind, std::size_t arm_count, Rng rng,
+               double epsilon, double ucb_c)
+    : kind_(kind),
+      epsilon_(epsilon),
+      ucb_c_(ucb_c),
+      rng_(std::move(rng)),
+      arms_(arm_count) {
+  WRSN_REQUIRE(arm_count >= 1, "bandit needs at least one arm");
+  WRSN_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0, "epsilon must be in [0, 1]");
+  WRSN_REQUIRE(ucb_c >= 0.0, "ucb_c must be >= 0");
+}
+
+double Bandit::mean(std::size_t arm) const {
+  const Arm& a = arms_[arm];
+  return a.pulls == 0 ? 0.0 : a.reward_sum / double(a.pulls);
+}
+
+std::size_t Bandit::best_mean_arm() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < arms_.size(); ++i) {
+    if (mean(i) > mean(best)) best = i;  // ties keep the lower index
+  }
+  return best;
+}
+
+std::size_t Bandit::select() {
+  // Untried arms first, lowest index first — both variants sweep every arm
+  // once before estimates mean anything.
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (arms_[i].pulls == 0) return i;
+  }
+  switch (kind_) {
+    case BanditKind::EpsilonGreedy:
+      if (rng_.bernoulli(epsilon_)) {
+        return std::size_t(
+            rng_.uniform_int(0, std::int64_t(arms_.size()) - 1));
+      }
+      return best_mean_arm();
+    case BanditKind::Ucb: {
+      const double log_total = std::log(double(total_pulls_));
+      std::size_t best = 0;
+      double best_value = 0.0;
+      for (std::size_t i = 0; i < arms_.size(); ++i) {
+        const double value =
+            mean(i) + ucb_c_ * std::sqrt(log_total / double(arms_[i].pulls));
+        if (i == 0 || value > best_value) {  // ties keep the lower index
+          best = i;
+          best_value = value;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void Bandit::update(std::size_t arm, double reward) {
+  WRSN_REQUIRE(arm < arms_.size(), "bandit arm out of range");
+  arms_[arm].pulls += 1;
+  arms_[arm].reward_sum += reward;
+  total_pulls_ += 1;
+}
+
+}  // namespace wrsn::policy

@@ -1,0 +1,60 @@
+// Seeded multi-armed bandit cores for the adaptive attacker/defender
+// policies (DESIGN.md §15).
+//
+// Determinism contract: a Bandit is a pure function of (kind, arm count,
+// knobs, the Rng handed to the constructor, and the select/update call
+// sequence).  Ties always break to the LOWEST arm index, and UCB consumes
+// no randomness at all, so two bandits fed identical reward sequences from
+// identically-forked streams replay identical arm sequences — the property
+// the tournament's bit-identical-at-any-WRSN_THREADS guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wrsn::policy {
+
+enum class BanditKind {
+  EpsilonGreedy,  ///< explore with probability epsilon, else greedy on mean
+  Ucb,            ///< UCB1: mean + c * sqrt(ln(total) / pulls), no randomness
+};
+
+class Bandit {
+ public:
+  /// `rng` is consumed by epsilon-greedy exploration draws only; fork it
+  /// from the owning agent's stream with a dedicated label so adding a
+  /// bandit never perturbs sibling streams.
+  Bandit(BanditKind kind, std::size_t arm_count, Rng rng,
+         double epsilon = 0.1, double ucb_c = 1.4142135623730951);
+
+  /// Picks the next arm.  Untried arms are always preferred (lowest index
+  /// first), so the first `arm_count` selections sweep every arm once.
+  std::size_t select();
+
+  /// Records the observed reward for one pull of `arm`.
+  void update(std::size_t arm, double reward);
+
+  std::size_t arm_count() const { return arms_.size(); }
+  std::uint64_t pulls(std::size_t arm) const { return arms_[arm].pulls; }
+  double mean(std::size_t arm) const;
+  std::uint64_t total_pulls() const { return total_pulls_; }
+
+ private:
+  struct Arm {
+    std::uint64_t pulls = 0;
+    double reward_sum = 0.0;
+  };
+
+  std::size_t best_mean_arm() const;
+
+  BanditKind kind_;
+  double epsilon_;
+  double ucb_c_;
+  Rng rng_;
+  std::vector<Arm> arms_;
+  std::uint64_t total_pulls_ = 0;
+};
+
+}  // namespace wrsn::policy

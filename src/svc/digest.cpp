@@ -118,6 +118,19 @@ void mix_benign(Fnv& fnv, const mc::AgentParams& b) {
   fnv.mix(b.tour_max_wait);
 }
 
+void mix_policy(Fnv& fnv, const policy::PolicyParams& p) {
+  fnv.mix(std::uint64_t(p.attacker.kind));
+  fnv.mix(p.attacker.epsilon);
+  fnv.mix(p.attacker.ucb_c);
+  fnv.mix(p.attacker.epoch);
+  fnv.mix(p.attacker.risk_weight);
+  fnv.mix(std::uint64_t{p.attacker.risk_budget});
+  fnv.mix(std::uint64_t(p.defender.kind));
+  fnv.mix(p.defender.window);
+  fnv.mix(p.defender.quantile);
+  fnv.mix(std::uint64_t{p.defender.min_samples});
+}
+
 void mix_faults(Fnv& fnv, const fault::FaultParams& f) {
   fnv.mix(f.mc_breakdown_mtbf);
   fnv.mix(f.mc_repair_mean);
@@ -152,6 +165,7 @@ std::uint64_t scenario_digest(const analysis::ScenarioConfig& config,
   mix_faults(fnv, config.faults);
   fnv.mix(std::uint64_t{config.fleet_size});
   fnv.mix(std::uint64_t{config.fleet_compromised});
+  mix_policy(fnv, config.policy);
   return fnv.hash();
 }
 

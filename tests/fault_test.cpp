@@ -500,7 +500,10 @@ TEST(Fuzzer, MutationPoolCoversEveryScenarioFamily) {
         "topology.class_count", "topology.class_capacity_ratio",
         "topology.class_rate_ratio", "mobility.fraction", "mobility.interval",
         "coverage.k", "coverage.bonus", "fleet.size",
-        "faults.mc_breakdown_mtbf"}) {
+        "faults.mc_breakdown_mtbf", "policy.attacker", "policy.epsilon",
+        "policy.ucb_c", "policy.epoch", "policy.risk_weight",
+        "policy.risk_budget", "policy.defender", "policy.defender_window",
+        "policy.defender_quantile", "policy.defender_min_samples"}) {
     EXPECT_GT(seen[key], 0u) << "family never generated: " << key;
   }
   // Corridor counts stay in 1-3: wider draws can disconnect the sink.

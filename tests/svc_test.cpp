@@ -323,6 +323,28 @@ TEST(ScenarioDigest, EveryMutatedFieldChangesTheDigest) {
     c.fleet_compromised = 1;
   });
 
+  // --- policy ---
+  add("policy.attacker.kind", [](auto& c) {
+    c.policy.attacker.kind = policy::AttackPolicyKind::Ucb;
+  });
+  add("policy.attacker.epsilon",
+      [](auto& c) { c.policy.attacker.epsilon += 0.05; });
+  add("policy.attacker.ucb_c", [](auto& c) { c.policy.attacker.ucb_c += 0.5; });
+  add("policy.attacker.epoch", [](auto& c) { c.policy.attacker.epoch += 60.0; });
+  add("policy.attacker.risk_weight",
+      [](auto& c) { c.policy.attacker.risk_weight += 1.0; });
+  add("policy.attacker.risk_budget",
+      [](auto& c) { c.policy.attacker.risk_budget += 1; });
+  add("policy.defender.kind", [](auto& c) {
+    c.policy.defender.kind = policy::DefenderPolicyKind::Adaptive;
+  });
+  add("policy.defender.window",
+      [](auto& c) { c.policy.defender.window += 60.0; });
+  add("policy.defender.quantile",
+      [](auto& c) { c.policy.defender.quantile += 0.5; });
+  add("policy.defender.min_samples",
+      [](auto& c) { c.policy.defender.min_samples += 1; });
+
   for (const auto& [name, cfg] : mutants) {
     EXPECT_NE(scenario_digest(cfg, analysis::ChargerMode::Attack), base_digest)
         << "digest blind to " << name;
